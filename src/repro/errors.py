@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base class.  Parsing and validation problems get dedicated types so
+tests can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TreeStructureError(ReproError):
+    """An operation received a malformed or inconsistent tree."""
+
+
+class BracketSyntaxError(ReproError, ValueError):
+    """Bracket-notation input could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class PostorderQueueError(ReproError):
+    """A postorder queue was malformed (bad sizes) or misused."""
+
+
+class XmlFormatError(ReproError, ValueError):
+    """XML input could not be converted to an ordered labeled tree."""
+
+
+class CostModelError(ReproError, ValueError):
+    """A cost model violates the paper's requirements (``cst(x) >= 1``)."""
+
+
+class RankingError(ReproError):
+    """A top-k ranking request was invalid (e.g. ``k <= 0``)."""

@@ -1,0 +1,106 @@
+"""Postorder queues (paper Definition 2).
+
+A postorder queue is the *only* interface TASM-postorder has to the
+document: a sequence of ``(label, size)`` pairs in postorder supporting
+a single ``dequeue`` operation.  It abstracts from the storage model —
+the same algorithm runs over in-memory trees, streamed XML files, and
+the relational interval-encoding store (:mod:`repro.postorder.interval`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..errors import PostorderQueueError
+from ..trees.tree import Tree
+
+__all__ = ["PostorderQueue"]
+
+Pair = Tuple[object, int]
+
+
+class PostorderQueue:
+    """Single-pass queue of ``(label, size)`` pairs in postorder.
+
+    Wraps any iterable of pairs.  Only ``dequeue`` (and iteration, which
+    is repeated dequeueing) is exposed, mirroring Definition 2; there is
+    deliberately no random access.
+    """
+
+    __slots__ = ("_iter", "_peeked", "_exhausted", "_dequeued")
+
+    def __init__(self, pairs: Iterable[Pair]):
+        self._iter = iter(pairs)
+        self._peeked: Optional[Pair] = None
+        self._exhausted = False
+        self._dequeued = 0
+
+    # ------------------------------------------------------------------
+    # Constructors for the common sources
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, tree: Tree) -> "PostorderQueue":
+        """Postorder queue of an in-memory tree."""
+        return cls(tree.postorder())
+
+    @classmethod
+    def from_xml_file(cls, source, **kwargs) -> "PostorderQueue":
+        """Streaming postorder queue of an XML document (path or file)."""
+        from ..xmlio.parse import iterparse_postorder
+
+        return cls(iterparse_postorder(source, **kwargs))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Pair]) -> "PostorderQueue":
+        return cls(pairs)
+
+    # ------------------------------------------------------------------
+    # Queue protocol
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """True iff no pairs remain (may buffer one pair to find out)."""
+        if self._peeked is not None:
+            return False
+        if self._exhausted:
+            return True
+        try:
+            self._peeked = next(self._iter)
+        except StopIteration:
+            self._exhausted = True
+            return True
+        return False
+
+    def dequeue(self) -> Pair:
+        """Remove and return the next ``(label, size)`` pair."""
+        if self._peeked is not None:
+            pair = self._peeked
+            self._peeked = None
+        else:
+            try:
+                pair = next(self._iter)
+            except StopIteration:
+                self._exhausted = True
+                raise PostorderQueueError("dequeue from empty postorder queue")
+        self._dequeued += 1
+        return pair
+
+    @property
+    def dequeued(self) -> int:
+        """Number of pairs consumed so far (instrumentation)."""
+        return self._dequeued
+
+    def __iter__(self) -> Iterator[Pair]:
+        while not self.empty:
+            yield self.dequeue()
+
+    # ------------------------------------------------------------------
+    # Materialisation (consumes the queue)
+    # ------------------------------------------------------------------
+    def to_tree(self) -> Tree:
+        """Drain the queue into a :class:`Tree`.
+
+        Postorder queues uniquely define a tree (Section IV-B); this is
+        the constructive proof.
+        """
+        return Tree.from_postorder(self)

@@ -1,0 +1,43 @@
+"""Ordered labeled tree substrate (paper Section IV-A).
+
+Public entry points:
+
+* :class:`~repro.trees.node.Node` — pointer-based construction trees.
+* :class:`~repro.trees.tree.Tree` — array-based postorder representation
+  used by every algorithm in the library.
+* :mod:`~repro.trees.bracket` — bracket-notation parsing/serialisation.
+* :mod:`~repro.trees.generators` — random/parametric tree shapes.
+* :mod:`~repro.trees.stats` — descriptive statistics.
+"""
+
+from .bracket import parse_bracket, to_bracket
+from .generators import (
+    caterpillar,
+    full_binary,
+    left_spine,
+    random_forest_tree,
+    random_tree,
+    right_spine,
+    star,
+)
+from .node import Node
+from .stats import TreeStats, subtree_size_histogram, tree_stats
+from .tree import Tree, validate_tree
+
+__all__ = [
+    "Node",
+    "Tree",
+    "validate_tree",
+    "parse_bracket",
+    "to_bracket",
+    "random_tree",
+    "random_forest_tree",
+    "left_spine",
+    "right_spine",
+    "star",
+    "full_binary",
+    "caterpillar",
+    "TreeStats",
+    "tree_stats",
+    "subtree_size_histogram",
+]

@@ -1,0 +1,117 @@
+"""Bracket notation for ordered labeled trees.
+
+The bracket format is the de-facto interchange format of the tree edit
+distance literature: a tree is ``{label child1 child2 ...}`` with no
+separators, e.g. the paper's example query ``G`` (Figure 2) is
+``{a{b}{c}}``.
+
+Labels may contain arbitrary characters; ``{``, ``}`` and ``\\`` must be
+escaped with a backslash.  Whitespace *between* tokens is ignored so
+hand-written fixtures can be indented.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import BracketSyntaxError
+from .node import Node
+
+__all__ = ["parse_bracket", "to_bracket"]
+
+_ESCAPABLE = {"{", "}", "\\"}
+
+
+def parse_bracket(text: str) -> Node:
+    """Parse bracket notation into a :class:`Node` tree.
+
+    Raises :class:`BracketSyntaxError` with the offending offset when
+    the input is malformed (unbalanced braces, trailing garbage, ...).
+    """
+    pos = 0
+    length = len(text)
+
+    # Skip leading whitespace.
+    while pos < length and text[pos].isspace():
+        pos += 1
+    if pos >= length or text[pos] != "{":
+        raise BracketSyntaxError("expected '{'", pos)
+
+    root: Node = None  # type: ignore[assignment]
+    stack: List[Node] = []
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == "{":
+            pos += 1
+            label_chars: List[str] = []
+            while pos < length and text[pos] not in ("{", "}"):
+                if text[pos] == "\\":
+                    if pos + 1 >= length or text[pos + 1] not in _ESCAPABLE:
+                        raise BracketSyntaxError("dangling escape", pos)
+                    label_chars.append(text[pos + 1])
+                    pos += 2
+                else:
+                    label_chars.append(text[pos])
+                    pos += 1
+            node = Node("".join(label_chars).strip())
+            if stack:
+                stack[-1].children.append(node)
+            elif root is None:
+                root = node
+            else:
+                raise BracketSyntaxError("multiple roots", pos)
+            stack.append(node)
+        elif ch == "}":
+            if not stack:
+                raise BracketSyntaxError("unbalanced '}'", pos)
+            stack.pop()
+            pos += 1
+            if not stack:
+                break
+        else:  # pragma: no cover - unreachable: label chars consumed above
+            raise BracketSyntaxError(f"unexpected character {ch!r}", pos)
+
+    if stack:
+        raise BracketSyntaxError("unbalanced '{'", length)
+    # Only whitespace may follow the closing brace of the root.
+    while pos < length:
+        if not text[pos].isspace():
+            raise BracketSyntaxError("trailing input after tree", pos)
+        pos += 1
+    if root is None:  # pragma: no cover - guarded by the first check
+        raise BracketSyntaxError("empty input", 0)
+    return root
+
+
+def _escape(label: str) -> str:
+    out: List[str] = []
+    for ch in label:
+        if ch in _ESCAPABLE:
+            out.append("\\")
+        out.append(ch)
+    return "".join(out)
+
+
+def to_bracket(root: Node) -> str:
+    """Serialize a :class:`Node` tree to bracket notation.
+
+    Round-trips with :func:`parse_bracket` for string labels that carry
+    no leading/trailing whitespace.
+    """
+    parts: List[str] = []
+    # (node, opened?) stack — emit '{label' on first visit, '}' after
+    # all children are done.
+    stack = [(root, False)]
+    while stack:
+        node, opened = stack.pop()
+        if opened:
+            parts.append("}")
+            continue
+        parts.append("{" + _escape(str(node.label)))
+        stack.append((node, True))
+        for child in reversed(node.children):
+            stack.append((child, False))
+    return "".join(parts)

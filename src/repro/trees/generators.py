@@ -1,0 +1,178 @@
+"""Random ordered-tree generators.
+
+These generators provide controlled structural variety for tests,
+property-based checks, and micro-benchmarks.  Document-scale *dataset*
+generators (XMark/DBLP/PSD lookalikes) live in :mod:`repro.datasets`.
+
+All generators are deterministic given a seed (or an explicit
+:class:`random.Random`), which the experiment harness relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from .node import Node
+from .tree import Tree
+
+__all__ = [
+    "random_tree",
+    "random_forest_tree",
+    "left_spine",
+    "right_spine",
+    "star",
+    "full_binary",
+    "caterpillar",
+]
+
+RngLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RngLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_tree(
+    n: int,
+    seed: RngLike = None,
+    labels: Sequence = ("a", "b", "c", "d"),
+    max_fanout: int = 4,
+) -> Tree:
+    """Uniformly-shaped random tree with exactly ``n`` nodes.
+
+    Grows the tree by attaching each new node to a random existing node
+    whose fanout is below ``max_fanout``; labels are drawn uniformly
+    from ``labels``.  This yields the bushy/shallow shapes typical of
+    data-centric XML when ``max_fanout`` is large and degenerate deep
+    shapes when ``max_fanout`` is 1.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = _rng(seed)
+    root = Node(rng.choice(labels))
+    nodes: List[Node] = [root]
+    open_nodes: List[Node] = [root]
+    for _ in range(n - 1):
+        idx = rng.randrange(len(open_nodes))
+        parent = open_nodes[idx]
+        child = Node(rng.choice(labels))
+        parent.children.append(child)
+        nodes.append(child)
+        open_nodes.append(child)
+        if len(parent.children) >= max_fanout:
+            # Swap-remove keeps the choice O(1).
+            open_nodes[idx] = open_nodes[-1]
+            open_nodes.pop()
+    return Tree.from_node(root)
+
+
+def random_forest_tree(
+    n: int,
+    seed: RngLike = None,
+    labels: Sequence = ("a", "b", "c", "d"),
+    p_leaf: float = 0.4,
+) -> Tree:
+    """Random tree grown by recursive subtree budgets.
+
+    Splits the node budget among a random number of children, which
+    produces more varied heights than :func:`random_tree`.  Useful for
+    hypothesis-style structural coverage.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = _rng(seed)
+
+    def build(budget: int) -> Node:
+        node = Node(rng.choice(labels))
+        budget -= 1
+        while budget > 0:
+            if rng.random() < p_leaf:
+                share = 1
+            else:
+                share = rng.randint(1, budget)
+            node.children.append(build(share))
+            budget -= share
+        return node
+
+    # Recursion depth is bounded by tree height; rebuild iteratively for
+    # big budgets to avoid Python's recursion limit.
+    if n > 900:
+        return random_tree(n, rng, labels=labels)
+    return Tree.from_node(build(n))
+
+
+def left_spine(n: int, label="a") -> Tree:
+    """Degenerate tree: every node has one child, leftmost-path only.
+
+    The whole tree is a single relevant subtree (one keyroot), the best
+    case for Zhang-Shasha.
+    """
+    root = Node(label)
+    node = root
+    for _ in range(n - 1):
+        node = node.add(label)
+    return Tree.from_node(root)
+
+
+def right_spine(n: int, label="a") -> Tree:
+    """Tree where each node has two children and the right one recurses.
+
+    Every internal right child is a keyroot — the worst case for the
+    number of relevant subtrees at a given size.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    root = Node(label)
+    node = root
+    remaining = n - 1
+    while remaining >= 2:
+        node.add(label)
+        node = node.add(label)
+        remaining -= 2
+    if remaining == 1:
+        node.add(label)
+    return Tree.from_node(root)
+
+
+def star(n: int, root_label="r", leaf_label="x") -> Tree:
+    """A root with ``n - 1`` leaf children (shallow and wide)."""
+    root = Node(root_label)
+    for _ in range(n - 1):
+        root.add(leaf_label)
+    return Tree.from_node(root)
+
+
+def full_binary(height: int, label="a") -> Tree:
+    """Perfect binary tree with ``2**height - 1`` nodes."""
+    if height < 1:
+        raise ValueError("height must be >= 1")
+
+    def build(h: int) -> Node:
+        node = Node(label)
+        if h > 1:
+            node.children.append(build(h - 1))
+            node.children.append(build(h - 1))
+        return node
+
+    return Tree.from_node(build(height))
+
+
+def caterpillar(spine: int, legs: int, label="a", leg_label="x") -> Tree:
+    """A spine of ``spine`` nodes, each carrying ``legs`` leaf children.
+
+    Mimics record sequences under a shallow root — the shape for which
+    the paper's simple pruning degenerates (Section V-B).
+    """
+    if spine < 1:
+        raise ValueError("spine must be >= 1")
+    root = Node(label)
+    node = root
+    for i in range(spine):
+        for _ in range(legs):
+            node.add(leg_label)
+        if i < spine - 1:
+            node = node.add(label)
+    return Tree.from_node(root)

@@ -1,0 +1,140 @@
+"""Pointer-based ordered labeled tree nodes.
+
+:class:`Node` is the *construction* representation: a small mutable
+object with a label and an ordered list of children.  It is convenient
+for building trees by hand (examples, dataset generators, tests).  All
+algorithms in this library run on the array-based
+:class:`repro.trees.tree.Tree` representation instead, which a
+:class:`Node` converts to via :meth:`repro.trees.tree.Tree.from_node`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A node of an ordered labeled tree.
+
+    Parameters
+    ----------
+    label:
+        Any hashable value; in XML trees this is the element tag, the
+        attribute name (prefixed with ``@``), or the text content.
+    children:
+        Optional iterable of child nodes, kept in order.
+    """
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label, children: Optional[Iterable["Node"]] = None):
+        self.label = label
+        self.children: List[Node] = list(children) if children is not None else []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_child(self, child: "Node") -> "Node":
+        """Append ``child`` as the rightmost child and return it."""
+        self.children.append(child)
+        return child
+
+    def add(self, label) -> "Node":
+        """Create a node with ``label``, append it, and return it."""
+        return self.add_child(Node(label))
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def fanout(self) -> int:
+        return len(self.children)
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here (iterative)."""
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+    def height(self) -> int:
+        """Number of nodes on the longest root-to-leaf path (>= 1)."""
+        best = 0
+        stack = [(self, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            for child in node.children:
+                stack.append((child, depth + 1))
+        return best
+
+    # ------------------------------------------------------------------
+    # Traversals (all iterative; documents may be deep)
+    # ------------------------------------------------------------------
+    def preorder(self) -> Iterator["Node"]:
+        """Yield nodes in preorder (parent before children)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def postorder(self) -> Iterator["Node"]:
+        """Yield nodes in postorder (children before parent).
+
+        This is the canonical node order of the paper (Section IV-A):
+        the i-th yielded node has postorder identifier ``i``.
+        """
+        # (node, next-child-index) explicit stack.
+        stack = [(self, 0)]
+        while stack:
+            node, child_idx = stack.pop()
+            if child_idx < len(node.children):
+                stack.append((node, child_idx + 1))
+                stack.append((node.children[child_idx], 0))
+            else:
+                yield node
+
+    def leaves(self) -> Iterator["Node"]:
+        for node in self.postorder():
+            if node.is_leaf:
+                yield node
+
+    # ------------------------------------------------------------------
+    # Comparison / debugging
+    # ------------------------------------------------------------------
+    def equals(self, other: "Node") -> bool:
+        """Structural equality: same labels, same child order."""
+        if not isinstance(other, Node):
+            return False
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a.label != b.label or len(a.children) != len(b.children):
+                return False
+            stack.extend(zip(a.children, b.children))
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.label!r}, {len(self.children)} children)"
+
+    def pretty(self, indent: str = "  ") -> str:
+        """Multi-line ASCII rendering, one node per line."""
+        lines: List[str] = []
+        stack = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            lines.append(f"{indent * depth}{node.label}")
+            for child in reversed(node.children):
+                stack.append((child, depth + 1))
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Descriptive statistics for ordered labeled trees.
+
+The experiment harness reports these alongside benchmark numbers so the
+synthetic documents can be compared against the shapes the paper cites
+(DBLP: height 6, shallow and wide; XMark: height 13; PSD: height 7).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .tree import Tree
+
+__all__ = ["TreeStats", "tree_stats", "subtree_size_histogram"]
+
+
+@dataclass
+class TreeStats:
+    """Summary statistics of a tree; see :func:`tree_stats`."""
+
+    n: int
+    height: int
+    leaf_count: int
+    max_fanout: int
+    avg_fanout: float
+    distinct_labels: int
+    label_histogram: Dict[object, int] = field(repr=False, default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for harness logs."""
+        return (
+            f"n={self.n} height={self.height} leaves={self.leaf_count} "
+            f"max_fanout={self.max_fanout} avg_fanout={self.avg_fanout:.2f} "
+            f"labels={self.distinct_labels}"
+        )
+
+
+def tree_stats(tree: Tree) -> TreeStats:
+    """Compute :class:`TreeStats` in a single postorder pass."""
+    n = len(tree)
+    leaf_count = 0
+    max_fanout = 0
+    internal = 0
+    labels: Counter = Counter()
+    # depth[i] is needed for height; compute from parents top-down is
+    # awkward in postorder, so go bottom-up on leaves via ancestors but
+    # memoise depths to stay linear.
+    depths = [0] * (n + 1)
+    height = 1
+    for i in range(n, 0, -1):
+        labels[tree.label(i)] += 1
+        f = tree.fanout(i)
+        if f == 0:
+            leaf_count += 1
+            if depths[i] + 1 > height:
+                height = depths[i] + 1
+        else:
+            internal += 1
+            if f > max_fanout:
+                max_fanout = f
+            for c in tree.children(i):
+                depths[c] = depths[i] + 1
+    avg_fanout = (n - 1) / internal if internal else 0.0
+    return TreeStats(
+        n=n,
+        height=height,
+        leaf_count=leaf_count,
+        max_fanout=max_fanout,
+        avg_fanout=avg_fanout,
+        distinct_labels=len(labels),
+        label_histogram=dict(labels),
+    )
+
+
+def subtree_size_histogram(tree: Tree) -> Dict[int, int]:
+    """Histogram ``size -> count`` over all n subtrees of ``tree``.
+
+    This is the raw material of the paper's Figure 11 plots (where it is
+    restricted to the *relevant* subtrees actually computed).
+    """
+    hist: Counter = Counter()
+    for i in tree.node_ids():
+        hist[tree.size(i)] += 1
+    return dict(hist)

@@ -1,0 +1,336 @@
+"""Array-based ordered labeled trees in postorder numbering.
+
+:class:`Tree` is the workhorse representation of the library.  It stores
+a tree as flat arrays indexed by *postorder identifier* (1-based, as in
+the paper, Section IV-A):
+
+* ``labels[i]`` — label of the i-th node in postorder,
+* ``lmls[i]``   — postorder id of the leftmost leaf of the subtree
+  rooted at node ``i`` (``lml(T_i)``, Definition 7 context),
+* ``parents[i]``— postorder id of the parent (``0`` for the root).
+
+From ``lml`` the subtree size follows as ``size(i) = i - lml(i) + 1``
+because the nodes of a subtree occupy consecutive postorder positions
+(used throughout the paper, e.g. in the proof of Lemma 5).
+
+Index ``0`` of every array is a padding slot so that the public API can
+use the paper's 1-based node ids directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import PostorderQueueError, TreeStructureError
+from .node import Node
+
+__all__ = ["Tree"]
+
+
+class Tree:
+    """An ordered labeled tree over postorder arrays.
+
+    Instances are created through the ``from_*`` constructors and are
+    treated as immutable; algorithms never mutate a :class:`Tree`.
+    """
+
+    __slots__ = ("labels", "lmls", "parents", "_keyroots")
+
+    def __init__(self, labels: List, lmls: List[int], parents: List[int]):
+        if not (len(labels) == len(lmls) == len(parents)):
+            raise TreeStructureError("postorder arrays must have equal length")
+        if len(labels) < 2:
+            raise TreeStructureError("a tree has at least one node")
+        self.labels = labels
+        self.lmls = lmls
+        self.parents = parents
+        self._keyroots: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_node(cls, root: Node) -> "Tree":
+        """Build a :class:`Tree` from a pointer-based :class:`Node`."""
+        labels: List = [None]
+        lmls: List[int] = [0]
+        parents: List[int] = [0]
+        # Iterative postorder with explicit stack; assigns ids on the fly.
+        # Stack frames: (node, next-child-index, lml-of-node-so-far,
+        # list of completed child ids).
+        stack: List[List] = [[root, 0, 0, []]]
+        while stack:
+            frame = stack[-1]
+            node, child_idx = frame[0], frame[1]
+            if child_idx < len(node.children):
+                frame[1] += 1
+                stack.append([node.children[child_idx], 0, 0, []])
+            else:
+                stack.pop()
+                my_id = len(labels)
+                lml = frame[2] if frame[2] else my_id
+                labels.append(node.label)
+                lmls.append(lml)
+                parents.append(0)
+                for child_id in frame[3]:
+                    parents[child_id] = my_id
+                if stack:
+                    parent_frame = stack[-1]
+                    if not parent_frame[2]:
+                        parent_frame[2] = lml
+                    parent_frame[3].append(my_id)
+        return cls(labels, lmls, parents)
+
+    @classmethod
+    def from_postorder(cls, pairs: Iterable[Tuple[object, int]]) -> "Tree":
+        """Build a :class:`Tree` from ``(label, size)`` pairs.
+
+        This is the inverse of :meth:`postorder` and realises the
+        paper's claim (Section IV-B) that a postorder queue uniquely
+        defines an ordered labeled tree.  Raises
+        :class:`PostorderQueueError` when the sizes are inconsistent.
+        """
+        labels: List = [None]
+        lmls: List[int] = [0]
+        parents: List[int] = [0]
+        # Roots of already-completed subtrees waiting for a parent.
+        pending: List[int] = []
+        for label, size in pairs:
+            my_id = len(labels)
+            if size < 1:
+                raise PostorderQueueError(
+                    f"node {my_id}: subtree size must be >= 1, got {size}"
+                )
+            lml = my_id - size + 1
+            if lml < 1:
+                raise PostorderQueueError(
+                    f"node {my_id}: size {size} exceeds nodes seen so far"
+                )
+            labels.append(label)
+            lmls.append(lml)
+            parents.append(0)
+            # Adopt completed subtrees that fall inside [lml, my_id - 1].
+            while pending and pending[-1] >= lml:
+                child = pending.pop()
+                if lmls[child] < lml:
+                    raise PostorderQueueError(
+                        f"node {my_id}: size {size} splits a sibling subtree"
+                    )
+                parents[child] = my_id
+            pending.append(my_id)
+        if len(labels) == 1:
+            raise PostorderQueueError("empty postorder queue")
+        if len(pending) != 1:
+            raise PostorderQueueError(
+                f"postorder queue describes a forest of {len(pending)} trees, "
+                "expected a single root"
+            )
+        if lmls[pending[0]] != 1:
+            raise PostorderQueueError("root does not cover all nodes")
+        return cls(labels, lmls, parents)
+
+    @classmethod
+    def from_bracket(cls, text: str) -> "Tree":
+        """Parse bracket notation, e.g. ``{a{b}{c}}``; see
+        :mod:`repro.trees.bracket`."""
+        from .bracket import parse_bracket
+
+        return cls.from_node(parse_bracket(text))
+
+    # ------------------------------------------------------------------
+    # Size / structure accessors (1-based postorder ids)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of nodes ``|T|``."""
+        return len(self.labels) - 1
+
+    @property
+    def n(self) -> int:
+        return len(self)
+
+    @property
+    def root(self) -> int:
+        """Postorder id of the root (always ``|T|``)."""
+        return len(self)
+
+    def label(self, i: int):
+        return self.labels[i]
+
+    def lml(self, i: int) -> int:
+        """Leftmost leaf descendant of node ``i`` (inclusive of ``i``)."""
+        return self.lmls[i]
+
+    def size(self, i: int) -> int:
+        """Size of the subtree rooted at node ``i``."""
+        return i - self.lmls[i] + 1
+
+    def parent(self, i: int) -> int:
+        """Postorder id of ``i``'s parent, or ``0`` for the root."""
+        return self.parents[i]
+
+    def is_leaf(self, i: int) -> bool:
+        return self.lmls[i] == i
+
+    def children(self, i: int) -> List[int]:
+        """Postorder ids of the children of ``i``, left to right."""
+        result: List[int] = []
+        child = i - 1
+        lml = self.lmls[i]
+        while child >= lml:
+            result.append(child)
+            child = self.lmls[child] - 1
+        result.reverse()
+        return result
+
+    def fanout(self, i: int) -> int:
+        count = 0
+        child = i - 1
+        lml = self.lmls[i]
+        while child >= lml:
+            count += 1
+            child = self.lmls[child] - 1
+        return count
+
+    def ancestors(self, i: int) -> Iterator[int]:
+        """Yield the ancestors of ``i`` from parent up to the root."""
+        i = self.parents[i]
+        while i:
+            yield i
+            i = self.parents[i]
+
+    def depth(self, i: int) -> int:
+        """Number of edges from the root down to node ``i``."""
+        return sum(1 for _ in self.ancestors(i))
+
+    def height(self) -> int:
+        """Number of nodes on the longest root-to-leaf path."""
+        best = 1
+        for i in range(1, len(self.labels)):
+            if self.is_leaf(i):
+                d = 1 + sum(1 for _ in self.ancestors(i))
+                if d > best:
+                    best = d
+        return best
+
+    def node_ids(self) -> range:
+        """All postorder ids, ascending (= postorder traversal)."""
+        return range(1, len(self.labels))
+
+    # ------------------------------------------------------------------
+    # Keyroots (the roots of the paper's *relevant subtrees*, Def. 8)
+    # ------------------------------------------------------------------
+    def keyroots(self) -> List[int]:
+        """Postorder ids of relevant-subtree roots, ascending.
+
+        A node is a keyroot iff it is not on the leftmost path from any
+        proper ancestor, i.e. no ancestor shares its leftmost leaf.
+        These are exactly the subtrees that are *not* prefixes of a
+        larger subtree (Definition 8); the Zhang-Shasha algorithm
+        evaluates forest distances only for keyroot pairs.
+        """
+        if not self._keyroots:
+            lmls = self.lmls
+            parents = self.parents
+            roots = [
+                i
+                for i in range(1, len(lmls))
+                if parents[i] == 0 or lmls[parents[i]] != lmls[i]
+            ]
+            self._keyroots = roots
+        return self._keyroots
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def postorder(self) -> Iterator[Tuple[object, int]]:
+        """Yield the ``(label, size)`` pairs of Definition 2."""
+        lmls = self.lmls
+        labels = self.labels
+        for i in range(1, len(labels)):
+            yield labels[i], i - lmls[i] + 1
+
+    def subtree(self, i: int) -> "Tree":
+        """Extract the subtree ``T_i`` as a standalone :class:`Tree`.
+
+        Node ids are renumbered to ``1 .. size(i)``; postorder order is
+        preserved because subtree nodes are postorder-consecutive.
+        """
+        lo = self.lmls[i]
+        shift = lo - 1
+        labels: List = [None]
+        lmls: List[int] = [0]
+        parents: List[int] = [0]
+        for j in range(lo, i + 1):
+            labels.append(self.labels[j])
+            lmls.append(self.lmls[j] - shift)
+            p = self.parents[j]
+            parents.append(p - shift if lo <= p <= i and j != i else 0)
+        return Tree(labels, lmls, parents)
+
+    def to_node(self) -> Node:
+        """Convert back to a pointer-based :class:`Node` tree."""
+        nodes = [None] + [Node(self.labels[i]) for i in range(1, len(self.labels))]
+        root = None
+        for i in range(1, len(nodes)):
+            p = self.parents[i]
+            if p:
+                nodes[p].children.append(nodes[i])
+            else:
+                root = nodes[i]
+        # Children were appended in postorder, which preserves the
+        # left-to-right sibling order (smaller postorder ids first).
+        assert root is not None
+        return root
+
+    def to_bracket(self) -> str:
+        from .bracket import to_bracket
+
+        return to_bracket(self.to_node())
+
+    # ------------------------------------------------------------------
+    # Equality / representation
+    # ------------------------------------------------------------------
+    def equals(self, other: "Tree") -> bool:
+        """Structural equality (labels + shape)."""
+        return (
+            isinstance(other, Tree)
+            and self.labels == other.labels
+            and self.lmls == other.lmls
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tree(n={len(self)}, root_label={self.labels[-1]!r})"
+
+
+def validate_tree(tree: Tree) -> None:
+    """Check internal consistency of a :class:`Tree` (test helper).
+
+    Verifies that lml values are self-consistent, parents agree with
+    subtree intervals, and the root covers all nodes.  Raises
+    :class:`TreeStructureError` on the first violation.
+    """
+    n = len(tree)
+    if tree.lmls[n] != 1:
+        raise TreeStructureError("root subtree must span all nodes")
+    for i in range(1, n + 1):
+        lml = tree.lmls[i]
+        if not 1 <= lml <= i:
+            raise TreeStructureError(f"node {i}: lml {lml} out of range")
+        p = tree.parents[i]
+        if i == n:
+            if p != 0:
+                raise TreeStructureError("root must have parent 0")
+        else:
+            if not i < p <= n:
+                raise TreeStructureError(f"node {i}: parent {p} not an ancestor")
+            if not tree.lmls[p] <= lml:
+                raise TreeStructureError(f"node {i}: outside parent interval")
+        if tree.is_leaf(i):
+            if lml != i:
+                raise TreeStructureError(f"leaf {i}: lml must be i")
+        else:
+            first_child = tree.children(i)[0]
+            if tree.lmls[first_child] != lml:
+                raise TreeStructureError(
+                    f"node {i}: lml must equal first child's lml"
+                )

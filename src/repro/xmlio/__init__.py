@@ -1,0 +1,32 @@
+"""XML input/output substrate.
+
+Streams XML documents into postorder queues (the representation
+TASM-postorder scans), materialises them as trees (for TASM-dynamic),
+serialises trees back to XML, and interns labels into dense integer ids
+(the paper's dictionary compression).
+"""
+
+from .dictionary import LabelDictionary
+from .parse import (
+    iterparse_postorder,
+    node_from_element,
+    tree_from_xml_file,
+    tree_from_xml_string,
+)
+from .serialize import element_from_node, write_xml, xml_from_node, xml_from_tree
+from .types import ATTRIBUTE_PREFIX, Text, is_attribute_label
+
+__all__ = [
+    "LabelDictionary",
+    "iterparse_postorder",
+    "node_from_element",
+    "tree_from_xml_file",
+    "tree_from_xml_string",
+    "element_from_node",
+    "write_xml",
+    "xml_from_node",
+    "xml_from_tree",
+    "ATTRIBUTE_PREFIX",
+    "Text",
+    "is_attribute_label",
+]

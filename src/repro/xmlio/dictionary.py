@@ -1,0 +1,81 @@
+"""Label dictionary: string labels to dense integer identifiers.
+
+The paper's implementation note (Section VII): "In all algorithms we use
+a dictionary to assign unique integer identifiers to node labels
+(element/attribute tags as well as text content).  The integer
+identifiers provide compression and faster node-to-node comparisons."
+
+The dictionary treats every label as a flat symbol of the alphabet
+``Sigma`` — element tags, attribute names and text content share one id
+space, exactly as in the paper.  Encoding is stable: the same label
+always maps to the same id within one dictionary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..trees.tree import Tree
+
+__all__ = ["LabelDictionary"]
+
+
+class LabelDictionary:
+    """Bidirectional mapping ``label <-> int`` with insert-on-miss."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[object, int] = {}
+        self._labels: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label) -> bool:
+        return label in self._ids
+
+    def encode(self, label) -> int:
+        """Return the id for ``label``, assigning a fresh one on miss."""
+        ids = self._ids
+        existing = ids.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        ids[label] = new_id
+        self._labels.append(label)
+        return new_id
+
+    def lookup(self, label) -> int:
+        """Return the id for ``label``; raise ``KeyError`` if absent."""
+        return self._ids[label]
+
+    def decode(self, label_id: int):
+        """Return the label for ``label_id``."""
+        return self._labels[label_id]
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def encode_tree(self, tree: Tree) -> Tree:
+        """Return a copy of ``tree`` with integer labels.
+
+        The structural arrays are shared views (copied lists), so this
+        is a cheap O(n) pass; the output is what the distance kernels
+        prefer to run on.
+        """
+        encode = self.encode
+        labels = [None] + [encode(tree.labels[i]) for i in range(1, len(tree.labels))]
+        return Tree(labels, list(tree.lmls), list(tree.parents))
+
+    def decode_tree(self, tree: Tree) -> Tree:
+        """Inverse of :meth:`encode_tree`."""
+        decode = self.decode
+        labels = [None] + [decode(tree.labels[i]) for i in range(1, len(tree.labels))]
+        return Tree(labels, list(tree.lmls), list(tree.parents))
+
+    def encode_postorder(
+        self, pairs: Iterable[Tuple[object, int]]
+    ) -> Iterator[Tuple[int, int]]:
+        """Encode a streaming postorder queue on the fly."""
+        encode = self.encode
+        for label, size in pairs:
+            yield encode(label), size

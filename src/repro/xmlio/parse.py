@@ -1,0 +1,201 @@
+"""XML parsing: documents and streams to trees / postorder queues.
+
+Two paths are provided, matching the paper's architecture:
+
+* :func:`tree_from_xml_string` / :func:`tree_from_xml_file` materialise
+  an entire document as a :class:`~repro.trees.tree.Tree` (what
+  TASM-dynamic needs);
+* :func:`iterparse_postorder` streams ``(label, size)`` pairs in
+  postorder — a *postorder queue* (Definition 2) — without ever holding
+  the document in memory (what TASM-postorder needs).
+
+Conversion conventions (shared by both paths, see
+:mod:`repro.xmlio.types`): attributes become ``@name`` nodes with a text
+child, attribute nodes precede text and element children and are sorted
+by name for determinism; non-whitespace text segments become
+:class:`~repro.xmlio.types.Text` leaf nodes in document order.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import IO, Iterator, List, Tuple, Union
+
+from ..errors import XmlFormatError
+from ..trees.node import Node
+from ..trees.tree import Tree
+from .types import ATTRIBUTE_PREFIX, Text
+
+__all__ = [
+    "node_from_element",
+    "tree_from_xml_string",
+    "tree_from_xml_file",
+    "iterparse_postorder",
+]
+
+Source = Union[str, IO]
+
+
+def _clean_text(raw: Union[str, None], keep_whitespace: bool) -> Union[str, None]:
+    """Return text content to keep, or None if it should be dropped."""
+    if raw is None:
+        return None
+    if keep_whitespace:
+        return raw if raw else None
+    stripped = raw.strip()
+    return stripped if stripped else None
+
+
+def node_from_element(
+    elem: ET.Element,
+    keep_whitespace: bool = False,
+    with_attributes: bool = True,
+) -> Node:
+    """Convert an :class:`xml.etree.ElementTree.Element` to a tree node.
+
+    Child order: attribute nodes (sorted by name), leading text, then
+    each subelement followed by its tail text.
+    """
+    root = Node(elem.tag)
+    stack: List[Tuple[ET.Element, Node]] = [(elem, root)]
+    while stack:
+        e, node = stack.pop()
+        if with_attributes:
+            for name in sorted(e.attrib):
+                attr = node.add(ATTRIBUTE_PREFIX + name)
+                attr.add(Text(e.attrib[name]))
+        text = _clean_text(e.text, keep_whitespace)
+        if text is not None:
+            node.add(Text(text))
+        for child in e:
+            child_node = node.add(child.tag)
+            stack.append((child, child_node))
+            tail = _clean_text(child.tail, keep_whitespace)
+            if tail is not None:
+                node.add(Text(tail))
+    return root
+
+
+def tree_from_xml_string(
+    text: str,
+    keep_whitespace: bool = False,
+    with_attributes: bool = True,
+) -> Tree:
+    """Parse an XML document string into a :class:`Tree`."""
+    try:
+        elem = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"malformed XML: {exc}") from exc
+    return Tree.from_node(
+        node_from_element(elem, keep_whitespace, with_attributes)
+    )
+
+
+def tree_from_xml_file(
+    source: Source,
+    keep_whitespace: bool = False,
+    with_attributes: bool = True,
+) -> Tree:
+    """Parse an XML file (path or file object) into a :class:`Tree`.
+
+    Built on the streaming parser so that the intermediate
+    representation is the postorder queue itself — this keeps the two
+    code paths byte-for-byte consistent (tested).
+    """
+    return Tree.from_postorder(
+        iterparse_postorder(source, keep_whitespace, with_attributes)
+    )
+
+
+class _Frame:
+    """Per-open-element state for the streaming parser."""
+
+    __slots__ = ("elem", "descendants", "text_emitted", "prev_child")
+
+    def __init__(self, elem: ET.Element):
+        self.elem = elem
+        self.descendants = 0  # nodes already emitted inside this element
+        self.text_emitted = False
+        self.prev_child: Union[ET.Element, None] = None
+
+
+def iterparse_postorder(
+    source: Source,
+    keep_whitespace: bool = False,
+    with_attributes: bool = True,
+) -> Iterator[Tuple[object, int]]:
+    """Stream a postorder queue (Definition 2) from an XML document.
+
+    Yields ``(label, size)`` pairs in postorder while keeping only the
+    open-element path (plus already-drained empty element shells) in
+    memory.  This is the library's implementation of the paper's
+    "standard XML parser ... to implement the postorder queues".
+    """
+    stack: List[_Frame] = []
+    produced_root = False
+    try:
+        for event, elem in ET.iterparse(source, events=("start", "end")):
+            if event == "start":
+                if stack:
+                    parent = stack[-1]
+                    for pair in _flush_pending(parent, keep_whitespace):
+                        yield pair
+                elif produced_root:
+                    raise XmlFormatError("multiple document roots")
+                frame = _Frame(elem)
+                stack.append(frame)
+                if with_attributes:
+                    # Attributes are fully known at the start tag; they
+                    # are the element's first children.
+                    for name in sorted(elem.attrib):
+                        yield Text(elem.attrib[name]), 1
+                        yield ATTRIBUTE_PREFIX + name, 2
+                        frame.descendants += 2
+            else:  # "end"
+                frame = stack.pop()
+                # Flushes the last child's tail and, for childless
+                # elements, the leading text.
+                for pair in _flush_pending(frame, keep_whitespace):
+                    yield pair
+                size = frame.descendants + 1
+                yield elem.tag, size
+                if stack:
+                    parent = stack[-1]
+                    parent.descendants += size
+                    parent.prev_child = elem
+                    # All children of the parent present at this point
+                    # have already ended; drop them to bound memory.
+                    # ``elem`` stays alive via ``parent.prev_child`` so
+                    # its tail text is still readable.
+                    del parent.elem[:]
+                else:
+                    produced_root = True
+                    elem.clear()
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"malformed XML: {exc}") from exc
+    if not produced_root:
+        raise XmlFormatError("document contained no root element")
+
+
+def _flush_pending(
+    frame: _Frame, keep_whitespace: bool
+) -> Iterator[Tuple[object, int]]:
+    """Emit text nodes of ``frame`` that became complete.
+
+    Called when the next event inside the element arrives: the leading
+    text is complete at the first child's start tag (or the end tag),
+    and a child's tail is complete at the next sibling's start tag (or
+    the end tag).
+    """
+    if frame.prev_child is not None:
+        tail = _clean_text(frame.prev_child.tail, keep_whitespace)
+        if tail is not None:
+            yield Text(tail), 1
+            frame.descendants += 1
+        frame.prev_child = None
+    if not frame.text_emitted:
+        frame.text_emitted = True
+        text = _clean_text(frame.elem.text, keep_whitespace)
+        if text is not None:
+            yield Text(text), 1
+            frame.descendants += 1

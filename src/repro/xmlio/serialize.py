@@ -1,0 +1,73 @@
+"""Serialise trees back to XML text.
+
+Inverse of :mod:`repro.xmlio.parse` under the shared label conventions
+(:mod:`repro.xmlio.types`): ``@name`` nodes become attributes,
+:class:`~repro.xmlio.types.Text` leaves become character data, all other
+nodes become elements.  ``parse(serialize(t))`` reproduces ``t`` for any
+tree built with those conventions (tested round-trip).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Tuple, Union
+
+from ..errors import XmlFormatError
+from ..trees.node import Node
+from ..trees.tree import Tree
+from .types import ATTRIBUTE_PREFIX, Text, is_attribute_label
+
+__all__ = ["element_from_node", "xml_from_tree", "xml_from_node", "write_xml"]
+
+
+def element_from_node(root: Node) -> ET.Element:
+    """Convert a :class:`Node` tree to an ElementTree element."""
+    if isinstance(root.label, Text) or is_attribute_label(root.label):
+        raise XmlFormatError("document root must be an element node")
+    elem = ET.Element(str(root.label))
+    stack: List[Tuple[Node, ET.Element]] = [(root, elem)]
+    while stack:
+        node, e = stack.pop()
+        last_child: Union[ET.Element, None] = None
+        for child in node.children:
+            if is_attribute_label(child.label):
+                e.set(str(child.label)[len(ATTRIBUTE_PREFIX):], _attr_value(child))
+            elif isinstance(child.label, Text):
+                if last_child is None:
+                    e.text = (e.text or "") + str(child.label)
+                else:
+                    last_child.tail = (last_child.tail or "") + str(child.label)
+                if child.children:
+                    raise XmlFormatError("text nodes must be leaves")
+            else:
+                sub = ET.SubElement(e, str(child.label))
+                stack.append((child, sub))
+                last_child = sub
+    return elem
+
+
+def _attr_value(attr_node: Node) -> str:
+    if len(attr_node.children) != 1 or not isinstance(
+        attr_node.children[0].label, Text
+    ):
+        raise XmlFormatError(
+            f"attribute node {attr_node.label!r} must have exactly one text child"
+        )
+    return str(attr_node.children[0].label)
+
+
+def xml_from_node(root: Node, encoding: str = "unicode") -> str:
+    """Serialise a :class:`Node` tree to an XML string."""
+    return ET.tostring(element_from_node(root), encoding=encoding)
+
+
+def xml_from_tree(tree: Tree, encoding: str = "unicode") -> str:
+    """Serialise a :class:`Tree` to an XML string."""
+    return xml_from_node(tree.to_node(), encoding=encoding)
+
+
+def write_xml(tree: Tree, path: str) -> None:
+    """Write ``tree`` to ``path`` as a UTF-8 XML document."""
+    ET.ElementTree(element_from_node(tree.to_node())).write(
+        path, encoding="utf-8", xml_declaration=True
+    )

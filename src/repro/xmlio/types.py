@@ -1,0 +1,43 @@
+"""Label conventions for XML-derived trees.
+
+The paper treats element tags, attribute names, and text content
+uniformly as node labels (Section VII: "a dictionary to assign unique
+integer identifiers to node labels (element/attribute tags as well as
+text content)").  To keep XML round-trips unambiguous this library
+marks the three roles in the label itself:
+
+* element tags       — plain ``str`` labels,
+* attribute names    — ``str`` labels prefixed with ``@`` and carrying a
+  single text child with the attribute value,
+* text content       — :class:`Text` labels, a ``str`` subclass.
+
+``Text`` compares and hashes exactly like ``str`` (so two nodes labelled
+``Text("db")`` and ``"db"`` are equal for the tree edit distance, as in
+the paper's flat label alphabet); the subclass only preserves the role
+for serialisation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Text", "ATTRIBUTE_PREFIX", "is_attribute_label"]
+
+ATTRIBUTE_PREFIX = "@"
+
+
+class Text(str):
+    """Marker type for text-content labels.
+
+    Behaves exactly like ``str`` (equality, hashing, sorting); only the
+    XML serialiser inspects the type to emit character data instead of
+    an element.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Text({str.__repr__(self)})"
+
+
+def is_attribute_label(label) -> bool:
+    """True iff ``label`` denotes an attribute node (``@name``)."""
+    return isinstance(label, str) and label.startswith(ATTRIBUTE_PREFIX)
