@@ -1,0 +1,148 @@
+"""TASM micro-benchmark harness.
+
+Compares TASM-dynamic against TASM-postorder on generated documents and
+emits ``BENCH_tasm.json`` with, per (document size, k) configuration:
+
+* wall-clock time and document nodes/second for both algorithms,
+* TASM-postorder instrumentation: peak ring-buffer occupancy, ring
+  capacity, dequeued pair count, candidates evaluated, subtrees scored,
+* a correctness bit: both algorithms returned the same top-k distance
+  multiset (the paper's equivalence claim, Theorem 5 context).
+
+The headline expectation mirrors the paper's Figure 9/10: postorder's
+peak buffered nodes stay flat as the document grows, while dynamic's
+working set is the whole document.
+
+Usage::
+
+    python bench/run_bench.py                      # default sweep
+    python bench/run_bench.py --sizes 200,2000 --k 3 --query-size 6
+    python bench/run_bench.py --smoke              # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.distance import UnitCostModel  # noqa: E402
+from repro.postorder.queue import PostorderQueue  # noqa: E402
+from repro.tasm import (  # noqa: E402
+    PostorderStats,
+    prune_threshold,
+    tasm_dynamic,
+    tasm_postorder,
+)
+from repro.trees import random_tree, tree_stats  # noqa: E402
+
+
+def bench_one(n: int, query_size: int, k: int, seed: int) -> dict:
+    document = random_tree(n, seed=seed, labels="abcdefgh", max_fanout=6)
+    query = random_tree(query_size, seed=seed + 1, labels="abcdefgh")
+
+    t0 = time.perf_counter()
+    dyn = tasm_dynamic(query, document, k)
+    dyn_elapsed = time.perf_counter() - t0
+
+    stats = PostorderStats()
+    t0 = time.perf_counter()
+    post = tasm_postorder(
+        query, PostorderQueue.from_tree(document), k, stats=stats
+    )
+    post_elapsed = time.perf_counter() - t0
+
+    dyn_dists = sorted(m.distance for m in dyn)
+    post_dists = sorted(m.distance for m in post)
+    return {
+        "doc_nodes": n,
+        "doc_stats": tree_stats(document).describe(),
+        "query_nodes": query_size,
+        "k": k,
+        "prune_threshold": prune_threshold(k, query_size, UnitCostModel()),
+        "dynamic": {
+            "seconds": round(dyn_elapsed, 6),
+            "nodes_per_sec": round(n / dyn_elapsed) if dyn_elapsed else None,
+        },
+        "postorder": {
+            "seconds": round(post_elapsed, 6),
+            "nodes_per_sec": round(n / post_elapsed) if post_elapsed else None,
+            "dequeued": stats.dequeued,
+            "peak_ring_buffer": stats.peak_buffered,
+            "ring_capacity": stats.ring_capacity,
+            "candidates_evaluated": stats.candidates_evaluated,
+            "subtrees_scored": stats.subtrees_scored,
+            "pruned_large": stats.pruned_large,
+        },
+        "speedup_postorder_over_dynamic": (
+            round(dyn_elapsed / post_elapsed, 3) if post_elapsed else None
+        ),
+        "rankings_agree": dyn_dists == post_dists,
+        "top_distances": post_dists,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="200,1000,5000",
+        help="comma-separated document sizes (default 200,1000,5000)",
+    )
+    parser.add_argument("--query-size", type=int, default=6)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                             "BENCH_tasm.json"),
+        help="output JSON path (default: repo-root BENCH_tasm.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for CI (overrides --sizes/--k)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes, k, query_size = [60], 3, 4
+    else:
+        sizes = [int(s) for s in args.sizes.split(",") if s]
+        k, query_size = args.k, args.query_size
+
+    results = []
+    for n in sizes:
+        row = bench_one(n, query_size, k, args.seed)
+        results.append(row)
+        print(
+            f"n={n:>7}  dynamic {row['dynamic']['nodes_per_sec']:>9} n/s  "
+            f"postorder {row['postorder']['nodes_per_sec']:>9} n/s  "
+            f"peak_ring={row['postorder']['peak_ring_buffer']}"
+            f"/{row['postorder']['ring_capacity']}  "
+            f"agree={row['rankings_agree']}"
+        )
+
+    payload = {
+        "bench": "tasm",
+        "query_size": query_size,
+        "k": k,
+        "seed": args.seed,
+        "cost_model": "unit",
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0 if all(r["rankings_agree"] for r in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

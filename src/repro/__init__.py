@@ -1,0 +1,69 @@
+"""Reproduction of *TASM: Top-k Approximate Subtree Matching*
+(Augsten, Barbosa, Böhlen, Palpanas — ICDE 2010).
+
+Layer map:
+
+* :mod:`repro.trees`     — ordered labeled trees (postorder arrays).
+* :mod:`repro.postorder` — postorder queues + interval-encoded store.
+* :mod:`repro.xmlio`     — XML <-> tree conversion, streaming parse.
+* :mod:`repro.distance`  — cost models + Zhang–Shasha tree edit
+  distance (:func:`ted`, :func:`prefix_distance`).
+* :mod:`repro.tasm`      — the matching engine: :func:`tasm_dynamic`
+  (Algorithm 1) and :func:`tasm_postorder` (Algorithms 2/3).
+
+Quickstart::
+
+    from repro import Tree, tasm_postorder
+    query = Tree.from_bracket("{article{title}{year}}")
+    doc = Tree.from_bracket("{dblp{article{title}{year}}{book{title}}}")
+    for match in tasm_postorder(query, doc, k=2):
+        print(match.distance, match.subtree.to_bracket())
+"""
+
+from .distance import UnitCostModel, WeightedCostModel, prefix_distance, ted
+from .errors import (
+    BracketSyntaxError,
+    CostModelError,
+    PostorderQueueError,
+    RankingError,
+    ReproError,
+    TreeStructureError,
+    XmlFormatError,
+)
+from .postorder import IntervalStore, PostorderQueue
+from .tasm import (
+    Match,
+    PostorderStats,
+    TopKHeap,
+    prune_threshold,
+    tasm_dynamic,
+    tasm_postorder,
+)
+from .trees import Node, Tree
+
+__version__ = "0.2.0"
+
+__all__ = [
+    "__version__",
+    "Node",
+    "Tree",
+    "PostorderQueue",
+    "IntervalStore",
+    "UnitCostModel",
+    "WeightedCostModel",
+    "ted",
+    "prefix_distance",
+    "Match",
+    "TopKHeap",
+    "PostorderStats",
+    "prune_threshold",
+    "tasm_dynamic",
+    "tasm_postorder",
+    "ReproError",
+    "TreeStructureError",
+    "BracketSyntaxError",
+    "PostorderQueueError",
+    "XmlFormatError",
+    "CostModelError",
+    "RankingError",
+]

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Two subcommands mirror the library's two entry points:
+
+* ``repro ted A B`` — tree edit distance between two trees,
+* ``repro tasm QUERY DOCUMENT -k K`` — top-k approximate subtree
+  matching, streaming the document when it is an XML file.
+
+Tree arguments are bracket notation (``{a{b}{c}}``) given inline, or a
+path to a ``.xml`` / ``.bracket`` file; ``--format`` overrides the
+autodetection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .distance import UnitCostModel, WeightedCostModel, ted
+from .errors import CostModelError, ReproError
+from .postorder.queue import PostorderQueue
+from .tasm import PostorderStats, tasm_dynamic, tasm_postorder
+from .trees.tree import Tree
+
+__all__ = ["main"]
+
+
+def _detect_format(arg: str, forced: str) -> str:
+    if forced != "auto":
+        return forced
+    if arg.lstrip().startswith("{"):
+        return "bracket"
+    if arg.lower().endswith(".xml"):
+        return "xml"
+    return "bracket-file"
+
+
+def _load_tree(arg: str, forced: str) -> Tree:
+    fmt = _detect_format(arg, forced)
+    if fmt == "bracket":
+        return Tree.from_bracket(arg)
+    if fmt == "xml":
+        from .xmlio.parse import tree_from_xml_file
+
+        return tree_from_xml_file(arg)
+    with open(arg, "r", encoding="utf-8") as fh:
+        return Tree.from_bracket(fh.read())
+
+
+def _document_queue(arg: str, forced: str) -> PostorderQueue:
+    """Document as a postorder queue, streaming XML files."""
+    fmt = _detect_format(arg, forced)
+    if fmt == "xml":
+        return PostorderQueue.from_xml_file(arg)
+    return PostorderQueue.from_tree(_load_tree(arg, forced))
+
+
+def _cost_model(spec: str):
+    if spec == "unit":
+        return UnitCostModel()
+    try:
+        rename, delete, insert = (float(part) for part in spec.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cost must be 'unit' or 'REN,DEL,INS', got {spec!r}"
+        )
+    try:
+        return WeightedCostModel(rename, delete, insert)
+    except CostModelError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TASM: top-k approximate subtree matching (ICDE 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ted_p = sub.add_parser("ted", help="tree edit distance of two trees")
+    ted_p.add_argument("tree1", help="bracket string or file path")
+    ted_p.add_argument("tree2", help="bracket string or file path")
+
+    tasm_p = sub.add_parser("tasm", help="top-k approximate subtree matching")
+    tasm_p.add_argument("query", help="query tree (bracket string or file)")
+    tasm_p.add_argument("document", help="document tree (bracket string or file)")
+    tasm_p.add_argument("-k", type=int, default=5, help="ranking size (default 5)")
+    tasm_p.add_argument(
+        "--algorithm",
+        choices=["postorder", "dynamic"],
+        default="postorder",
+        help="TASM variant (default: postorder, the streaming algorithm)",
+    )
+    tasm_p.add_argument(
+        "--json", action="store_true", help="emit the ranking as JSON"
+    )
+    tasm_p.add_argument(
+        "--stats", action="store_true", help="print run statistics to stderr"
+    )
+
+    for p in (ted_p, tasm_p):
+        p.add_argument(
+            "--format",
+            choices=["auto", "bracket", "bracket-file", "xml"],
+            default="auto",
+            help="input format (default: autodetect)",
+        )
+        p.add_argument(
+            "--cost",
+            type=_cost_model,
+            default=UnitCostModel(),
+            metavar="unit|REN,DEL,INS",
+            help="cost model (default: unit)",
+        )
+    return parser
+
+
+def _run_ted(args: argparse.Namespace) -> int:
+    t1 = _load_tree(args.tree1, args.format)
+    t2 = _load_tree(args.tree2, args.format)
+    distance = ted(t1, t2, args.cost)
+    print(int(distance) if distance == int(distance) else distance)
+    return 0
+
+
+def _run_tasm(args: argparse.Namespace) -> int:
+    query = _load_tree(args.query, args.format)
+    if args.algorithm == "dynamic":
+        document = _load_tree(args.document, args.format)
+        matches = tasm_dynamic(query, document, args.k, args.cost)
+        stats = None
+    else:
+        stats = PostorderStats()
+        queue = _document_queue(args.document, args.format)
+        matches = tasm_postorder(query, queue, args.k, args.cost, stats=stats)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "rank": rank,
+                        "distance": m.distance,
+                        "root": m.root,
+                        "subtree": m.subtree.to_bracket(),
+                    }
+                    for rank, m in enumerate(matches, 1)
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for rank, m in enumerate(matches, 1):
+            print(f"{rank}\t{m.distance:g}\t@{m.root}\t{m.subtree.to_bracket()}")
+    if args.stats:
+        if stats is None:
+            print(
+                "repro: note: --stats only applies to --algorithm postorder",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"dequeued={stats.dequeued} peak_buffered={stats.peak_buffered} "
+                f"ring_capacity={stats.ring_capacity} "
+                f"candidates={stats.candidates_evaluated} "
+                f"scored={stats.subtrees_scored}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "ted":
+            return _run_ted(args)
+        return _run_tasm(args)
+    except (ReproError, OSError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

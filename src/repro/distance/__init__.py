@@ -1,0 +1,27 @@
+"""Tree edit distance kernels (paper Section III).
+
+* :mod:`~repro.distance.cost` — pluggable cost models (Definition 1
+  context): the paper requires every delete/insert operation to cost at
+  least 1 so that distances lower-bound structural difference.
+* :mod:`~repro.distance.ted` — the Zhang–Shasha tree edit distance over
+  the keyroot decomposition, plus :func:`prefix_distance`, the
+  all-subtrees distance array TASM-dynamic is built on.
+"""
+
+from .cost import (
+    CostModel,
+    UnitCostModel,
+    WeightedCostModel,
+    validate_cost_model,
+)
+from .ted import prefix_distance, ted, ted_matrix
+
+__all__ = [
+    "CostModel",
+    "UnitCostModel",
+    "WeightedCostModel",
+    "validate_cost_model",
+    "ted",
+    "ted_matrix",
+    "prefix_distance",
+]

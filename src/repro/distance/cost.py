@@ -1,0 +1,143 @@
+"""Cost models for tree edit operations.
+
+The tree edit distance is parameterised by a cost model assigning a
+non-negative cost to every rename and a positive cost to every delete
+and insert.  Following the paper, delete/insert costs must satisfy
+``cst(x) >= 1``: this is what makes the size lower bound
+
+    ``ted(Q, T) >= min_indel * abs(|T| - |Q|)``
+
+valid, which both pruning rules of TASM-postorder rely on.  A model
+additionally publishes two scalar bounds used by the pruning math:
+
+* ``min_indel`` — a lower bound on every delete/insert cost (>= 1),
+* ``max_cost``  — an upper bound on every single-operation cost.
+
+Violations raise :class:`~repro.errors.CostModelError`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..errors import CostModelError
+
+__all__ = [
+    "CostModel",
+    "UnitCostModel",
+    "WeightedCostModel",
+    "validate_cost_model",
+]
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Protocol every cost model must implement."""
+
+    #: Lower bound on all delete/insert costs; must be >= 1.
+    min_indel: float
+    #: Upper bound on the cost of any single edit operation.
+    max_cost: float
+
+    def rename(self, a, b) -> float:
+        """Cost of renaming label ``a`` to label ``b`` (0 for ``a == b``)."""
+        ...
+
+    def delete(self, label) -> float:
+        """Cost of deleting a node labeled ``label``."""
+        ...
+
+    def insert(self, label) -> float:
+        """Cost of inserting a node labeled ``label``."""
+        ...
+
+
+class UnitCostModel:
+    """The paper's default: every operation costs 1, renames to the
+    same label cost 0."""
+
+    __slots__ = ()
+
+    min_indel = 1.0
+    max_cost = 1.0
+
+    def rename(self, a, b) -> float:
+        return 0.0 if a == b else 1.0
+
+    def delete(self, label) -> float:
+        return 1.0
+
+    def insert(self, label) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "UnitCostModel()"
+
+
+class WeightedCostModel:
+    """Label-independent weighted costs.
+
+    Parameters are the rename, delete, and insert costs.  The paper's
+    constraint ``cst(x) >= 1`` applies to delete and insert; the rename
+    cost must be non-negative.
+    """
+
+    __slots__ = ("rename_cost", "delete_cost", "insert_cost", "min_indel", "max_cost")
+
+    def __init__(
+        self,
+        rename_cost: float = 1.0,
+        delete_cost: float = 1.0,
+        insert_cost: float = 1.0,
+    ):
+        if rename_cost < 0:
+            raise CostModelError(f"rename cost must be >= 0, got {rename_cost}")
+        if delete_cost < 1:
+            raise CostModelError(f"delete cost must be >= 1, got {delete_cost}")
+        if insert_cost < 1:
+            raise CostModelError(f"insert cost must be >= 1, got {insert_cost}")
+        self.rename_cost = float(rename_cost)
+        self.delete_cost = float(delete_cost)
+        self.insert_cost = float(insert_cost)
+        self.min_indel = min(self.delete_cost, self.insert_cost)
+        self.max_cost = max(self.rename_cost, self.delete_cost, self.insert_cost)
+
+    def rename(self, a, b) -> float:
+        return 0.0 if a == b else self.rename_cost
+
+    def delete(self, label) -> float:
+        return self.delete_cost
+
+    def insert(self, label) -> float:
+        return self.insert_cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WeightedCostModel(rename={self.rename_cost}, "
+            f"delete={self.delete_cost}, insert={self.insert_cost})"
+        )
+
+
+def validate_cost_model(model: CostModel) -> CostModel:
+    """Check that ``model`` satisfies the paper's requirements.
+
+    Verifies the protocol shape and the published bounds; raises
+    :class:`CostModelError` on the first violation.  Returns the model
+    so callers can validate inline.
+    """
+    for attr in ("rename", "delete", "insert"):
+        if not callable(getattr(model, attr, None)):
+            raise CostModelError(f"cost model lacks a callable {attr!r}")
+    min_indel = getattr(model, "min_indel", None)
+    max_cost = getattr(model, "max_cost", None)
+    if min_indel is None or max_cost is None:
+        raise CostModelError("cost model must publish min_indel and max_cost")
+    if min_indel < 1:
+        raise CostModelError(
+            f"min_indel must be >= 1 (paper: cst(x) >= 1), got {min_indel}"
+        )
+    if max_cost < min_indel:
+        raise CostModelError(
+            f"max_cost ({max_cost}) must be >= min_indel ({min_indel})"
+        )
+    return model

@@ -1,0 +1,126 @@
+"""Zhang–Shasha tree edit distance over the keyroot decomposition.
+
+The classic dynamic program [Zhang & Shasha, SIAM J. Comput. 1989] as
+the paper uses it (Section III): for every pair of *keyroots* — roots of
+relevant subtrees, :meth:`repro.trees.tree.Tree.keyroots` — a forest
+distance table is filled left-to-right over the postorder prefixes of
+the two relevant subtrees.  Whenever both prefixes happen to be complete
+subtrees the cell is also the *tree* distance of that subtree pair, so a
+single run fills ``td[i][j] = ted(T1_i, T2_j)`` for **all** node pairs.
+
+:func:`prefix_distance` exploits exactly this: the row ``td[root(Q)][*]``
+holds the edit distance between the whole query and every subtree of the
+document, which is the quantity TASM ranks (Algorithm 1, *prefix array*).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..trees.tree import Tree
+from .cost import CostModel, UnitCostModel, validate_cost_model
+
+__all__ = ["ted", "ted_matrix", "prefix_distance"]
+
+
+def _forest_distances(
+    t1: Tree,
+    t2: Tree,
+    i: int,
+    j: int,
+    td: List[List[float]],
+    cost: CostModel,
+) -> None:
+    """Fill ``td`` for the keyroot pair ``(i, j)``.
+
+    Implements the forest-distance recurrence over the postorder
+    prefixes of the relevant subtrees rooted at ``i`` (in ``t1``) and
+    ``j`` (in ``t2``).
+    """
+    lmls1, lmls2 = t1.lmls, t2.lmls
+    labels1, labels2 = t1.labels, t2.labels
+    li, lj = lmls1[i], lmls2[j]
+    m, n = i - li + 1, j - lj + 1
+
+    # fd[di][dj] = distance between the first di nodes of T1_i's
+    # relevant subtree and the first dj nodes of T2_j's.
+    fd: List[List[float]] = [[0.0] * (n + 1) for _ in range(m + 1)]
+    for di in range(1, m + 1):
+        fd[di][0] = fd[di - 1][0] + cost.delete(labels1[li + di - 1])
+    row0 = fd[0]
+    for dj in range(1, n + 1):
+        row0[dj] = row0[dj - 1] + cost.insert(labels2[lj + dj - 1])
+
+    for di in range(1, m + 1):
+        n1 = li + di - 1
+        lab1 = labels1[n1]
+        tree1_complete = lmls1[n1] == li
+        off1 = lmls1[n1] - li  # prefix length just before T1_n1 starts
+        prev_row = fd[di - 1]
+        row = fd[di]
+        td_n1 = td[n1]
+        for dj in range(1, n + 1):
+            n2 = lj + dj - 1
+            lab2 = labels2[n2]
+            del_cost = prev_row[dj] + cost.delete(lab1)
+            ins_cost = row[dj - 1] + cost.insert(lab2)
+            if tree1_complete and lmls2[n2] == lj:
+                # Both prefixes are complete subtrees: the match case is
+                # a rename of the two roots, and the cell doubles as the
+                # tree distance td[n1][n2].
+                best = prev_row[dj - 1] + cost.rename(lab1, lab2)
+                if del_cost < best:
+                    best = del_cost
+                if ins_cost < best:
+                    best = ins_cost
+                row[dj] = best
+                td_n1[n2] = best
+            else:
+                off2 = lmls2[n2] - lj
+                best = fd[off1][off2] + td_n1[n2]
+                if del_cost < best:
+                    best = del_cost
+                if ins_cost < best:
+                    best = ins_cost
+                row[dj] = best
+
+
+def ted_matrix(
+    t1: Tree, t2: Tree, cost: Optional[CostModel] = None
+) -> List[List[float]]:
+    """All-pairs subtree distances ``td[i][j] = ted(T1_i, T2_j)``.
+
+    ``td`` is ``(|T1|+1) x (|T2|+1)`` with the usual 1-based padding.
+    Runs the Zhang–Shasha loop over all keyroot pairs; every node pair
+    is covered because each node belongs to exactly one keyroot's
+    relevant subtree with the same leftmost leaf.
+    """
+    if cost is None:
+        cost = UnitCostModel()
+    validate_cost_model(cost)
+    td: List[List[float]] = [
+        [0.0] * (len(t2) + 1) for _ in range(len(t1) + 1)
+    ]
+    for i in t1.keyroots():
+        for j in t2.keyroots():
+            _forest_distances(t1, t2, i, j, td, cost)
+    return td
+
+
+def ted(t1: Tree, t2: Tree, cost: Optional[CostModel] = None) -> float:
+    """Tree edit distance between ``t1`` and ``t2``."""
+    return ted_matrix(t1, t2, cost)[len(t1)][len(t2)]
+
+
+def prefix_distance(
+    query: Tree, tree: Tree, cost: Optional[CostModel] = None
+) -> List[float]:
+    """Distances between ``query`` and **every** subtree of ``tree``.
+
+    Returns ``dist`` with ``dist[j] = ted(query, T_j)`` for each
+    postorder id ``j`` of ``tree`` (``dist[0]`` is padding).  This is
+    the paper's prefix-array byproduct: one Zhang–Shasha run instead of
+    ``|tree|`` independent distance computations.
+    """
+    td = ted_matrix(query, tree, cost)
+    return td[len(query)]

@@ -1,0 +1,12 @@
+"""Postorder queues and storage backends (paper Sections IV-B, VII).
+
+* :class:`~repro.postorder.queue.PostorderQueue` — the single-pass
+  ``(label, size)`` stream TASM-postorder consumes.
+* :class:`~repro.postorder.interval.IntervalStore` — interval-encoded
+  relational XML store whose postorder scan is one SQL query.
+"""
+
+from .interval import IntervalStore
+from .queue import PostorderQueue
+
+__all__ = ["PostorderQueue", "IntervalStore"]

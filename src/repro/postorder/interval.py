@@ -81,10 +81,14 @@ class IntervalStore:
         """Store ``tree`` under ``name``; returns the ``doc_id``.
 
         Start/end positions are derived from the postorder arrays
-        without an explicit traversal: within the counter sequence of
-        2n tag events, node ``i`` closes at event
-        ``end(i) = i + rank`` where ``rank`` counts opening events up to
-        it; computed here with an explicit stack for clarity.
+        without an explicit traversal via the closed form
+        ``end(i) = 2*i + depth(i)`` (see :meth:`_interval_rows`).
+
+        The ``node.label`` column is TEXT: labels are stored as
+        ``str(label)``, so non-string labels come back as strings and
+        would no longer compare equal to the originals under a cost
+        model.  XML-derived trees (the intended payload) always carry
+        string labels.
         """
         rows = list(self._interval_rows(tree))
         cur = self._conn.cursor()
@@ -105,49 +109,25 @@ class IntervalStore:
     def _interval_rows(tree: Tree) -> Iterator[Tuple[int, int, object]]:
         """Yield ``(start, end, label)`` per node in postorder.
 
-        In Dietz numbering over 2n events, the end position of postorder
-        node ``i`` is ``end(i) = i + d(i)`` where ``d(i)`` is the number
-        of opening events seen up to and including node i's own opening;
-        equivalently: ``start(i) = end(lml(i)) - 1`` for leaves upward.
-        We compute both directly: ``start(i) = 2*lml(i) - 1 - open_gap``
-        is subtle, so we instead simulate the event sequence once.
+        In Dietz numbering over the 2n tag events, the closing event of
+        postorder node ``i`` is preceded by exactly ``i - 1`` closing
+        events (closes happen in postorder) and ``i + depth(i)`` opening
+        events (the ``i`` nodes at postorder positions ``<= i`` plus the
+        ``depth(i)`` proper ancestors of ``i``, all of which are open).
+        Hence ``end(i) = 2*i + depth(i)``, and since a subtree occupies
+        ``2 * size(i)`` consecutive events,
+        ``start(i) = end(i) - 2*size(i) + 1``.
         """
         n = len(tree)
-        # end event position of node i: opening events happen along the
-        # leftmost path before a leaf closes.  One linear simulation:
-        # walk postorder; maintain a counter of emitted events.
-        counter = 0
-        starts = [0] * (n + 1)
+        parents = tree.parents
+        # Parents have larger postorder ids than their children, so a
+        # single descending pass fills every depth.
+        depths = [0] * (n + 1)
+        for i in range(n - 1, 0, -1):
+            depths[i] = depths[parents[i]] + 1
         for i in range(1, n + 1):
-            if tree.is_leaf(i):
-                # Opening events for the whole leftmost chain that
-                # starts at this leaf: every ancestor whose lml is i
-                # opens right before i opens, outermost first.
-                chain = 1
-                p = tree.parent(i)
-                j = i
-                while p and tree.lml(p) == tree.lml(i) and tree.children(p)[0] == j:
-                    chain += 1
-                    j = p
-                    p = tree.parent(p)
-                # Assign start positions outermost-first.
-                node = j
-                for off in range(chain):
-                    starts[node] = counter + 1 + off
-                    if off < chain - 1:
-                        node = tree.children(node)[0]
-                counter += chain
-            else:
-                counter += 1  # closing event handled below
-            # The closing event of node i:
-            # (count opening events lazily; see loop below)
-        # Second pass: end positions follow from postorder + starts:
-        # the closing events occur in postorder; event positions are
-        # interleaved.  end(i) = i + (number of opens with start <= that
-        # point).  Simpler: end(i) = starts[i] + 2 * (size - 1) + 1.
-        for i in range(1, n + 1):
-            size = tree.size(i)
-            yield starts[i], starts[i] + 2 * size - 1, tree.label(i)
+            end = 2 * i + depths[i]
+            yield end - 2 * tree.size(i) + 1, end, tree.label(i)
 
     # ------------------------------------------------------------------
     # Reading

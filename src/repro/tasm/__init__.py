@@ -1,0 +1,25 @@
+"""Top-k Approximate Subtree Matching (the paper's contribution).
+
+* :mod:`~repro.tasm.heap` — :class:`TopKHeap` ranking and :class:`Match`.
+* :mod:`~repro.tasm.ring` — the prefix ring buffer of Algorithm 3.
+* :mod:`~repro.tasm.dynamic` — :func:`tasm_dynamic` (Algorithm 1),
+  memory O(|Q| * |T|).
+* :mod:`~repro.tasm.postorder` — :func:`tasm_postorder` (Algorithms
+  2/3), one pass over a postorder queue with memory independent of the
+  document size.
+"""
+
+from .dynamic import tasm_dynamic
+from .heap import Match, TopKHeap
+from .postorder import PostorderStats, prune_threshold, tasm_postorder
+from .ring import PrefixRingBuffer
+
+__all__ = [
+    "Match",
+    "TopKHeap",
+    "PrefixRingBuffer",
+    "PostorderStats",
+    "prune_threshold",
+    "tasm_dynamic",
+    "tasm_postorder",
+]

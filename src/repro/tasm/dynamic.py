@@ -1,0 +1,43 @@
+"""TASM-dynamic (paper Algorithm 1).
+
+The baseline algorithm: materialise the document, run one Zhang–Shasha
+pass of the query against it, and read the edit distance between the
+query and **every** document subtree off the prefix array
+(:func:`repro.distance.ted.prefix_distance`).  A bounded max-heap keeps
+the best ``k``.  Memory is O(|Q| * |T|) — the reference point that
+TASM-postorder's document-independent memory is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
+from ..distance.ted import prefix_distance
+from ..trees.tree import Tree
+from .heap import Match, TopKHeap
+
+__all__ = ["tasm_dynamic"]
+
+
+def tasm_dynamic(
+    query: Tree,
+    document: Tree,
+    k: int,
+    cost: Optional[CostModel] = None,
+) -> List[Match]:
+    """Top-``k`` approximate subtree matches of ``query`` in ``document``.
+
+    Returns the ranking best-first.  Fewer than ``k`` matches are
+    returned only when the document has fewer than ``k`` subtrees.
+    """
+    if cost is None:
+        cost = UnitCostModel()
+    validate_cost_model(cost)
+    heap = TopKHeap(k)
+    distances = prefix_distance(query, document, cost)
+    for j in document.node_ids():
+        d = distances[j]
+        if heap.accepts(d):
+            heap.push(Match(distance=d, root=j, source=document, source_root=j))
+    return heap.ranking()

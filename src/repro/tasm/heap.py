@@ -1,0 +1,110 @@
+"""Top-k ranking heap (paper Section II, Definition 3 context).
+
+TASM maintains the *k best matches seen so far* in a max-heap keyed by
+edit distance: the root is the worst match in the ranking, so a new
+candidate either beats it (replace) or is discarded in O(log k).  The
+heap's :attr:`~TopKHeap.max_distance` doubles as the pruning threshold
+of TASM-postorder — once the ranking is full, any subtree whose distance
+lower bound exceeds it can be skipped.
+
+Misuse (``k <= 0``, reading the max of an empty ranking, negative
+distances) raises :class:`~repro.errors.RankingError`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import RankingError
+from ..trees.tree import Tree
+
+__all__ = ["Match", "TopKHeap"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One ranked subtree match.
+
+    ``root`` is the postorder identifier of the subtree root within the
+    *document* (for streamed documents: the global dequeue position,
+    which equals the document postorder id).  The matched subtree itself
+    is sliced lazily from ``source`` to keep heap entries cheap.
+    """
+
+    distance: float
+    root: int
+    source: Tree = field(repr=False, compare=False)
+    source_root: int = field(repr=False, compare=False)
+
+    @property
+    def subtree(self) -> Tree:
+        """The matched subtree as a standalone :class:`Tree`."""
+        return self.source.subtree(self.source_root)
+
+    @property
+    def label(self):
+        """Label of the matched subtree's root."""
+        return self.source.label(self.source_root)
+
+
+class TopKHeap:
+    """Bounded max-heap of the ``k`` smallest-distance matches."""
+
+    __slots__ = ("k", "_heap", "_pushed")
+
+    def __init__(self, k: int):
+        if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+            raise RankingError(f"k must be a positive integer, got {k!r}")
+        self.k = k
+        # Entries are (-distance, -order, match): a max-heap by distance
+        # via negation; the unique order stamp breaks distance ties
+        # (preferring earlier pushes) without ever comparing matches.
+        self._heap: List[Tuple[float, int, Match]] = []
+        self._pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """True once the ranking holds ``k`` matches."""
+        return len(self._heap) >= self.k
+
+    @property
+    def max_distance(self) -> float:
+        """Distance of the worst match in the ranking (pruning bound)."""
+        if not self._heap:
+            raise RankingError("max_distance of an empty ranking")
+        return -self._heap[0][0]
+
+    def accepts(self, distance: float) -> bool:
+        """Would a match at ``distance`` enter the ranking right now?"""
+        if distance < 0:
+            raise RankingError(f"distances must be >= 0, got {distance}")
+        return not self.full or distance < self.max_distance
+
+    def push(self, match: Match) -> bool:
+        """Offer ``match`` to the ranking; returns True if it entered.
+
+        When the ranking is full the worst match is evicted only for a
+        strictly smaller distance (ties keep the incumbent, as the paper
+        allows any consistent tie-breaking).
+        """
+        if not self.accepts(match.distance):
+            return False
+        self._pushed += 1
+        entry = (-match.distance, -self._pushed, match)
+        if self.full:
+            heapq.heapreplace(self._heap, entry)
+        else:
+            heapq.heappush(self._heap, entry)
+        return True
+
+    def ranking(self) -> List[Match]:
+        """The matches sorted best-first (distance, then push order)."""
+        return [
+            entry[2]
+            for entry in sorted(self._heap, key=lambda e: (-e[0], -e[1]))
+        ]

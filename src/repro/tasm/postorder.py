@@ -1,0 +1,184 @@
+"""TASM-postorder (paper Algorithms 2 and 3).
+
+A single pass over a postorder queue that computes the same top-``k``
+ranking as :func:`repro.tasm.dynamic.tasm_dynamic` while buffering only
+O(k + |Q|) nodes — memory is independent of the document size, which is
+the paper's headline result.
+
+Two pruning rules bound the buffered prefix:
+
+* **static** — no subtree larger than :func:`prune_threshold` can be in
+  the final ranking: the first ``k`` postorder nodes of the document
+  are roots of subtrees of size <= ``k`` each, so the worst ranked
+  distance is at most ``max_cost * (k + |Q| - 1)``, while a subtree of
+  size ``s`` costs at least ``min_indel * (s - |Q|)`` (every unmapped
+  document node must be deleted).  For unit costs the threshold is the paper's
+  ``k + 2|Q| - 1``.
+* **dynamic** — once the heap holds ``k`` matches, the same size lower
+  bound is compared against the *actual* worst ranked distance, which
+  only shrinks the threshold further.
+
+Nodes stream through a :class:`~repro.tasm.ring.PrefixRingBuffer` of
+capacity ``threshold + 1``.  When the buffer is about to overflow, the
+maximal candidate subtree containing the oldest entry is — provably —
+already fully buffered, so it can be evaluated (one
+:func:`~repro.distance.ted.prefix_distance` run scores all of its
+subtrees at once) and retired.  A dequeued node larger than the
+threshold can never be part of a candidate, and neither can any of its
+ancestors, so its arrival retires the whole buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
+
+from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
+from ..distance.ted import prefix_distance
+from ..postorder.queue import PostorderQueue
+from ..trees.tree import Tree
+from .heap import Match, TopKHeap
+from .ring import PrefixRingBuffer
+
+__all__ = ["PostorderStats", "prune_threshold", "tasm_postorder"]
+
+
+def prune_threshold(k: int, query_size: int, cost: CostModel) -> int:
+    """Largest subtree size that can appear in the top-``k`` ranking.
+
+    ``query_size + floor(max_cost * (k + query_size - 1) / min_indel)``;
+    for the unit cost model this is the paper's ``k + 2|Q| - 1``.
+    """
+    return query_size + int(
+        cost.max_cost * (k + query_size - 1) // cost.min_indel
+    )
+
+
+@dataclass
+class PostorderStats:
+    """Instrumentation of one TASM-postorder run."""
+
+    dequeued: int = 0
+    ring_capacity: int = 0
+    peak_buffered: int = 0
+    candidates_evaluated: int = 0
+    subtrees_scored: int = 0
+    pruned_large: int = 0
+    pruned_buffered: int = 0
+
+
+QueueLike = Union[PostorderQueue, Tree, Iterable]
+
+
+def _as_queue(source: QueueLike) -> PostorderQueue:
+    if isinstance(source, PostorderQueue):
+        return source
+    if isinstance(source, Tree):
+        return PostorderQueue.from_tree(source)
+    return PostorderQueue.from_pairs(source)
+
+
+def tasm_postorder(
+    query: Tree,
+    queue: QueueLike,
+    k: int,
+    cost: Optional[CostModel] = None,
+    stats: Optional[PostorderStats] = None,
+) -> List[Match]:
+    """Top-``k`` approximate subtree matches from a postorder stream.
+
+    ``queue`` may be a :class:`PostorderQueue` (in-memory, streamed XML,
+    or an :meth:`IntervalStore.postorder_queue` scan), a :class:`Tree`,
+    or a plain iterable of ``(label, size)`` pairs.  Returns the ranking
+    best-first — the same distance multiset as :func:`tasm_dynamic`.
+    """
+    if cost is None:
+        cost = UnitCostModel()
+    validate_cost_model(cost)
+    q = _as_queue(queue)
+    heap = TopKHeap(k)  # validates k
+    q_size = len(query)
+    static_threshold = prune_threshold(k, q_size, cost)
+    buffer = PrefixRingBuffer(static_threshold + 1)
+    if stats is not None:
+        stats.ring_capacity = buffer.capacity
+
+    def threshold() -> int:
+        # The dynamic bound only ever tightens: the heap's max distance
+        # is non-increasing once the ranking is full.
+        if heap.full:
+            dynamic = q_size + int(heap.max_distance // cost.min_indel)
+            if dynamic < static_threshold:
+                return dynamic
+        return static_threshold
+
+    def evaluate(entries: List) -> None:
+        # `entries` is a complete subtree in postorder; one prefix-
+        # distance run scores it and every subtree inside it.
+        candidate = Tree.from_postorder(
+            (label, size) for _, label, size in entries
+        )
+        base = entries[0][0]  # global position of the leftmost leaf
+        distances = prefix_distance(query, candidate, cost)
+        if stats is not None:
+            stats.candidates_evaluated += 1
+            stats.subtrees_scored += len(candidate)
+        for local in candidate.node_ids():
+            d = distances[local]
+            if heap.accepts(d):
+                heap.push(
+                    Match(
+                        distance=d,
+                        root=base + local - 1,
+                        source=candidate,
+                        source_root=local,
+                    )
+                )
+
+    def flush_head() -> None:
+        # Retire the maximal candidate subtree containing the oldest
+        # buffered node.  Laminarity of postorder intervals guarantees
+        # it starts exactly at the head, and the capacity/arrival
+        # arguments guarantee its root is already buffered.
+        limit = threshold()
+        head_pos = buffer[0][0]
+        root_idx = -1
+        for idx in range(len(buffer)):
+            pos, _, size = buffer[idx]
+            if pos - size + 1 <= head_pos and size <= limit:
+                root_idx = idx
+        if root_idx < 0:
+            # The head node's subtree outgrew the (shrunken) dynamic
+            # threshold after it was buffered: prune it unevaluated.
+            buffer.popleft()
+            if stats is not None:
+                stats.pruned_buffered += 1
+            return
+        evaluate([buffer.popleft() for _ in range(root_idx + 1)])
+
+    position = 0
+    while not q.empty:
+        label, size = q.dequeue()
+        position += 1
+        if size > threshold():
+            # Not a candidate — and every node still buffered can never
+            # be inside a *future* candidate (any subtree containing it
+            # also contains this node and is therefore even larger), so
+            # the whole buffer can be retired now.
+            if stats is not None:
+                stats.pruned_large += 1
+            while len(buffer):
+                flush_head()
+            continue
+        buffer.append((position, label, size))
+        if len(buffer) == buffer.capacity:
+            # Buffer spans threshold+1 positions: the maximal candidate
+            # containing the head is fully determined.
+            flush_head()
+    while len(buffer):
+        flush_head()
+
+    if stats is not None:
+        stats.dequeued = q.dequeued
+        stats.peak_buffered = buffer.peak
+    return heap.ranking()

@@ -1,0 +1,72 @@
+"""The prefix ring buffer of TASM-postorder (paper Algorithm 3).
+
+TASM-postorder never materialises the document.  It buffers just enough
+of the postorder stream to decide the fate of every node: a fixed-size
+ring of ``(position, label, size)`` entries whose capacity depends only
+on the query size, ``k``, and the cost model — **not** on the document.
+Entries enter at the tail as pairs are dequeued and leave at the head
+when the maximal candidate subtree containing the head node is known
+and can be evaluated (or pruned).
+
+The buffer records its peak occupancy so experiments can verify the
+paper's memory claim (Section VI-E: memory independent of document
+size).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import RankingError
+
+__all__ = ["PrefixRingBuffer"]
+
+Entry = Tuple[int, object, int]  # (postorder position, label, size)
+
+
+class PrefixRingBuffer:
+    """Fixed-capacity FIFO ring of postorder entries with random access.
+
+    Random access (``buf[i]`` = i-th oldest entry) is what the flush
+    step needs to locate the maximal buffered candidate subtree; a plain
+    deque would make that O(n) per probe.
+    """
+
+    __slots__ = ("capacity", "_slots", "_head", "_count", "peak")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise RankingError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._slots: List = [None] * capacity
+        self._head = 0
+        self._count = 0
+        #: Highest number of simultaneously buffered entries observed.
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, i: int) -> Entry:
+        if not 0 <= i < self._count:
+            raise IndexError(f"ring index {i} out of range (len {self._count})")
+        return self._slots[(self._head + i) % self.capacity]
+
+    def append(self, entry: Entry) -> None:
+        """Add ``entry`` at the tail; the ring must not be full."""
+        if self._count >= self.capacity:
+            raise RankingError("prefix ring buffer overflow")
+        self._slots[(self._head + self._count) % self.capacity] = entry
+        self._count += 1
+        if self._count > self.peak:
+            self.peak = self._count
+
+    def popleft(self) -> Entry:
+        """Remove and return the oldest entry."""
+        if self._count == 0:
+            raise RankingError("popleft from an empty prefix ring buffer")
+        entry = self._slots[self._head]
+        self._slots[self._head] = None  # drop the reference early
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        return entry

@@ -1,0 +1,48 @@
+"""The ``repro`` command line interface."""
+
+import json
+
+from repro.cli import main
+from repro.trees import Tree
+from repro.xmlio import write_xml
+
+
+def test_ted_subcommand(capsys):
+    assert main(["ted", "{f{d{a}{c{b}}}{e}}", "{f{c{d{a}{b}}}{e}}"]) == 0
+    assert capsys.readouterr().out.strip() == "2"
+
+
+def test_ted_with_weighted_costs(capsys):
+    assert main(["ted", "{a{b}}", "{a{c}}", "--cost", "3,2,2"]) == 0
+    assert capsys.readouterr().out.strip() == "3"
+
+
+def test_tasm_subcommand_text(capsys):
+    assert main(["tasm", "{a{b}{c}}", "{x{a{b}{c}}{a{b}{d}}}", "-k", "2"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+    assert lines[0].split("\t") == ["1", "0", "@3", "{a{b}{c}}"]
+
+
+def test_tasm_json_over_xml_document(capsys, tmp_path):
+    doc = Tree.from_bracket("{dblp{article{title}{year}}{book{title}}}")
+    path = str(tmp_path / "doc.xml")
+    write_xml(doc, path)
+    assert main(["tasm", "{article{title}{year}}", path, "-k", "1", "--json"]) == 0
+    ranking = json.loads(capsys.readouterr().out)
+    assert ranking[0]["distance"] == 0
+    assert ranking[0]["subtree"] == "{article{title}{year}}"
+
+
+def test_tasm_dynamic_algorithm_matches(capsys):
+    args = ["tasm", "{a}", "{a{a}{b}}", "-k", "3"]
+    assert main(args + ["--algorithm", "dynamic"]) == 0
+    dynamic_out = capsys.readouterr().out
+    assert main(args + ["--algorithm", "postorder"]) == 0
+    assert capsys.readouterr().out == dynamic_out
+
+
+def test_cli_error_paths(capsys):
+    assert main(["ted", "{a}", "{unbalanced"]) == 1
+    assert "error" in capsys.readouterr().err
+    assert main(["tasm", "{a}", "/nonexistent/file.xml"]) == 1

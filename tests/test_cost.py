@@ -1,0 +1,68 @@
+"""Cost models: the paper's cst(x) >= 1 requirement is enforced."""
+
+import pytest
+
+from repro.distance import (
+    UnitCostModel,
+    WeightedCostModel,
+    validate_cost_model,
+)
+from repro.errors import CostModelError
+
+
+def test_unit_cost_values():
+    cost = UnitCostModel()
+    assert cost.rename("a", "a") == 0
+    assert cost.rename("a", "b") == 1
+    assert cost.delete("a") == 1
+    assert cost.insert("a") == 1
+    assert cost.min_indel == 1
+    assert cost.max_cost == 1
+    validate_cost_model(cost)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"delete_cost": 0.5},
+        {"insert_cost": 0},
+        {"delete_cost": -1},
+        {"rename_cost": -0.1},
+    ],
+)
+def test_invalid_weighted_costs_raise(kwargs):
+    with pytest.raises(CostModelError):
+        WeightedCostModel(**kwargs)
+
+
+def test_weighted_bounds_published():
+    cost = WeightedCostModel(rename_cost=0.5, delete_cost=2, insert_cost=3)
+    assert cost.min_indel == 2
+    assert cost.max_cost == 3
+    validate_cost_model(cost)
+
+
+def test_validate_rejects_sub_unit_indel():
+    class Bad:
+        min_indel = 0.5
+        max_cost = 1.0
+
+        def rename(self, a, b):
+            return 0.5
+
+        def delete(self, label):
+            return 0.5
+
+        def insert(self, label):
+            return 0.5
+
+    with pytest.raises(CostModelError):
+        validate_cost_model(Bad())
+
+
+def test_validate_rejects_missing_protocol():
+    class NotACostModel:
+        pass
+
+    with pytest.raises(CostModelError):
+        validate_cost_model(NotACostModel())

@@ -1,0 +1,97 @@
+"""TopKHeap ranking semantics and the prefix ring buffer."""
+
+import pytest
+
+from repro.errors import RankingError
+from repro.tasm import Match, PrefixRingBuffer, TopKHeap
+from repro.trees import Tree
+
+LEAF = Tree.from_bracket("{x}")
+
+
+def match(distance, root=1):
+    return Match(distance=distance, root=root, source=LEAF, source_root=1)
+
+
+def test_k_must_be_positive():
+    for bad in (0, -1, 2.5, True):
+        with pytest.raises(RankingError):
+            TopKHeap(bad)
+
+
+def test_max_distance_of_empty_ranking_raises():
+    with pytest.raises(RankingError):
+        TopKHeap(3).max_distance
+
+
+def test_negative_distance_rejected():
+    with pytest.raises(RankingError):
+        TopKHeap(3).accepts(-1)
+
+
+def test_push_and_evict():
+    heap = TopKHeap(2)
+    assert heap.push(match(5))
+    assert not heap.full
+    assert heap.push(match(3))
+    assert heap.full
+    assert heap.max_distance == 5
+    # 4 evicts 5
+    assert heap.push(match(4))
+    assert heap.max_distance == 4
+    # 7 is rejected
+    assert not heap.push(match(7))
+    assert [m.distance for m in heap.ranking()] == [3, 4]
+
+
+def test_ties_keep_incumbent():
+    heap = TopKHeap(1)
+    first = match(2, root=1)
+    heap.push(first)
+    assert not heap.push(match(2, root=9))
+    assert heap.ranking() == [first]
+
+
+def test_ranking_sorted_best_first():
+    heap = TopKHeap(5)
+    for d in (4, 1, 3, 0, 2):
+        heap.push(match(d))
+    assert [m.distance for m in heap.ranking()] == [0, 1, 2, 3, 4]
+
+
+def test_match_subtree_slicing():
+    doc = Tree.from_bracket("{a{b{c}}{d}}")
+    m = Match(distance=0, root=2, source=doc, source_root=2)
+    assert m.subtree.to_bracket() == "{b{c}}"
+    assert m.label == "b"
+
+
+def test_ring_buffer_fifo_and_peak():
+    ring = PrefixRingBuffer(3)
+    ring.append((1, "a", 1))
+    ring.append((2, "b", 1))
+    assert len(ring) == 2
+    assert ring[0] == (1, "a", 1)
+    assert ring[1] == (2, "b", 1)
+    assert ring.popleft() == (1, "a", 1)
+    ring.append((3, "c", 1))
+    ring.append((4, "d", 1))  # wraps around
+    assert ring.peak == 3
+    assert [ring[i] for i in range(len(ring))] == [
+        (2, "b", 1),
+        (3, "c", 1),
+        (4, "d", 1),
+    ]
+
+
+def test_ring_buffer_misuse():
+    with pytest.raises(RankingError):
+        PrefixRingBuffer(0)
+    ring = PrefixRingBuffer(1)
+    with pytest.raises(RankingError):
+        ring.popleft()
+    ring.append((1, "a", 1))
+    with pytest.raises(RankingError):
+        ring.append((2, "b", 1))
+    with pytest.raises(IndexError):
+        ring[1]

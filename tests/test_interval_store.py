@@ -1,0 +1,103 @@
+"""IntervalStore: Dietz-numbering properties and SQL round-trips."""
+
+import pytest
+
+from repro.errors import PostorderQueueError
+from repro.postorder import IntervalStore
+from repro.trees import (
+    Tree,
+    caterpillar,
+    left_spine,
+    random_forest_tree,
+    random_tree,
+    star,
+)
+
+
+def dfs_dietz(tree: Tree):
+    """Reference numbering by literally walking the tag-event sequence."""
+    root = tree.to_node()
+    counter = 0
+    starts, ends, order = {}, {}, []
+    stack = [(root, False)]
+    while stack:
+        node, closed = stack.pop()
+        counter += 1
+        if closed:
+            ends[id(node)] = counter
+            order.append(node)
+        else:
+            starts[id(node)] = counter
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+    return [(starts[id(n)], ends[id(n)]) for n in order]
+
+
+SHAPES = [
+    Tree.from_bracket("{a}"),
+    left_spine(15),
+    star(15),
+    caterpillar(4, 3),
+    *(random_tree(n, seed=n) for n in (2, 7, 25, 60)),
+    *(random_forest_tree(n, seed=n) for n in (10, 40)),
+]
+
+
+@pytest.mark.parametrize("tree", SHAPES, ids=range(len(SHAPES)))
+def test_interval_rows_match_direct_dfs_numbering(tree):
+    rows = list(IntervalStore._interval_rows(tree))
+    assert [(s, e) for s, e, _ in rows] == dfs_dietz(tree)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_interval_properties(seed):
+    tree = random_tree(50, seed=seed)
+    rows = list(IntervalStore._interval_rows(tree))
+    intervals = [(s, e) for s, e, _ in rows]
+    n = len(tree)
+    # All 2n event positions are used exactly once.
+    assert sorted(p for se in intervals for p in se) == list(range(1, 2 * n + 1))
+    for i in range(1, n + 1):
+        start, end = intervals[i - 1]
+        # size is recoverable from the interval.
+        assert tree.size(i) == (end - start + 1) // 2
+        # ancestorship == interval containment.
+        ancestors = set(tree.ancestors(i))
+        for j in range(1, n + 1):
+            if j == i:
+                continue
+            s2, e2 = intervals[j - 1]
+            assert (s2 < start and end < e2) == (j in ancestors)
+
+
+def test_store_round_trip_and_postorder_scan():
+    with IntervalStore() as store:
+        for seed in range(5):
+            tree = random_tree(35, seed=seed)
+            doc_id = store.store_tree(f"doc{seed}", tree)
+            assert store.load_tree(doc_id).equals(tree)
+            assert list(store.postorder_pairs(doc_id)) == list(tree.postorder())
+
+
+def test_subtree_of_by_end_position():
+    tree = Tree.from_bracket("{a{b{c}}{d}}")
+    with IntervalStore() as store:
+        doc_id = store.store_tree("t", tree)
+        # Root closes at event 2n (depth 0 ⇒ end = 2n).
+        assert store.subtree_of(doc_id, 2 * len(tree)).equals(tree)
+        # Interior subtree {b{c}}: postorder id 2, depth 1 ⇒ end = 5.
+        inner = store.subtree_of(doc_id, 5)
+        assert inner is not None and inner.to_bracket() == "{b{c}}"
+        assert store.subtree_of(doc_id, 9999) is None
+
+
+def test_documents_listing_and_missing_name():
+    with IntervalStore() as store:
+        tree = random_tree(5, seed=0)
+        store.store_tree("one", tree)
+        docs = store.documents()
+        assert [(name, n) for _, name, n in docs] == [("one", 5)]
+        assert store.doc_id("one") == docs[0][0]
+        with pytest.raises(PostorderQueueError):
+            store.doc_id("missing")

@@ -1,0 +1,80 @@
+"""PostorderQueue: empty/dequeue interleaving and counter bookkeeping."""
+
+import pytest
+
+from repro.errors import PostorderQueueError
+from repro.postorder import PostorderQueue
+from repro.trees import Tree, random_tree
+
+
+def test_dequeue_returns_pairs_in_postorder():
+    tree = Tree.from_bracket("{a{b}{c}}")
+    queue = PostorderQueue.from_tree(tree)
+    assert queue.dequeue() == ("b", 1)
+    assert queue.dequeue() == ("c", 1)
+    assert queue.dequeue() == ("a", 3)
+
+
+def test_empty_peek_does_not_lose_pairs():
+    queue = PostorderQueue.from_pairs([("a", 1), ("b", 2)])
+    # Repeated empty-checks buffer at most one pair and never drop any.
+    assert not queue.empty
+    assert not queue.empty
+    assert queue.dequeue() == ("a", 1)
+    assert queue.dequeued == 1
+    assert not queue.empty
+    assert queue.dequeue() == ("b", 2)
+    assert queue.empty
+    assert queue.empty  # stable after exhaustion
+    assert queue.dequeued == 2
+
+
+def test_dequeue_after_exhaustion_raises_and_state_stays_consistent():
+    queue = PostorderQueue.from_pairs([("a", 1)])
+    assert queue.dequeue() == ("a", 1)
+    with pytest.raises(PostorderQueueError):
+        queue.dequeue()
+    # A failed dequeue neither counts nor un-exhausts the queue.
+    assert queue.dequeued == 1
+    assert queue.empty
+    with pytest.raises(PostorderQueueError):
+        queue.dequeue()
+    assert queue.dequeued == 1
+
+
+def test_dequeue_without_empty_check_first():
+    # dequeue must work even when `empty` was never consulted.
+    queue = PostorderQueue.from_pairs(iter([("x", 1)]))
+    assert queue.dequeue() == ("x", 1)
+    with pytest.raises(PostorderQueueError):
+        queue.dequeue()
+
+
+def test_iteration_drains_and_counts():
+    tree = random_tree(20, seed=4)
+    queue = PostorderQueue.from_tree(tree)
+    pairs = list(queue)
+    assert pairs == list(tree.postorder())
+    assert queue.dequeued == 20
+    assert queue.empty
+
+
+def test_to_tree_round_trip():
+    for seed in range(5):
+        tree = random_tree(30, seed=seed)
+        assert PostorderQueue.from_tree(tree).to_tree().equals(tree)
+
+
+@pytest.mark.parametrize(
+    "pairs",
+    [
+        [],  # empty queue
+        [("a", 2)],  # size exceeds nodes seen
+        [("a", 0)],  # size < 1
+        [("a", 1), ("b", 1)],  # forest, no common root
+        [("a", 1), ("b", 1), ("c", 2), ("d", 2)],  # d's size splits subtree c
+    ],
+)
+def test_malformed_queues_rejected(pairs):
+    with pytest.raises(PostorderQueueError):
+        PostorderQueue.from_pairs(pairs).to_tree()

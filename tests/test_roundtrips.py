@@ -1,0 +1,76 @@
+"""Round-trips: bracket notation, XML (materialised and streamed)."""
+
+import io
+
+import pytest
+
+from repro.errors import BracketSyntaxError, XmlFormatError
+from repro.trees import Tree, random_tree, validate_tree
+from repro.xmlio import (
+    iterparse_postorder,
+    tree_from_xml_file,
+    tree_from_xml_string,
+    write_xml,
+    xml_from_tree,
+)
+
+
+def test_bracket_round_trip_random_trees():
+    for seed in range(10):
+        tree = random_tree(40, seed=seed)
+        validate_tree(tree)
+        again = Tree.from_bracket(tree.to_bracket())
+        assert again.equals(tree)
+
+
+def test_bracket_escapes_round_trip():
+    tree = Tree.from_bracket(r"{a\{b\}{c\\d}}")
+    assert tree.label(tree.root) == "a{b}"
+    assert tree.label(1) == "c\\d"
+    assert Tree.from_bracket(tree.to_bracket()).equals(tree)
+
+
+@pytest.mark.parametrize(
+    "text",
+    ["", "a", "{a", "{a}}", "{a}{b}", "{a} trailing", "{a\\x}"],
+)
+def test_bracket_syntax_errors(text):
+    with pytest.raises(BracketSyntaxError):
+        Tree.from_bracket(text)
+
+
+XML_DOC = (
+    '<dblp><article key="x"><title>TASM</title><year>2010</year></article>'
+    "<book><title>Trees</title></book></dblp>"
+)
+
+
+def test_xml_string_round_trip():
+    tree = tree_from_xml_string(XML_DOC)
+    validate_tree(tree)
+    again = tree_from_xml_string(xml_from_tree(tree))
+    assert again.equals(tree)
+
+
+def test_streamed_xml_equals_materialised(tmp_path):
+    path = str(tmp_path / "doc.xml")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(XML_DOC)
+    materialised = tree_from_xml_string(XML_DOC)
+    streamed_pairs = list(iterparse_postorder(path))
+    assert streamed_pairs == list(materialised.postorder())
+    assert tree_from_xml_file(path).equals(materialised)
+
+
+def test_write_xml_round_trip(tmp_path):
+    tree = random_tree(30, seed=2, labels=("a", "b", "c"))
+    path = str(tmp_path / "out.xml")
+    write_xml(tree, path)
+    assert tree_from_xml_file(path).equals(tree)
+
+
+def test_malformed_xml_raises():
+    with pytest.raises(XmlFormatError):
+        tree_from_xml_string("<a><b></a>")
+    with pytest.raises(XmlFormatError):
+        list(iterparse_postorder(io.StringIO("<a><b></a>")))

@@ -1,0 +1,162 @@
+"""TASM: dynamic vs postorder equivalence and the memory bound.
+
+The acceptance criterion of the engine: ``tasm_postorder`` returns the
+same top-k distance multiset as ``tasm_dynamic`` on randomized
+(query, document) pairs for each of the three postorder-queue backends,
+and its buffered-node peak depends on ``k`` and ``|Q|`` only.
+"""
+
+import random
+
+import pytest
+
+from repro.distance import UnitCostModel, WeightedCostModel
+from repro.errors import RankingError
+from repro.postorder import IntervalStore, PostorderQueue
+from repro.tasm import (
+    PostorderStats,
+    prune_threshold,
+    tasm_dynamic,
+    tasm_postorder,
+)
+from repro.trees import Tree, caterpillar, left_spine, random_tree, star
+from repro.xmlio import write_xml
+
+N_PAIRS = 50
+
+
+def _random_pairs(base_seed):
+    rng = random.Random(base_seed)
+    for _ in range(N_PAIRS):
+        doc = random_tree(rng.randint(1, 60), seed=rng.randrange(10**6))
+        query = random_tree(rng.randint(1, 8), seed=rng.randrange(10**6))
+        k = rng.choice([1, 2, 3, 5, 8])
+        yield query, doc, k
+
+
+def _queue_in_memory(doc, tmp_path, store):
+    return PostorderQueue.from_tree(doc)
+
+
+def _queue_xml_stream(doc, tmp_path, store):
+    path = str(tmp_path / "doc.xml")
+    write_xml(doc, path)
+    return PostorderQueue.from_xml_file(path)
+
+
+def _queue_interval_store(doc, tmp_path, store):
+    doc_id = store.store_tree(f"doc-{len(store.documents())}", doc)
+    return store.postorder_queue(doc_id)
+
+
+@pytest.mark.parametrize(
+    "make_queue",
+    [_queue_in_memory, _queue_xml_stream, _queue_interval_store],
+    ids=["in-memory", "streamed-xml", "interval-store"],
+)
+def test_postorder_equals_dynamic_on_random_pairs(make_queue, tmp_path):
+    with IntervalStore() as store:
+        for i, (query, doc, k) in enumerate(_random_pairs(base_seed=23)):
+            queue = make_queue(doc, tmp_path, store)
+            dynamic = tasm_dynamic(query, doc, k)
+            stats = PostorderStats()
+            postorder = tasm_postorder(query, queue, k, stats=stats)
+            assert sorted(m.distance for m in dynamic) == sorted(
+                m.distance for m in postorder
+            ), f"pair {i}: |doc|={len(doc)} |Q|={len(query)} k={k}"
+            assert stats.dequeued == len(doc)
+
+
+def test_match_roots_agree_modulo_ties():
+    # Beyond the distance multiset: the matched root sets agree when
+    # distances are unique at the ranking boundary.
+    query = Tree.from_bracket("{a{b}{c}}")
+    doc = Tree.from_bracket("{x{a{b}{c}}{y{a{b}{d}}}{z}}")
+    dynamic = tasm_dynamic(query, doc, 2)
+    postorder = tasm_postorder(query, PostorderQueue.from_tree(doc), 2)
+    assert [(m.distance, m.root) for m in dynamic] == [
+        (m.distance, m.root) for m in postorder
+    ]
+    assert dynamic[0].distance == 0
+    assert dynamic[0].root == 3  # postorder id of the exact match
+    assert postorder[0].subtree.to_bracket() == "{a{b}{c}}"
+
+
+def test_peak_buffer_independent_of_document_size():
+    query = random_tree(5, seed=1)
+    k = 4
+    bound = prune_threshold(k, len(query), UnitCostModel()) + 1
+    assert bound == k + 2 * len(query)  # paper: tau = k + 2|Q| - 1
+    peaks = []
+    for n in (100, 1000, 4000):
+        doc = random_tree(n, seed=7)
+        stats = PostorderStats()
+        tasm_postorder(query, PostorderQueue.from_tree(doc), k, stats=stats)
+        assert stats.peak_buffered <= bound
+        peaks.append(stats.peak_buffered)
+    # The bound is flat: growing the document 40x must not grow memory.
+    assert peaks[0] == peaks[1] == peaks[2]
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [star(300), caterpillar(40, 6), left_spine(200)],
+    ids=["star", "caterpillar", "left-spine"],
+)
+def test_equivalence_on_degenerate_shapes(doc):
+    query = random_tree(4, seed=3)
+    for k in (1, 5):
+        dynamic = sorted(m.distance for m in tasm_dynamic(query, doc, k))
+        stats = PostorderStats()
+        postorder = sorted(
+            m.distance
+            for m in tasm_postorder(query, PostorderQueue.from_tree(doc), k, stats=stats)
+        )
+        assert dynamic == postorder
+        assert stats.peak_buffered <= prune_threshold(k, len(query), UnitCostModel()) + 1
+
+
+def test_weighted_cost_equivalence():
+    cost = WeightedCostModel(rename_cost=2.0, delete_cost=1.0, insert_cost=3.0)
+    rng = random.Random(31)
+    for _ in range(10):
+        doc = random_tree(rng.randint(1, 40), seed=rng.randrange(10**6))
+        query = random_tree(rng.randint(1, 6), seed=rng.randrange(10**6))
+        dynamic = sorted(m.distance for m in tasm_dynamic(query, doc, 3, cost))
+        postorder = sorted(
+            m.distance
+            for m in tasm_postorder(query, PostorderQueue.from_tree(doc), 3, cost)
+        )
+        assert dynamic == postorder
+
+
+def test_k_larger_than_document():
+    query = Tree.from_bracket("{a}")
+    doc = Tree.from_bracket("{a{b}{c}}")
+    matches = tasm_postorder(query, doc, k=10)
+    assert len(matches) == 3  # every subtree is returned
+    # Best match renames one leaf; the full tree needs two deletions.
+    assert [m.distance for m in matches] == [1, 1, 2]
+
+
+def test_exact_match_always_ranks_first():
+    doc = random_tree(80, seed=5)
+    query = doc.subtree(17)
+    matches = tasm_postorder(query, PostorderQueue.from_tree(doc), 3)
+    assert matches[0].distance == 0
+
+
+def test_queue_like_inputs():
+    query = Tree.from_bracket("{a}")
+    doc = Tree.from_bracket("{a{a}}")
+    from_tree = tasm_postorder(query, doc, 2)
+    from_pairs = tasm_postorder(query, list(doc.postorder()), 2)
+    assert [m.distance for m in from_tree] == [m.distance for m in from_pairs]
+
+
+def test_invalid_k_raises():
+    query = Tree.from_bracket("{a}")
+    with pytest.raises(RankingError):
+        tasm_postorder(query, query, 0)
+    with pytest.raises(RankingError):
+        tasm_dynamic(query, query, -2)

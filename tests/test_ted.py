@@ -1,0 +1,129 @@
+"""Tree edit distance: axioms, known distances, prefix array."""
+
+import random
+
+import pytest
+
+from repro.distance import UnitCostModel, WeightedCostModel, prefix_distance, ted
+from repro.trees import Tree, random_tree
+
+
+def naive_ted(t1: Tree, t2: Tree) -> int:
+    """Independent memoized forest edit distance (unit costs).
+
+    Deliberately structured differently from the Zhang–Shasha kernel
+    (rightmost-root recursion on pointer forests) so the two cannot
+    share a bug.
+    """
+    n1, n2 = t1.to_node(), t2.to_node()
+    memo = {}
+
+    def d(f1, f2):
+        key = (tuple(id(n) for n in f1), tuple(id(n) for n in f2))
+        if key in memo:
+            return memo[key]
+        if not f1 and not f2:
+            result = 0
+        elif not f1:
+            w = f2[-1]
+            result = d(f1, f2[:-1] + tuple(w.children)) + 1
+        elif not f2:
+            v = f1[-1]
+            result = d(f1[:-1] + tuple(v.children), f2) + 1
+        else:
+            v, w = f1[-1], f2[-1]
+            result = min(
+                d(f1[:-1] + tuple(v.children), f2) + 1,
+                d(f1, f2[:-1] + tuple(w.children)) + 1,
+                d(f1[:-1], f2[:-1])
+                + d(tuple(v.children), tuple(w.children))
+                + (0 if v.label == w.label else 1),
+            )
+        memo[key] = result
+        return result
+
+    return d((n1,), (n2,))
+
+
+def test_zhang_shasha_paper_example():
+    # The classic example from Zhang & Shasha (1989), Figure 4: the two
+    # trees differ by moving c above d — edit distance 2.
+    t1 = Tree.from_bracket("{f{d{a}{c{b}}}{e}}")
+    t2 = Tree.from_bracket("{f{c{d{a}{b}}}{e}}")
+    assert ted(t1, t2) == 2
+    assert ted(t2, t1) == 2
+
+
+@pytest.mark.parametrize(
+    "b1, b2, expected",
+    [
+        ("{a}", "{a}", 0),
+        ("{a}", "{b}", 1),
+        ("{a}", "{a{b}}", 1),
+        ("{a{b}{c}}", "{a{c}{b}}", 2),
+        ("{a{b}{c}}", "{a{b}{c}{d}}", 1),
+        ("{a{b{c}}}", "{a{c}}", 1),
+        ("{a{b}{c}{d}}", "{e{f}}", 4),
+    ],
+)
+def test_hand_computed_distances(b1, b2, expected):
+    assert ted(Tree.from_bracket(b1), Tree.from_bracket(b2)) == expected
+
+
+def test_identity_on_random_trees():
+    for seed in range(10):
+        t = random_tree(25, seed=seed)
+        assert ted(t, t) == 0
+
+
+def test_symmetry_with_symmetric_costs():
+    rng = random.Random(11)
+    for _ in range(15):
+        t1 = random_tree(rng.randint(1, 20), seed=rng.randrange(10**6))
+        t2 = random_tree(rng.randint(1, 20), seed=rng.randrange(10**6))
+        assert ted(t1, t2) == ted(t2, t1)
+
+
+def test_triangle_inequality_spot_checks():
+    rng = random.Random(13)
+    for _ in range(15):
+        a, b, c = (
+            random_tree(rng.randint(1, 15), seed=rng.randrange(10**6), labels="ab")
+            for _ in range(3)
+        )
+        assert ted(a, c) <= ted(a, b) + ted(b, c)
+
+
+def test_matches_naive_implementation():
+    rng = random.Random(17)
+    for _ in range(40):
+        t1 = random_tree(rng.randint(1, 9), seed=rng.randrange(10**6), labels="ab")
+        t2 = random_tree(rng.randint(1, 9), seed=rng.randrange(10**6), labels="ab")
+        assert ted(t1, t2) == naive_ted(t1, t2)
+
+
+def test_size_lower_bound():
+    rng = random.Random(19)
+    for _ in range(15):
+        t1 = random_tree(rng.randint(1, 25), seed=rng.randrange(10**6))
+        t2 = random_tree(rng.randint(1, 25), seed=rng.randrange(10**6))
+        assert ted(t1, t2) >= abs(len(t1) - len(t2))
+
+
+def test_weighted_cost_model():
+    t1 = Tree.from_bracket("{a{b}}")
+    t2 = Tree.from_bracket("{a{c}}")
+    # One rename at cost 3 beats delete+insert at 2+2.
+    assert ted(t1, t2, WeightedCostModel(3.0, 2.0, 2.0)) == 3.0
+    # With rename at 5, delete+insert (2+2) wins.
+    assert ted(t1, t2, WeightedCostModel(5.0, 2.0, 2.0)) == 4.0
+
+
+def test_prefix_distance_equals_per_subtree_ted():
+    cost = UnitCostModel()
+    for seed in range(5):
+        query = random_tree(5, seed=seed)
+        doc = random_tree(30, seed=100 + seed)
+        distances = prefix_distance(query, doc, cost)
+        for j in doc.node_ids():
+            assert distances[j] == ted(query, doc.subtree(j), cost)
