@@ -6,10 +6,14 @@ Layer map:
 * :mod:`repro.trees`     — ordered labeled trees (postorder arrays).
 * :mod:`repro.postorder` — postorder queues + interval-encoded store.
 * :mod:`repro.xmlio`     — XML <-> tree conversion, streaming parse.
-* :mod:`repro.distance`  — cost models + Zhang–Shasha tree edit
-  distance (:func:`ted`, :func:`prefix_distance`).
+* :mod:`repro.distance`  — cost models + the Zhang–Shasha tree edit
+  distance kernel (:class:`PrefixDistanceKernel`, :func:`ted`,
+  :func:`prefix_distance`).
 * :mod:`repro.tasm`      — the matching engine: :func:`tasm_dynamic`
-  (Algorithm 1) and :func:`tasm_postorder` (Algorithms 2/3).
+  (Algorithm 1), :func:`tasm_postorder` (Algorithms 2/3), and
+  :func:`tasm_batch` (many queries, one document pass).
+* :mod:`repro.datasets`  — streaming XMark/DBLP/PSD-lookalike corpus
+  generators for document-scale experiments.
 
 Quickstart::
 
@@ -20,10 +24,17 @@ Quickstart::
         print(match.distance, match.subtree.to_bracket())
 """
 
-from .distance import UnitCostModel, WeightedCostModel, prefix_distance, ted
+from .distance import (
+    PrefixDistanceKernel,
+    UnitCostModel,
+    WeightedCostModel,
+    prefix_distance,
+    ted,
+)
 from .errors import (
     BracketSyntaxError,
     CostModelError,
+    DatasetError,
     PostorderQueueError,
     RankingError,
     ReproError,
@@ -36,12 +47,13 @@ from .tasm import (
     PostorderStats,
     TopKHeap,
     prune_threshold,
+    tasm_batch,
     tasm_dynamic,
     tasm_postorder,
 )
 from .trees import Node, Tree
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "__version__",
@@ -51,12 +63,14 @@ __all__ = [
     "IntervalStore",
     "UnitCostModel",
     "WeightedCostModel",
+    "PrefixDistanceKernel",
     "ted",
     "prefix_distance",
     "Match",
     "TopKHeap",
     "PostorderStats",
     "prune_threshold",
+    "tasm_batch",
     "tasm_dynamic",
     "tasm_postorder",
     "ReproError",
@@ -66,4 +80,5 @@ __all__ = [
     "XmlFormatError",
     "CostModelError",
     "RankingError",
+    "DatasetError",
 ]

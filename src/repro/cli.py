@@ -1,10 +1,14 @@
 """Command-line interface: ``python -m repro`` / the ``repro`` script.
 
-Two subcommands mirror the library's two entry points:
+Three subcommands mirror the library's entry points:
 
 * ``repro ted A B`` — tree edit distance between two trees,
 * ``repro tasm QUERY DOCUMENT -k K`` — top-k approximate subtree
-  matching, streaming the document when it is an XML file.
+  matching, streaming the document when it is an XML file; with
+  ``--query-file`` a whole workload of queries is ranked in one
+  document pass (:func:`repro.tasm.tasm_batch`),
+* ``repro dataset NAME OUT`` — generate an XMark/DBLP/PSD-lookalike
+  document (:mod:`repro.datasets`) for benchmarks and experiments.
 
 Tree arguments are bracket notation (``{a{b}{c}}``) given inline, or a
 path to a ``.xml`` / ``.bracket`` file; ``--format`` overrides the
@@ -21,7 +25,7 @@ from typing import List, Optional
 from .distance import UnitCostModel, WeightedCostModel, ted
 from .errors import CostModelError, ReproError
 from .postorder.queue import PostorderQueue
-from .tasm import PostorderStats, tasm_dynamic, tasm_postorder
+from .tasm import PostorderStats, tasm_batch, tasm_dynamic
 from .trees.tree import Tree
 
 __all__ = ["main"]
@@ -84,8 +88,20 @@ def _build_parser() -> argparse.ArgumentParser:
     ted_p.add_argument("tree2", help="bracket string or file path")
 
     tasm_p = sub.add_parser("tasm", help="top-k approximate subtree matching")
-    tasm_p.add_argument("query", help="query tree (bracket string or file)")
+    tasm_p.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="query tree (bracket string or file); omit with --query-file",
+    )
     tasm_p.add_argument("document", help="document tree (bracket string or file)")
+    tasm_p.add_argument(
+        "--query-file",
+        default=None,
+        metavar="FILE",
+        help="rank every query in FILE (one bracket tree per line, "
+        "#-comments allowed) in a single document pass",
+    )
     tasm_p.add_argument("-k", type=int, default=5, help="ranking size (default 5)")
     tasm_p.add_argument(
         "--algorithm",
@@ -114,6 +130,18 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="unit|REN,DEL,INS",
             help="cost model (default: unit)",
         )
+
+    dataset_p = sub.add_parser(
+        "dataset", help="generate a synthetic XMark/DBLP/PSD-lookalike corpus"
+    )
+    dataset_p.add_argument(
+        "name", choices=["xmark", "dblp", "psd"], help="corpus family"
+    )
+    dataset_p.add_argument("out", help="output XML path")
+    dataset_p.add_argument(
+        "--nodes", type=int, default=100_000, help="target node count (default 100000)"
+    )
+    dataset_p.add_argument("--seed", type=int, default=0, help="random seed")
     return parser
 
 
@@ -125,34 +153,69 @@ def _run_ted(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_query_file(path: str) -> List[Tree]:
+    """Parse a query workload file: one bracket tree per line."""
+    queries: List[Tree] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            queries.append(Tree.from_bracket(line))
+    if not queries:
+        raise ReproError(f"no queries found in {path}")
+    return queries
+
+
+def _ranking_payload(matches) -> List[dict]:
+    return [
+        {
+            "rank": rank,
+            "distance": m.distance,
+            "root": m.root,
+            "subtree": m.subtree.to_bracket(),
+        }
+        for rank, m in enumerate(matches, 1)
+    ]
+
+
 def _run_tasm(args: argparse.Namespace) -> int:
-    query = _load_tree(args.query, args.format)
+    if args.query_file is not None:
+        if args.query is not None:
+            raise ReproError("give either QUERY or --query-file, not both")
+        queries = _load_query_file(args.query_file)
+    elif args.query is not None:
+        queries = [_load_tree(args.query, args.format)]
+    else:
+        raise ReproError("a QUERY argument or --query-file is required")
+    batch = args.query_file is not None
     if args.algorithm == "dynamic":
         document = _load_tree(args.document, args.format)
-        matches = tasm_dynamic(query, document, args.k, args.cost)
+        rankings = [
+            tasm_dynamic(query, document, args.k, args.cost) for query in queries
+        ]
         stats = None
     else:
         stats = PostorderStats()
         queue = _document_queue(args.document, args.format)
-        matches = tasm_postorder(query, queue, args.k, args.cost, stats=stats)
+        rankings = tasm_batch(queries, queue, args.k, args.cost, stats=stats)
     if args.json:
-        print(
-            json.dumps(
-                [
-                    {
-                        "rank": rank,
-                        "distance": m.distance,
-                        "root": m.root,
-                        "subtree": m.subtree.to_bracket(),
-                    }
-                    for rank, m in enumerate(matches, 1)
-                ],
-                indent=2,
-            )
-        )
+        if batch:
+            payload = [
+                {"query": qi, "matches": _ranking_payload(matches)}
+                for qi, matches in enumerate(rankings, 1)
+            ]
+        else:
+            payload = _ranking_payload(rankings[0])
+        print(json.dumps(payload, indent=2))
     else:
-        for rank, m in enumerate(matches, 1):
-            print(f"{rank}\t{m.distance:g}\t@{m.root}\t{m.subtree.to_bracket()}")
+        for qi, matches in enumerate(rankings, 1):
+            prefix = f"q{qi}\t" if batch else ""
+            for rank, m in enumerate(matches, 1):
+                print(
+                    f"{prefix}{rank}\t{m.distance:g}\t@{m.root}\t"
+                    f"{m.subtree.to_bracket()}"
+                )
     if args.stats:
         if stats is None:
             print(
@@ -170,11 +233,21 @@ def _run_tasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_dataset(args: argparse.Namespace) -> int:
+    from .datasets import generate
+
+    nodes = generate(args.name, args.out, target_nodes=args.nodes, seed=args.seed)
+    print(f"wrote {args.out}: {nodes} nodes ({args.name}, seed {args.seed})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "ted":
             return _run_ted(args)
+        if args.command == "dataset":
+            return _run_dataset(args)
         return _run_tasm(args)
     except (ReproError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

@@ -1,0 +1,35 @@
+"""Document-scale synthetic corpora (paper Section VI workloads).
+
+The paper evaluates TASM on XMark, DBLP, and Protein Sequence Database
+documents up to multi-gigabyte sizes.  This package generates
+lookalikes of those three document classes at any node count,
+streaming XML to disk so the bench and tests can push 10^5–10^6-node
+documents through :func:`repro.xmlio.parse.iterparse_postorder` and
+the :class:`repro.postorder.interval.IntervalStore` without ever
+holding a document in memory.
+
+* :mod:`~repro.datasets.writer`  — incremental XML writer with
+  parser-accurate node accounting.
+* :mod:`~repro.datasets.corpora` — the XMark/DBLP/PSD generators, the
+  :data:`GENERATORS` registry, and per-corpus default queries.
+"""
+
+from .corpora import (
+    DEFAULT_QUERIES,
+    GENERATORS,
+    generate,
+    generate_dblp,
+    generate_psd,
+    generate_xmark,
+)
+from .writer import XmlStreamWriter
+
+__all__ = [
+    "XmlStreamWriter",
+    "generate",
+    "generate_xmark",
+    "generate_dblp",
+    "generate_psd",
+    "GENERATORS",
+    "DEFAULT_QUERIES",
+]

@@ -1,0 +1,230 @@
+"""Document-scale synthetic corpora: XMark, DBLP, and PSD lookalikes.
+
+The paper's experiments (Section VI) run on three real-world document
+classes: the XMark auction benchmark, the DBLP bibliography, and the
+Protein Sequence Database — all record-sequence XML whose documents
+reach multi-gigabyte sizes while individual records stay small.  These
+generators reproduce that *shape* (tag vocabulary, record structure,
+attribute/text mix, fanout) at any requested node count, streaming the
+XML straight to disk so a 10^6-node document never exists in memory.
+
+All generators are deterministic given a seed.  The returned value is
+the exact number of tree nodes the file parses into under the default
+:func:`repro.xmlio.parse.iterparse_postorder` conventions (elements,
+``@attribute`` nodes with their text children, non-whitespace text),
+which tests assert against the parser itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from ..errors import DatasetError
+from .writer import XmlStreamWriter
+
+__all__ = [
+    "generate",
+    "generate_xmark",
+    "generate_dblp",
+    "generate_psd",
+    "GENERATORS",
+    "DEFAULT_QUERIES",
+]
+
+_WORDS = (
+    "quick brown fox lazy dog amber circuit delta echo futures gold "
+    "harbor index jasper kernel lumen matrix nickel onyx prism quartz "
+    "raven sierra topaz umber violet willow xenon yonder zephyr"
+).split()
+
+_SURNAMES = (
+    "Smith Mueller Tanaka Rossi Novak Silva Dubois Larsen Kim Okafor "
+    "Petrov Jansen Moreau Costa Haddad Lindgren Bauer Marino Svoboda"
+).split()
+
+_AMINO = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def _words(rng: random.Random, lo: int, hi: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(lo, hi)))
+
+
+def _person_name(rng: random.Random) -> str:
+    return f"{rng.choice(_WORDS).capitalize()} {rng.choice(_SURNAMES)}"
+
+
+def _open_file(path: str) -> object:
+    return open(path, "w", encoding="utf-8")
+
+
+def generate_xmark(path: str, target_nodes: int = 100_000, seed: int = 0) -> int:
+    """XMark-lookalike auction site document; returns the node count.
+
+    ``site`` holds ``people``, ``open_auctions`` and ``regions``
+    sections filled with person/auction/item records (attributes,
+    nested text, variable bidder fanout) until the node budget is met.
+    """
+    _check_target(target_nodes)
+    rng = random.Random(seed)
+    with _open_file(path) as fh:
+        w = XmlStreamWriter(fh)
+        w.start("site")
+        w.start("people")
+        while w.nodes < target_nodes * 2 // 5:
+            w.start("person", {"id": f"person{rng.randrange(10**6)}"})
+            w.leaf("name", _person_name(rng))
+            w.leaf("emailaddress", f"mailto:{rng.choice(_WORDS)}@example.org")
+            if rng.random() < 0.6:
+                w.start("address")
+                w.leaf("street", f"{rng.randint(1, 99)} {rng.choice(_WORDS)} St")
+                w.leaf("city", rng.choice(_WORDS).capitalize())
+                w.leaf("country", rng.choice(("US", "DE", "JP", "BR", "IT")))
+                w.end()
+            if rng.random() < 0.4:
+                w.start("profile", {"income": f"{rng.randint(20, 200)}000"})
+                for _ in range(rng.randint(1, 3)):
+                    w.leaf("interest", rng.choice(_WORDS))
+                w.end()
+            w.end()
+        w.end()
+        w.start("open_auctions")
+        while w.nodes < target_nodes * 4 // 5:
+            w.start("open_auction", {"id": f"auction{rng.randrange(10**6)}"})
+            w.leaf("initial", f"{rng.randint(1, 500)}.{rng.randint(0, 99):02d}")
+            for _ in range(rng.randint(0, 4)):
+                w.start("bidder")
+                w.leaf("date", f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/2009")
+                w.leaf("increase", f"{rng.randint(1, 50)}.00")
+                w.end()
+            w.leaf("itemref", "", {"item": f"item{rng.randrange(10**6)}"})
+            w.leaf("seller", "", {"person": f"person{rng.randrange(10**6)}"})
+            w.end()
+        w.end()
+        w.start("regions")
+        w.start("namerica")
+        while w.nodes < target_nodes:
+            w.start("item", {"id": f"item{rng.randrange(10**6)}"})
+            w.leaf("location", rng.choice(("United States", "Canada", "Mexico")))
+            w.leaf("quantity", str(rng.randint(1, 9)))
+            w.leaf("name", _words(rng, 1, 3))
+            w.start("description")
+            w.leaf("text", _words(rng, 4, 12))
+            w.end()
+            w.end()
+        w.close()
+        return w.nodes
+
+
+def generate_dblp(path: str, target_nodes: int = 100_000, seed: int = 0) -> int:
+    """DBLP-lookalike bibliography document; returns the node count.
+
+    A flat sequence of ``article`` / ``inproceedings`` records under a
+    single root — the shallow, wide shape whose record subtrees are the
+    natural TASM candidates.
+    """
+    _check_target(target_nodes)
+    rng = random.Random(seed)
+    with _open_file(path) as fh:
+        w = XmlStreamWriter(fh)
+        w.start("dblp")
+        while w.nodes < target_nodes:
+            kind = rng.choice(("article", "article", "inproceedings"))
+            key = f"{kind[:4]}/{rng.choice(_WORDS)}/{rng.randrange(10**5)}"
+            w.start(kind, {"key": key, "mdate": f"200{rng.randint(0, 9)}-01-01"})
+            for _ in range(rng.randint(1, 4)):
+                w.leaf("author", _person_name(rng))
+            w.leaf("title", _words(rng, 3, 9).capitalize() + ".")
+            if kind == "article":
+                w.leaf("journal", f"J. {rng.choice(_WORDS).capitalize()}")
+                w.leaf("volume", str(rng.randint(1, 60)))
+            else:
+                w.leaf("booktitle", f"Proc. {rng.choice(_WORDS).upper()}")
+            w.leaf("pages", f"{rng.randint(1, 400)}-{rng.randint(401, 800)}")
+            w.leaf("year", str(rng.randint(1990, 2009)))
+            if rng.random() < 0.5:
+                w.leaf("ee", f"db/{rng.choice(_WORDS)}/{rng.randrange(10**4)}")
+            w.end()
+        w.close()
+        return w.nodes
+
+
+def generate_psd(path: str, target_nodes: int = 100_000, seed: int = 0) -> int:
+    """Protein-Sequence-Database lookalike; returns the node count.
+
+    ``ProteinEntry`` records with nested header/protein/organism
+    sections, reference lists of variable fanout, and a long sequence
+    text leaf — the deepest of the three shapes.
+    """
+    _check_target(target_nodes)
+    rng = random.Random(seed)
+    with _open_file(path) as fh:
+        w = XmlStreamWriter(fh)
+        w.start("ProteinDatabase")
+        while w.nodes < target_nodes:
+            uid = f"PSD{rng.randrange(10**7):07d}"
+            w.start("ProteinEntry", {"id": uid})
+            w.start("header")
+            w.leaf("uid", uid)
+            w.leaf("accession", f"A{rng.randrange(10**5):05d}")
+            w.end()
+            w.start("protein")
+            w.leaf("name", _words(rng, 2, 5))
+            w.leaf("classification", rng.choice(_WORDS))
+            w.end()
+            w.start("organism")
+            w.leaf("source", f"{rng.choice(_WORDS).capitalize()} {rng.choice(_WORDS)}")
+            w.leaf("common", rng.choice(_WORDS))
+            w.end()
+            for _ in range(rng.randint(1, 3)):
+                w.start("reference")
+                w.start("refinfo", {"refid": str(rng.randrange(10**4))})
+                w.start("authors")
+                for _ in range(rng.randint(1, 4)):
+                    w.leaf("author", _person_name(rng))
+                w.end()
+                w.leaf("citation", _words(rng, 3, 8))
+                w.leaf("year", str(rng.randint(1980, 2009)))
+                w.end()
+                w.end()
+            w.start("sequence")
+            w.text("".join(rng.choice(_AMINO) for _ in range(rng.randint(30, 90))))
+            w.end()
+            w.end()
+        w.close()
+        return w.nodes
+
+
+#: Registry: corpus name -> generator function.
+GENERATORS: Dict[str, Callable[..., int]] = {
+    "xmark": generate_xmark,
+    "dblp": generate_dblp,
+    "psd": generate_psd,
+}
+
+#: A natural TASM query (bracket notation) per corpus, used by the
+#: bench and as a CLI starting point.
+DEFAULT_QUERIES: Dict[str, str] = {
+    "xmark": "{person{name}{emailaddress}}",
+    "dblp": "{article{author}{title}{year}}",
+    "psd": "{reference{refinfo{authors{author}}{citation}}}",
+}
+
+
+def _check_target(target_nodes: int) -> None:
+    if target_nodes < 10:
+        raise DatasetError(
+            f"target_nodes must be >= 10, got {target_nodes}"
+        )
+
+
+def generate(
+    name: str, path: str, target_nodes: int = 100_000, seed: int = 0
+) -> int:
+    """Generate the corpus ``name`` into ``path``; returns node count."""
+    try:
+        generator = GENERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(GENERATORS))
+        raise DatasetError(f"unknown dataset {name!r} (known: {known})") from None
+    return generator(path, target_nodes=target_nodes, seed=seed)

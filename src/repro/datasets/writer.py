@@ -1,0 +1,78 @@
+"""Streaming XML writer for the synthetic corpora.
+
+Writes well-formed XML incrementally — memory stays O(open-element
+depth) no matter how large the document grows — while counting the
+nodes of the *tree* the document will parse into.  The accounting
+mirrors :mod:`repro.xmlio.parse` exactly: an element is one node, an
+attribute contributes two (the ``@name`` node plus its text-value
+child), and a non-whitespace text segment is one node.  Whitespace
+emitted between elements for readability is dropped by the parser and
+therefore not counted.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Dict, List, Optional
+from xml.sax.saxutils import escape, quoteattr
+
+from ..errors import DatasetError
+
+__all__ = ["XmlStreamWriter"]
+
+
+class XmlStreamWriter:
+    """Incremental XML writer with parser-accurate node accounting.
+
+    ``nodes`` tracks how many nodes the written document will produce
+    when parsed by :func:`repro.xmlio.parse.iterparse_postorder` with
+    default settings, so corpus generators can stop at a node budget
+    without ever materialising the document.
+    """
+
+    __slots__ = ("_fh", "_stack", "nodes")
+
+    def __init__(self, fh: IO[str]):
+        self._fh = fh
+        self._stack: List[str] = []
+        #: Number of tree nodes written so far (parser conventions).
+        self.nodes = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def start(self, tag: str, attrs: Optional[Dict[str, object]] = None) -> None:
+        """Open ``<tag ...>``; attributes count two nodes each."""
+        parts = [f"<{tag}"]
+        if attrs:
+            for name in sorted(attrs):
+                parts.append(f" {name}={quoteattr(str(attrs[name]))}")
+            self.nodes += 2 * len(attrs)
+        parts.append(">")
+        self._fh.write("".join(parts))
+        self._stack.append(tag)
+        self.nodes += 1
+
+    def text(self, content: object) -> None:
+        """Write character data; counts one node if non-whitespace."""
+        raw = str(content)
+        if raw.strip():
+            self.nodes += 1
+        self._fh.write(escape(raw))
+
+    def end(self) -> None:
+        """Close the innermost open element (newline-terminated)."""
+        if not self._stack:
+            raise DatasetError("end() with no open element")
+        self._fh.write(f"</{self._stack.pop()}>\n")
+
+    def leaf(self, tag: str, content: object, attrs: Optional[Dict] = None) -> None:
+        """Convenience: ``<tag>content</tag>`` in one call."""
+        self.start(tag, attrs)
+        self.text(content)
+        self.end()
+
+    def close(self) -> None:
+        """Close every still-open element."""
+        while self._stack:
+            self.end()

@@ -14,13 +14,14 @@ from .cost import (
     WeightedCostModel,
     validate_cost_model,
 )
-from .ted import prefix_distance, ted, ted_matrix
+from .ted import PrefixDistanceKernel, prefix_distance, ted, ted_matrix
 
 __all__ = [
     "CostModel",
     "UnitCostModel",
     "WeightedCostModel",
     "validate_cost_model",
+    "PrefixDistanceKernel",
     "ted",
     "ted_matrix",
     "prefix_distance",

@@ -11,78 +11,451 @@ single run fills ``td[i][j] = ted(T1_i, T2_j)`` for **all** node pairs.
 :func:`prefix_distance` exploits exactly this: the row ``td[root(Q)][*]``
 holds the edit distance between the whole query and every subtree of the
 document, which is the quantity TASM ranks (Algorithm 1, *prefix array*).
+
+The hot path lives in :class:`PrefixDistanceKernel`, a reusable kernel
+that follows the paper's implementation note (Section VII: labels are
+interned "to assign unique integer identifiers ... for compression and
+faster node-to-node comparisons"):
+
+* labels are interned to dense integer ids — the query side once at
+  construction, the document side incrementally across calls — so the
+  inner loop never touches label objects (labels must be hashable);
+* delete/insert costs are precomputed per *label id* and expanded to
+  per-node flat vectors, and rename costs sit in a ``query-id x doc-id``
+  lookup table, so the inner loop performs no cost-model calls;
+* the forest-distance table is a bank of flat row buffers that is
+  allocated once and reused across keyroot pairs *and* across calls.
+
+A note on the buffer bank: a strict two-row scheme is impossible for
+Zhang–Shasha, because the match case of the recurrence reads
+``fd[lml(u)-li][lml(v)-lj]`` — the distance between the *forests* left
+of the current subtrees — and those cells come from arbitrarily old rows
+and are genuine forest-forest distances, not tree distances that ``td``
+could supply.  What the rewrite eliminates is the per-keyroot-pair
+``(m+1) x (n+1)`` nested-list allocation: each row buffer is written in
+place for every pair, and within one pair all rows below the current one
+are intact, which is exactly the prefix the recurrence reads from.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..trees.tree import Tree
 from .cost import CostModel, UnitCostModel, validate_cost_model
 
-__all__ = ["ted", "ted_matrix", "prefix_distance"]
+__all__ = ["PrefixDistanceKernel", "ted", "ted_matrix", "prefix_distance"]
 
 
-def _forest_distances(
-    t1: Tree,
-    t2: Tree,
-    i: int,
-    j: int,
-    td: List[List[float]],
-    cost: CostModel,
-) -> None:
-    """Fill ``td`` for the keyroot pair ``(i, j)``.
+class PrefixDistanceKernel:
+    """Reusable flat-array Zhang–Shasha kernel with a fixed left tree.
 
-    Implements the forest-distance recurrence over the postorder
-    prefixes of the relevant subtrees rooted at ``i`` (in ``t1``) and
-    ``j`` (in ``t2``).
+    Construct once per query (and cost model), then call
+    :meth:`distances` for every candidate document subtree.  TASM calls
+    this thousands of times per run with the same small query, so all
+    query-side preprocessing — interning, per-node delete costs, the
+    keyroot list — happens once here, and the document-side label
+    dictionary, rename lookup, and DP row buffers persist and grow
+    across calls instead of being reallocated per evaluation.
+
+    Memory note: like the paper's own implementation (the Section VII
+    dictionary), the kernel retains one entry — plus ``|Q|`` rename
+    floats — per *distinct* document label ever seen.  For documents
+    whose text content is largely unique this grows linearly in the
+    number of distinct labels (it is what buys the constant-time label
+    comparisons); construct a fresh kernel to reset it.
     """
-    lmls1, lmls2 = t1.lmls, t2.lmls
-    labels1, labels2 = t1.labels, t2.labels
-    li, lj = lmls1[i], lmls2[j]
-    m, n = i - li + 1, j - lj + 1
 
-    # fd[di][dj] = distance between the first di nodes of T1_i's
-    # relevant subtree and the first dj nodes of T2_j's.
-    fd: List[List[float]] = [[0.0] * (n + 1) for _ in range(m + 1)]
-    for di in range(1, m + 1):
-        fd[di][0] = fd[di - 1][0] + cost.delete(labels1[li + di - 1])
-    row0 = fd[0]
-    for dj in range(1, n + 1):
-        row0[dj] = row0[dj - 1] + cost.insert(labels2[lj + dj - 1])
+    __slots__ = (
+        "query",
+        "cost",
+        "_n1",
+        "_lmls1",
+        "_keyroots1",
+        "_ids1",
+        "_qlabels",
+        "_dc1",
+        "_plans",
+        "_doc_ids",
+        "_icost",
+        "_ic_uniform",
+        "_ic_value",
+        "_ren",
+        "_td",
+        "_rows",
+        "_cols",
+        "_row0_scalar_cols",
+    )
 
-    for di in range(1, m + 1):
-        n1 = li + di - 1
-        lab1 = labels1[n1]
-        tree1_complete = lmls1[n1] == li
-        off1 = lmls1[n1] - li  # prefix length just before T1_n1 starts
-        prev_row = fd[di - 1]
-        row = fd[di]
-        td_n1 = td[n1]
-        for dj in range(1, n + 1):
-            n2 = lj + dj - 1
-            lab2 = labels2[n2]
-            del_cost = prev_row[dj] + cost.delete(lab1)
-            ins_cost = row[dj - 1] + cost.insert(lab2)
-            if tree1_complete and lmls2[n2] == lj:
-                # Both prefixes are complete subtrees: the match case is
-                # a rename of the two roots, and the cell doubles as the
-                # tree distance td[n1][n2].
-                best = prev_row[dj - 1] + cost.rename(lab1, lab2)
-                if del_cost < best:
-                    best = del_cost
-                if ins_cost < best:
-                    best = ins_cost
-                row[dj] = best
-                td_n1[n2] = best
-            else:
-                off2 = lmls2[n2] - lj
-                best = fd[off1][off2] + td_n1[n2]
-                if del_cost < best:
-                    best = del_cost
-                if ins_cost < best:
-                    best = ins_cost
-                row[dj] = best
+    def __init__(self, query: Tree, cost: Optional[CostModel] = None):
+        if cost is None:
+            cost = UnitCostModel()
+        validate_cost_model(cost)
+        self.query = query
+        self.cost = cost
+        n1 = len(query)
+        self._n1 = n1
+        self._lmls1 = query.lmls
+        self._keyroots1 = query.keyroots()
+        # Intern the query labels into a private dense id space.
+        qids: Dict = {}
+        qlabels: List = []
+        ids1 = [0] * (n1 + 1)
+        for u in range(1, n1 + 1):
+            label = query.labels[u]
+            i1 = qids.get(label)
+            if i1 is None:
+                i1 = len(qlabels)
+                qids[label] = i1
+                qlabels.append(label)
+            ids1[u] = i1
+        self._ids1 = ids1
+        self._qlabels = qlabels
+        per_label_delete = [cost.delete(label) for label in qlabels]
+        dc1 = [0.0] * (n1 + 1)
+        for u in range(1, n1 + 1):
+            dc1[u] = per_label_delete[ids1[u]]
+        self._dc1 = dc1
+        # Per query keyroot: the delete-cost prefix sums of its relevant
+        # subtree (the DP's column 0, fixed for the kernel's lifetime)
+        # and a row plan (node, row of fd to read the match case from,
+        # label id or -1 for off-left-path nodes, delete cost) so the
+        # inner loops unpack one tuple instead of re-deriving per row.
+        lmls1 = query.lmls
+        plans = []
+        for i in self._keyroots1:
+            li = lmls1[i]
+            c0 = [0.0] * (i - li + 2)
+            plan = []
+            acc = 0.0
+            for di, u in enumerate(range(li, i + 1), 1):
+                acc += dc1[u]
+                c0[di] = acc
+                lu = lmls1[u]
+                plan.append(
+                    (u, lu - li, ids1[u] if lu == li else -1, dc1[u])
+                )
+            plans.append((c0, plan))
+        self._plans = plans
+        # Document-side dictionary; grows across calls so repeated
+        # labels (the common case in XML) never re-enter the cost model.
+        self._doc_ids: Dict = {}
+        self._icost: List[float] = []  # insert cost per document label id
+        # While every insert cost seen so far is the same scalar (true
+        # for the unit and weighted models), the inner loops use it
+        # directly and skip the per-cell cost stream entirely.
+        self._ic_uniform = True
+        self._ic_value: Optional[float] = None
+        self._ren: List[List[float]] = [[] for _ in qlabels]  # [qid][did]
+        # Reusable flat buffers: n1+1 tree-distance rows and n1+1 forest
+        # scratch rows, widened on demand to the largest document seen.
+        self._td: List[List[float]] = [[] for _ in range(n1 + 1)]
+        self._rows: List[List[float]] = [[] for _ in range(n1 + 1)]
+        self._cols = 0
+        # Columns of rows[0] already holding x * insert_cost (the row-0
+        # prefix sums are position-proportional while inserts are
+        # uniform, so they are filled once, not once per keyroot).
+        self._row0_scalar_cols = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def distances(self, doc: Tree) -> List[float]:
+        """Prefix array: ``dist[j] = ted(query, T_j)`` for every subtree.
+
+        ``dist[0]`` is padding.  The returned list is a fresh copy; the
+        kernel's internal buffers are reused by the next call.
+        """
+        self._compute(doc)
+        return self._td[self._n1][: len(doc) + 1]
+
+    def matrix(self, doc: Tree) -> List[List[float]]:
+        """All-pairs subtree distances ``td[i][j] = ted(Q_i, T_j)``."""
+        self._compute(doc)
+        width = len(doc) + 1
+        return [row[:width] for row in self._td]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ensure_width(self, need: int) -> None:
+        if need <= self._cols:
+            return
+        for row in self._td:
+            row.extend([0.0] * (need - len(row)))
+        for row in self._rows:
+            row.extend([0.0] * (need - len(row)))
+        self._cols = need
+
+    def _encode_doc(self, labels2: List, n2: int) -> List[int]:
+        """Intern the document labels, extending the cost lookups."""
+        enc = self._doc_ids
+        icost = self._icost
+        ren = self._ren
+        cost = self.cost
+        qlabels = self._qlabels
+        ids2 = [0] * (n2 + 1)
+        for v in range(1, n2 + 1):
+            label = labels2[v]
+            i2 = enc.get(label)
+            if i2 is None:
+                i2 = len(icost)
+                enc[label] = i2
+                ic = cost.insert(label)
+                icost.append(ic)
+                if self._ic_value is None:
+                    self._ic_value = ic
+                elif ic != self._ic_value:
+                    self._ic_uniform = False
+                for qi, qlabel in enumerate(qlabels):
+                    ren[qi].append(cost.rename(qlabel, label))
+            ids2[v] = i2
+        return ids2
+
+    def _compute(self, doc: Tree) -> None:
+        """Fill ``self._td`` for ``doc`` (all keyroot pairs)."""
+        n2 = len(doc)
+        if n2 + 1 > self._cols:
+            self._ensure_width(n2 + 1)
+        lmls2 = doc.lmls
+        ids2 = self._encode_doc(doc.labels, n2)
+        ren = self._ren
+        td = self._td
+        rows = self._rows
+        keyroots1 = self._keyroots1
+        plans = self._plans
+        icost = self._icost
+        icc = self._ic_value if self._ic_uniform else None
+        if icc is None:
+            ic2 = [0.0] * (n2 + 1)
+            for v in range(1, n2 + 1):
+                ic2[v] = icost[ids2[v]]
+        elif self._row0_scalar_cols < n2 + 1:
+            row0 = rows[0]
+            for x in range(self._row0_scalar_cols, n2 + 1):
+                row0[x] = x * icc
+            self._row0_scalar_cols = n2 + 1
+
+        # Document keyroots drive the outer loop so the per-column data
+        # below is computed once per document keyroot, not once per
+        # pair.  Validity of the order: the ``else`` branch reads
+        # td[u][v] whose owning keyroot pair has a strictly smaller
+        # document keyroot, or the same one with a smaller query
+        # keyroot — both already processed.
+        for j in doc.keyroots():
+            lj = lmls2[j]
+            nj = j - lj + 1
+            if nj == 1:
+                # Leaf document keyroot — half the keyroots of typical
+                # documents.  The forest table degenerates to a single
+                # column, whose inputs (column 0 and the leaf's insert
+                # cost) are already known, so the pair runs without
+                # touching the row buffers or allocating any slice.
+                i2 = ids2[j]
+                icv = icc if icc is not None else icost[i2]
+                for (c0, plan) in plans:
+                    prevc = icv  # fd[row above][leaf column]
+                    di = 0
+                    for u, off1, i1, dc in plan:
+                        td_u = td[u]
+                        if i1 >= 0:
+                            # Both prefixes complete: match by rename.
+                            best = c0[di] + ren[i1][i2]
+                        else:
+                            best = c0[off1] + td_u[j]
+                        alt = prevc + dc
+                        if alt < best:
+                            best = alt
+                        di += 1
+                        alt = c0[di] + icv
+                        if alt < best:
+                            best = alt
+                        if i1 >= 0:
+                            td_u[j] = best
+                        prevc = best
+                continue
+            njp1 = nj + 1
+            off2_slice = [x - lj for x in lmls2[lj : j + 1]]
+            id2_slice = ids2[lj : j + 1]
+            row0 = rows[0]
+            if icc is not None and nj <= 48:
+                # Small non-leaf document keyroot, uniform inserts: an
+                # indexed loop beats the zip pipelines because it does
+                # not allocate the two per-row slice views.
+                for (c0, plan) in plans:
+                    for di in range(1, len(c0)):
+                        rows[di][0] = c0[di]
+                    prev_row = row0
+                    di = 0
+                    for u, off1, i1, dc in plan:
+                        di += 1
+                        row = rows[di]
+                        bnd = rows[off1]
+                        td_u = td[u]
+                        acc = row[0]
+                        if i1 >= 0:
+                            ren_row = ren[i1]
+                            diag = prev_row[0]
+                            for dj in range(1, njp1):
+                                pr = prev_row[dj]
+                                off2 = off2_slice[dj - 1]
+                                v = lj + dj - 1
+                                if off2:
+                                    best = bnd[off2] + td_u[v]
+                                else:
+                                    best = diag + ren_row[id2_slice[dj - 1]]
+                                alt = pr + dc
+                                if alt < best:
+                                    best = alt
+                                alt = acc + icc
+                                if alt < best:
+                                    best = alt
+                                if not off2:
+                                    td_u[v] = best
+                                row[dj] = best
+                                acc = best
+                                diag = pr
+                        else:
+                            for dj in range(1, njp1):
+                                off2 = off2_slice[dj - 1]
+                                best = bnd[off2] + td_u[lj + dj - 1]
+                                alt = prev_row[dj] + dc
+                                if alt < best:
+                                    best = alt
+                                alt = acc + icc
+                                if alt < best:
+                                    best = alt
+                                row[dj] = best
+                                acc = best
+                        prev_row = row
+                continue
+            if icc is None:
+                # Row 0: insert-cost prefix sums (independent of the
+                # query keyroot, shared by every pair with this
+                # document keyroot).  For uniform inserts row 0 is
+                # already position-proportional; see _compute above.
+                ic_slice = ic2[lj : j + 1]
+                row0[0] = 0.0
+                acc = 0.0
+                dj = 0
+                for ic in ic_slice:
+                    dj += 1
+                    acc += ic
+                    row0[dj] = acc
+            for (c0, plan) in plans:
+                # Column 0: delete-cost prefix sums, precomputed.
+                for di in range(1, len(c0)):
+                    rows[di][0] = c0[di]
+                prev_row = row0
+                di = 0
+                for u, off1, i1, dc in plan:
+                    di += 1
+                    row = rows[di]
+                    bnd = rows[off1]  # fd over the forest left of T1_u
+                    td_u = td[u]
+                    # Snapshot td[u][lj..j]; every value read below was
+                    # written by an earlier keyroot pair, never by this
+                    # row (reads and writes target disjoint cells).
+                    td_view = td_u[lj : j + 1]
+                    prev_view = prev_row[1:njp1]
+                    acc = row[0]
+                    if i1 >= 0:
+                        # Left-path node: the query prefix is a complete
+                        # subtree, so whenever the document prefix is
+                        # too (off2 == 0) the match case applies and the
+                        # cell doubles as the tree distance td[u][v].
+                        ren_row = ren[i1]
+                        diag = prev_row[0]
+                        base2 = lj - 1  # td_u write index is base2 + dj
+                        dj = 0
+                        if icc is None:
+                            for pr, ic, off2, i2, tdv in zip(
+                                prev_view,
+                                ic_slice,
+                                off2_slice,
+                                id2_slice,
+                                td_view,
+                            ):
+                                dj += 1
+                                if off2:
+                                    best = bnd[off2] + tdv
+                                    alt = pr + dc
+                                    if alt < best:
+                                        best = alt
+                                    alt = acc + ic
+                                    if alt < best:
+                                        best = alt
+                                else:
+                                    best = diag + ren_row[i2]
+                                    alt = pr + dc
+                                    if alt < best:
+                                        best = alt
+                                    alt = acc + ic
+                                    if alt < best:
+                                        best = alt
+                                    td_u[base2 + dj] = best
+                                row[dj] = best
+                                acc = best
+                                diag = pr
+                        else:
+                            for pr, off2, i2, tdv in zip(
+                                prev_view, off2_slice, id2_slice, td_view
+                            ):
+                                dj += 1
+                                if off2:
+                                    best = bnd[off2] + tdv
+                                    alt = pr + dc
+                                    if alt < best:
+                                        best = alt
+                                    alt = acc + icc
+                                    if alt < best:
+                                        best = alt
+                                else:
+                                    best = diag + ren_row[i2]
+                                    alt = pr + dc
+                                    if alt < best:
+                                        best = alt
+                                    alt = acc + icc
+                                    if alt < best:
+                                        best = alt
+                                    td_u[base2 + dj] = best
+                                row[dj] = best
+                                acc = best
+                                diag = pr
+                    else:
+                        # Off the left path: the query prefix is a
+                        # forest, the match case always goes through the
+                        # already-known tree distance td[u][v].
+                        dj = 0
+                        if icc is None:
+                            for pr, ic, off2, tdv in zip(
+                                prev_view, ic_slice, off2_slice, td_view
+                            ):
+                                dj += 1
+                                best = bnd[off2] + tdv
+                                alt = pr + dc
+                                if alt < best:
+                                    best = alt
+                                alt = acc + ic
+                                if alt < best:
+                                    best = alt
+                                row[dj] = best
+                                acc = best
+                        else:
+                            for pr, off2, tdv in zip(
+                                prev_view, off2_slice, td_view
+                            ):
+                                dj += 1
+                                best = bnd[off2] + tdv
+                                alt = pr + dc
+                                if alt < best:
+                                    best = alt
+                                alt = acc + icc
+                                if alt < best:
+                                    best = alt
+                                row[dj] = best
+                                acc = best
+                    prev_row = row
 
 
 def ted_matrix(
@@ -95,21 +468,14 @@ def ted_matrix(
     is covered because each node belongs to exactly one keyroot's
     relevant subtree with the same leftmost leaf.
     """
-    if cost is None:
-        cost = UnitCostModel()
-    validate_cost_model(cost)
-    td: List[List[float]] = [
-        [0.0] * (len(t2) + 1) for _ in range(len(t1) + 1)
-    ]
-    for i in t1.keyroots():
-        for j in t2.keyroots():
-            _forest_distances(t1, t2, i, j, td, cost)
-    return td
+    return PrefixDistanceKernel(t1, cost).matrix(t2)
 
 
 def ted(t1: Tree, t2: Tree, cost: Optional[CostModel] = None) -> float:
     """Tree edit distance between ``t1`` and ``t2``."""
-    return ted_matrix(t1, t2, cost)[len(t1)][len(t2)]
+    kernel = PrefixDistanceKernel(t1, cost)
+    kernel._compute(t2)
+    return kernel._td[len(t1)][len(t2)]
 
 
 def prefix_distance(
@@ -122,5 +488,4 @@ def prefix_distance(
     the paper's prefix-array byproduct: one Zhang–Shasha run instead of
     ``|tree|`` independent distance computations.
     """
-    td = ted_matrix(query, tree, cost)
-    return td[len(query)]
+    return PrefixDistanceKernel(query, cost).distances(tree)

@@ -40,3 +40,7 @@ class CostModelError(ReproError, ValueError):
 
 class RankingError(ReproError):
     """A top-k ranking request was invalid (e.g. ``k <= 0``)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A synthetic-corpus request was invalid (unknown name, bad size)."""

@@ -91,8 +91,22 @@ class PostorderQueue:
         return self._dequeued
 
     def __iter__(self) -> Iterator[Pair]:
-        while not self.empty:
-            yield self.dequeue()
+        # Semantically repeated dequeueing (Definition 2), but without
+        # the per-pair empty/dequeue call overhead — this is the hot
+        # loop of TASM-postorder.  Interleaving with direct dequeue()
+        # calls stays safe: the peek slot is re-checked every step.
+        while True:
+            if self._peeked is not None:
+                pair = self._peeked
+                self._peeked = None
+            else:
+                try:
+                    pair = next(self._iter)
+                except StopIteration:
+                    self._exhausted = True
+                    return
+            self._dequeued += 1
+            yield pair
 
     # ------------------------------------------------------------------
     # Materialisation (consumes the queue)

@@ -7,8 +7,11 @@
 * :mod:`~repro.tasm.postorder` — :func:`tasm_postorder` (Algorithms
   2/3), one pass over a postorder queue with memory independent of the
   document size.
+* :mod:`~repro.tasm.batch` — :func:`tasm_batch`, many queries ranked in
+  a single shared document pass.
 """
 
+from .batch import tasm_batch
 from .dynamic import tasm_dynamic
 from .heap import Match, TopKHeap
 from .postorder import PostorderStats, prune_threshold, tasm_postorder
@@ -20,6 +23,7 @@ __all__ = [
     "PrefixRingBuffer",
     "PostorderStats",
     "prune_threshold",
+    "tasm_batch",
     "tasm_dynamic",
     "tasm_postorder",
 ]

@@ -1,0 +1,53 @@
+"""Batch TASM: rank many queries in one pass over the document.
+
+Scanning a multi-gigabyte postorder queue dominates the cost of a TASM
+run, so amortising the scan over a *workload* of queries is the natural
+batching step (the paper evaluates one query per pass; the streaming
+machinery of Algorithms 2/3 is oblivious to how many rankings hang off
+it).  :func:`tasm_batch` shares one prefix ring buffer across all
+queries — sized by the **largest** per-query threshold, with the pruning
+limit at any instant the maximum of the per-query thresholds, so every
+prune decision is provably safe for every query — and scores each
+retired candidate against each query's reusable
+:class:`~repro.distance.ted.PrefixDistanceKernel`.
+
+Memory stays independent of the document size: O(sum_i (k + |Q_i|)) for
+the heaps and kernels plus the shared ring of max_i (k + 2|Q_i| - 1)
+entries (unit costs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
+from ..errors import RankingError
+from ..trees.tree import Tree
+from .heap import Match
+from .postorder import PostorderStats, QueueLike, _stream_topk
+
+__all__ = ["tasm_batch"]
+
+
+def tasm_batch(
+    queries: Iterable[Tree],
+    queue: QueueLike,
+    k: int,
+    cost: Optional[CostModel] = None,
+    stats: Optional[PostorderStats] = None,
+) -> List[List[Match]]:
+    """Top-``k`` rankings of every query in one document pass.
+
+    Returns one best-first ranking per query, in query order — each
+    identical to what :func:`~repro.tasm.postorder.tasm_postorder`
+    (and :func:`~repro.tasm.dynamic.tasm_dynamic`) would return for
+    that query alone.  ``stats``, if given, instruments the single
+    shared pass (ring capacity is the largest per-query threshold).
+    """
+    query_list = list(queries)
+    if not query_list:
+        raise RankingError("tasm_batch needs at least one query")
+    if cost is None:
+        cost = UnitCostModel()
+    validate_cost_model(cost)
+    return _stream_topk(query_list, queue, k, cost, stats)

@@ -36,8 +36,15 @@ def tasm_dynamic(
     validate_cost_model(cost)
     heap = TopKHeap(k)
     distances = prefix_distance(query, document, cost)
+    # Fast-reject scan: most subtrees lose against the current worst
+    # ranked distance, so that comparison runs on a cached float and
+    # the heap is only consulted for actual entries.
+    worst = None  # None until the ranking is full
     for j in document.node_ids():
         d = distances[j]
-        if heap.accepts(d):
-            heap.push(Match(distance=d, root=j, source=document, source_root=j))
+        if worst is not None and d >= worst:
+            continue
+        heap.push(Match(distance=d, root=j, source=document, source_root=j))
+        if heap.full:
+            worst = heap.max_distance
     return heap.ranking()

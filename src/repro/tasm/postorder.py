@@ -16,25 +16,34 @@ Two pruning rules bound the buffered prefix:
   ``k + 2|Q| - 1``.
 * **dynamic** — once the heap holds ``k`` matches, the same size lower
   bound is compared against the *actual* worst ranked distance, which
-  only shrinks the threshold further.
+  only shrinks the threshold further.  The comparison is strict: a
+  subtree whose lower bound *equals* the worst ranked distance can at
+  best tie, and ties never evict the incumbent
+  (:meth:`~repro.tasm.heap.TopKHeap.push`), so the largest admissible
+  size is ``|Q| + ceil(max_distance / min_indel) - 1``.
 
 Nodes stream through a :class:`~repro.tasm.ring.PrefixRingBuffer` of
-capacity ``threshold + 1``.  When the buffer is about to overflow, the
-maximal candidate subtree containing the oldest entry is — provably —
-already fully buffered, so it can be evaluated (one
-:func:`~repro.distance.ted.prefix_distance` run scores all of its
-subtrees at once) and retired.  A dequeued node larger than the
-threshold can never be part of a candidate, and neither can any of its
-ancestors, so its arrival retires the whole buffer.
+capacity ``threshold``.  When the buffer fills, the maximal candidate
+subtree containing the oldest entry is — provably — already fully
+buffered (any later node covering the head would root a subtree larger
+than the threshold), so it can be evaluated (one
+:meth:`~repro.distance.ted.PrefixDistanceKernel.distances` run scores
+all of its subtrees at once) and retired.  A dequeued node larger than
+the threshold can never be part of a candidate, and neither can any of
+its ancestors, so its arrival retires the whole buffer.
+
+The same streaming core ranks several queries in one pass; see
+:func:`repro.tasm.batch.tasm_batch`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Union
+from math import ceil
+from typing import Iterable, List, Optional, Sequence, Union
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
-from ..distance.ted import prefix_distance
+from ..distance.ted import PrefixDistanceKernel
 from ..postorder.queue import PostorderQueue
 from ..trees.tree import Tree
 from .heap import Match, TopKHeap
@@ -70,12 +79,192 @@ class PostorderStats:
 QueueLike = Union[PostorderQueue, Tree, Iterable]
 
 
+
+
 def _as_queue(source: QueueLike) -> PostorderQueue:
     if isinstance(source, PostorderQueue):
         return source
     if isinstance(source, Tree):
         return PostorderQueue.from_tree(source)
     return PostorderQueue.from_pairs(source)
+
+
+def _stream_topk(
+    queries: Sequence[Tree],
+    source: QueueLike,
+    k: int,
+    cost: CostModel,
+    stats: Optional[PostorderStats],
+) -> List[List[Match]]:
+    """One postorder pass ranking every query; the core of Algorithms 2/3.
+
+    The ring buffer is shared: its capacity is the *maximum* per-query
+    threshold, and the pruning limit at any instant is the maximum of
+    the per-query (statically or dynamically tightened) thresholds — a
+    node prunable under the shared limit is prunable for every query.
+    Evaluated candidates are scored once per query against that query's
+    reusable :class:`PrefixDistanceKernel`.
+    """
+    q = _as_queue(source)
+    heaps = [TopKHeap(k) for _ in queries]  # validates k
+    kernels = [PrefixDistanceKernel(query, cost) for query in queries]
+    q_sizes = [len(query) for query in queries]
+    statics = [prune_threshold(k, q_size, cost) for q_size in q_sizes]
+    min_indel = cost.min_indel
+    capacity = max(statics)
+    buffer = PrefixRingBuffer(capacity)
+    if stats is not None:
+        stats.ring_capacity = capacity
+
+    def threshold() -> int:
+        # Per-query bounds only ever tighten: each heap's max distance
+        # is non-increasing once its ranking is full.  The shared limit
+        # is the loosest of them.
+        limit = 0
+        for heap, q_size, static in zip(heaps, q_sizes, statics):
+            bound = static
+            if heap.full:
+                # Strict: size s helps only if min_indel * (s - |Q|)
+                # is strictly below the worst ranked distance.
+                dynamic = q_size + ceil(heap.max_distance / min_indel) - 1
+                if dynamic < bound:
+                    bound = dynamic
+            if bound > limit:
+                limit = bound
+        return limit
+
+    # The heaps — and with them the dynamic bounds — change only inside
+    # evaluate_groups(), so the shared limit is cached between
+    # evaluations instead of being recomputed per dequeued node.
+    limit = capacity
+
+    def evaluate_groups(groups: List[List]) -> None:
+        # Each group is a complete candidate subtree in postorder.  All
+        # groups are scored in ONE prefix-distance run per query: they
+        # are grafted under a virtual root, which leaves the distance
+        # of every real subtree untouched (no real subtree contains the
+        # virtual root) while amortising the kernel invocation across
+        # the whole retirement batch.  The virtual root reuses a label
+        # already present in the batch: its label only influences cells
+        # that are discarded (its own row and column), and reusing a
+        # real label keeps synthetic values away from user cost models
+        # and label tables.
+        nonlocal limit
+        pairs: List = []
+        positions: List[int] = [0]  # local id -> global postorder position
+        for entries in groups:
+            for entry in entries:
+                positions.append(entry[0])
+                pairs.append(entry[1:])
+        total = len(pairs)
+        pairs.append((pairs[0][0], total + 1))
+        candidate = Tree.from_postorder(pairs)
+        if stats is not None:
+            stats.candidates_evaluated += len(groups)
+            stats.subtrees_scored += total
+        for kernel, heap in zip(kernels, heaps):
+            distances = kernel.distances(candidate)
+            # Fast-reject against a cached worst ranked distance; the
+            # heap is only consulted for actual entries.  The virtual
+            # root (local id total + 1) is never offered.
+            worst = heap.max_distance if heap.full else None
+            for local in range(1, total + 1):
+                d = distances[local]
+                if worst is not None and d >= worst:
+                    continue
+                heap.push(
+                    Match(
+                        distance=d,
+                        root=positions[local],
+                        source=candidate,
+                        source_root=local,
+                    )
+                )
+                if heap.full:
+                    worst = heap.max_distance
+        limit = threshold()
+
+    def pop_head_candidate() -> Optional[List]:
+        # Pop the maximal candidate subtree containing the oldest
+        # buffered node, or prune the head and return None if no
+        # buffered candidate within the limit covers it (its subtree
+        # outgrew the shrunken dynamic threshold after buffering).
+        # Laminarity of postorder intervals guarantees the candidate
+        # starts exactly at the head, and the capacity/arrival
+        # arguments guarantee its root is already buffered.  The
+        # buffered entries cover consecutive stream positions (appends
+        # are consecutive, flushes pop a prefix, and oversized arrivals
+        # empty the buffer before being skipped), so the root search
+        # walks backwards from the tail jumping over whole subtrees:
+        # an entry of size s that does not reach the head closes a
+        # complete subtree occupying the s entries ending at it.  Each
+        # probe therefore lands on a maximal candidate root or an
+        # ancestor of the head, never on interior nodes; ancestors of
+        # the head form a chain of strictly growing sizes, so the
+        # topmost one within the limit roots the maximal candidate.
+        head_pos = buffer[0][0]
+        idx = len(buffer) - 1
+        while idx >= 0:
+            pos, _, size = buffer[idx]
+            if pos - size + 1 <= head_pos:
+                if size <= limit:
+                    return [buffer.popleft() for _ in range(idx + 1)]
+                idx -= 1
+            else:
+                idx -= size
+        buffer.popleft()
+        if stats is not None:
+            stats.pruned_buffered += 1
+        return None
+
+    def flush_head() -> None:
+        # Retire the head's maximal candidate to free one ring slot.
+        group = pop_head_candidate()
+        if group is not None:
+            evaluate_groups([group])
+
+    def flush_all() -> None:
+        # Wholesale retirement: every buffered node's fate is decided
+        # (an oversized node arrived, or the stream ended), so all the
+        # maximal candidates in the buffer are collected first and
+        # scored in a single batched evaluation per query.  Evaluating
+        # with the pre-batch limit can only score *extra* subtrees
+        # whose lower bound already ties the worst ranked distance —
+        # the strict heap test rejects them, so the ranking is the
+        # same as sequential flushing.
+        groups: List[List] = []
+        while len(buffer):
+            group = pop_head_candidate()
+            if group is not None:
+                groups.append(group)
+        if groups:
+            evaluate_groups(groups)
+
+    position = 0
+    for label, size in q:
+        position += 1
+        if size > limit:
+            # Not a candidate — and every node still buffered can never
+            # be inside a *future* candidate (any subtree containing it
+            # also contains this node and is therefore even larger), so
+            # the whole buffer can be retired now.
+            if stats is not None:
+                stats.pruned_large += 1
+            flush_all()
+            continue
+        buffer.append((position, label, size))
+        if len(buffer) == capacity:
+            # The buffer spans `capacity` positions: any later node
+            # covering the head roots a subtree larger than every
+            # threshold, so the maximal candidate containing the head
+            # is fully determined.
+            flush_head()
+    flush_all()
+
+    if stats is not None:
+        stats.dequeued = q.dequeued
+        stats.peak_buffered = buffer.peak
+    return [heap.ranking() for heap in heaps]
 
 
 def tasm_postorder(
@@ -95,90 +284,4 @@ def tasm_postorder(
     if cost is None:
         cost = UnitCostModel()
     validate_cost_model(cost)
-    q = _as_queue(queue)
-    heap = TopKHeap(k)  # validates k
-    q_size = len(query)
-    static_threshold = prune_threshold(k, q_size, cost)
-    buffer = PrefixRingBuffer(static_threshold + 1)
-    if stats is not None:
-        stats.ring_capacity = buffer.capacity
-
-    def threshold() -> int:
-        # The dynamic bound only ever tightens: the heap's max distance
-        # is non-increasing once the ranking is full.
-        if heap.full:
-            dynamic = q_size + int(heap.max_distance // cost.min_indel)
-            if dynamic < static_threshold:
-                return dynamic
-        return static_threshold
-
-    def evaluate(entries: List) -> None:
-        # `entries` is a complete subtree in postorder; one prefix-
-        # distance run scores it and every subtree inside it.
-        candidate = Tree.from_postorder(
-            (label, size) for _, label, size in entries
-        )
-        base = entries[0][0]  # global position of the leftmost leaf
-        distances = prefix_distance(query, candidate, cost)
-        if stats is not None:
-            stats.candidates_evaluated += 1
-            stats.subtrees_scored += len(candidate)
-        for local in candidate.node_ids():
-            d = distances[local]
-            if heap.accepts(d):
-                heap.push(
-                    Match(
-                        distance=d,
-                        root=base + local - 1,
-                        source=candidate,
-                        source_root=local,
-                    )
-                )
-
-    def flush_head() -> None:
-        # Retire the maximal candidate subtree containing the oldest
-        # buffered node.  Laminarity of postorder intervals guarantees
-        # it starts exactly at the head, and the capacity/arrival
-        # arguments guarantee its root is already buffered.
-        limit = threshold()
-        head_pos = buffer[0][0]
-        root_idx = -1
-        for idx in range(len(buffer)):
-            pos, _, size = buffer[idx]
-            if pos - size + 1 <= head_pos and size <= limit:
-                root_idx = idx
-        if root_idx < 0:
-            # The head node's subtree outgrew the (shrunken) dynamic
-            # threshold after it was buffered: prune it unevaluated.
-            buffer.popleft()
-            if stats is not None:
-                stats.pruned_buffered += 1
-            return
-        evaluate([buffer.popleft() for _ in range(root_idx + 1)])
-
-    position = 0
-    while not q.empty:
-        label, size = q.dequeue()
-        position += 1
-        if size > threshold():
-            # Not a candidate — and every node still buffered can never
-            # be inside a *future* candidate (any subtree containing it
-            # also contains this node and is therefore even larger), so
-            # the whole buffer can be retired now.
-            if stats is not None:
-                stats.pruned_large += 1
-            while len(buffer):
-                flush_head()
-            continue
-        buffer.append((position, label, size))
-        if len(buffer) == buffer.capacity:
-            # Buffer spans threshold+1 positions: the maximal candidate
-            # containing the head is fully determined.
-            flush_head()
-    while len(buffer):
-        flush_head()
-
-    if stats is not None:
-        stats.dequeued = q.dequeued
-        stats.peak_buffered = buffer.peak
-    return heap.ranking()
+    return _stream_topk([query], queue, k, cost, stats)[0]

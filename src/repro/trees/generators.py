@@ -1,8 +1,11 @@
 """Random ordered-tree generators.
 
 These generators provide controlled structural variety for tests,
-property-based checks, and micro-benchmarks.  Document-scale *dataset*
-generators (XMark/DBLP/PSD lookalikes) live in :mod:`repro.datasets`.
+property-based checks, and micro-benchmarks: abstract shapes (spines,
+stars, caterpillars, random attachments) with single-character labels.
+For document-scale *corpora* — XMark/DBLP/PSD-lookalike XML streamed to
+disk, as used by the paper's experiments — use
+:func:`repro.datasets.generate` and friends instead.
 
 All generators are deterministic given a seed (or an explicit
 :class:`random.Random`), which the experiment harness relies on.

@@ -1,0 +1,116 @@
+"""tasm_batch: one document pass, per-query rankings unchanged.
+
+The batch API must return, for every query, exactly the ranking the
+single-query algorithms produce — the shared ring buffer and the
+max-over-queries pruning limit must never change any individual
+result.
+"""
+
+import random
+
+import pytest
+
+from repro.distance import UnitCostModel, WeightedCostModel
+from repro.errors import RankingError
+from repro.postorder import PostorderQueue
+from repro.tasm import (
+    PostorderStats,
+    prune_threshold,
+    tasm_batch,
+    tasm_dynamic,
+    tasm_postorder,
+)
+from repro.trees import Tree, random_tree
+from repro.xmlio import write_xml
+
+
+def _workload(seed, n_docs=12):
+    rng = random.Random(seed)
+    for _ in range(n_docs):
+        doc = random_tree(rng.randint(5, 60), seed=rng.randrange(10**6))
+        queries = [
+            random_tree(rng.randint(1, 7), seed=rng.randrange(10**6))
+            for _ in range(rng.randint(2, 4))
+        ]
+        k = rng.choice([1, 2, 3, 5])
+        yield doc, queries, k
+
+
+def test_batch_matches_per_query_dynamic():
+    for i, (doc, queries, k) in enumerate(_workload(seed=101)):
+        rankings = tasm_batch(queries, PostorderQueue.from_tree(doc), k)
+        assert len(rankings) == len(queries)
+        for qi, (query, ranking) in enumerate(zip(queries, rankings)):
+            expected = tasm_dynamic(query, doc, k)
+            assert sorted(m.distance for m in ranking) == sorted(
+                m.distance for m in expected
+            ), f"workload {i}, query {qi}: |doc|={len(doc)} k={k}"
+
+
+def test_batch_matches_per_query_postorder_roots():
+    # Stronger than the distance multiset: batch and single-query
+    # postorder runs must agree on (distance, root) pairs.
+    for doc, queries, k in _workload(seed=202, n_docs=6):
+        rankings = tasm_batch(queries, PostorderQueue.from_tree(doc), k)
+        for query, ranking in zip(queries, rankings):
+            solo = tasm_postorder(query, PostorderQueue.from_tree(doc), k)
+            assert [(m.distance, m.root) for m in ranking] == [
+                (m.distance, m.root) for m in solo
+            ]
+
+
+def test_single_query_batch_equals_tasm_postorder():
+    doc = random_tree(80, seed=7)
+    query = random_tree(5, seed=8)
+    [batch] = tasm_batch([query], PostorderQueue.from_tree(doc), 4)
+    solo = tasm_postorder(query, PostorderQueue.from_tree(doc), 4)
+    assert [(m.distance, m.root) for m in batch] == [
+        (m.distance, m.root) for m in solo
+    ]
+
+
+def test_shared_ring_sized_by_largest_threshold():
+    cost = UnitCostModel()
+    queries = [random_tree(2, seed=1), random_tree(9, seed=2)]
+    k = 3
+    stats = PostorderStats()
+    doc = random_tree(300, seed=3)
+    tasm_batch(queries, PostorderQueue.from_tree(doc), k, stats=stats)
+    assert stats.ring_capacity == max(
+        prune_threshold(k, len(q), cost) for q in queries
+    )
+    assert stats.peak_buffered <= stats.ring_capacity
+    assert stats.dequeued == len(doc)
+
+
+def test_batch_over_streamed_xml(tmp_path):
+    doc = random_tree(120, seed=21, labels="abcde")
+    path = str(tmp_path / "doc.xml")
+    write_xml(doc, path)
+    queries = [random_tree(3, seed=22), random_tree(4, seed=23)]
+    rankings = tasm_batch(queries, PostorderQueue.from_xml_file(path), 3)
+    for query, ranking in zip(queries, rankings):
+        expected = tasm_dynamic(query, doc, 3)
+        assert sorted(m.distance for m in ranking) == sorted(
+            m.distance for m in expected
+        )
+
+
+def test_batch_weighted_cost():
+    cost = WeightedCostModel(rename_cost=2.0, delete_cost=1.5, insert_cost=1.0)
+    doc = random_tree(70, seed=31)
+    queries = [random_tree(4, seed=32), random_tree(6, seed=33)]
+    rankings = tasm_batch(queries, PostorderQueue.from_tree(doc), 2, cost)
+    for query, ranking in zip(queries, rankings):
+        expected = tasm_dynamic(query, doc, 2, cost)
+        assert sorted(m.distance for m in ranking) == sorted(
+            m.distance for m in expected
+        )
+
+
+def test_batch_requires_queries_and_valid_k():
+    doc = Tree.from_bracket("{a{b}}")
+    with pytest.raises(RankingError):
+        tasm_batch([], doc, 3)
+    with pytest.raises(RankingError):
+        tasm_batch([doc], doc, 0)

@@ -46,3 +46,74 @@ def test_cli_error_paths(capsys):
     assert main(["ted", "{a}", "{unbalanced"]) == 1
     assert "error" in capsys.readouterr().err
     assert main(["tasm", "{a}", "/nonexistent/file.xml"]) == 1
+
+
+def test_malformed_xml_exits_one_with_error_message(capsys, tmp_path):
+    path = str(tmp_path / "broken.xml")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("<dblp><article><title>x</title></dblp>")
+    assert main(["tasm", "{article{title}}", path, "-k", "2"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:")
+    assert "malformed XML" in err
+
+
+def test_query_file_batch_text_and_json(capsys, tmp_path):
+    doc = Tree.from_bracket(
+        "{dblp{article{title}{year}}{book{title}}{article{title}}}"
+    )
+    doc_path = str(tmp_path / "doc.xml")
+    write_xml(doc, doc_path)
+    qfile = str(tmp_path / "queries.txt")
+    with open(qfile, "w", encoding="utf-8") as fh:
+        fh.write("# workload\n{article{title}{year}}\n\n{book{title}}\n")
+
+    assert main(["tasm", doc_path, "--query-file", qfile, "-k", "1"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert [line.split("\t")[0] for line in lines] == ["q1", "q2"]
+    assert lines[0].split("\t")[1:3] == ["1", "0"]  # exact match for q1
+
+    assert (
+        main(["tasm", doc_path, "--query-file", qfile, "-k", "1", "--json"]) == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert [entry["query"] for entry in payload] == [1, 2]
+    assert payload[0]["matches"][0]["distance"] == 0
+    assert payload[0]["matches"][0]["subtree"] == "{article{title}{year}}"
+    assert payload[1]["matches"][0]["distance"] == 0
+
+
+def test_query_file_agrees_with_dynamic_algorithm(capsys, tmp_path):
+    doc = Tree.from_bracket("{r{a{b}{c}}{a{b}{d}}{e{a{b}}}}")
+    qfile = str(tmp_path / "queries.txt")
+    with open(qfile, "w", encoding="utf-8") as fh:
+        fh.write("{a{b}{c}}\n{a{b}}\n")
+    args = [doc.to_bracket(), "--query-file", qfile, "-k", "2"]
+    assert main(["tasm"] + args + ["--algorithm", "postorder"]) == 0
+    postorder_out = capsys.readouterr().out
+    assert main(["tasm"] + args + ["--algorithm", "dynamic"]) == 0
+    assert capsys.readouterr().out == postorder_out
+
+
+def test_query_and_query_file_are_exclusive(capsys, tmp_path):
+    qfile = str(tmp_path / "queries.txt")
+    with open(qfile, "w", encoding="utf-8") as fh:
+        fh.write("{a}\n")
+    assert main(["tasm", "{a}", "{a{b}}", "--query-file", qfile]) == 1
+    assert "not both" in capsys.readouterr().err
+    assert main(["tasm", "{a{b}}"]) == 1
+    assert "required" in capsys.readouterr().err
+    with open(qfile, "w", encoding="utf-8") as fh:
+        fh.write("# only comments\n")
+    assert main(["tasm", "{a{b}}", "--query-file", qfile]) == 1
+    assert "no queries" in capsys.readouterr().err
+
+
+def test_dataset_subcommand(capsys, tmp_path):
+    out = str(tmp_path / "corpus.xml")
+    assert main(["dataset", "dblp", out, "--nodes", "800", "--seed", "3"]) == 0
+    message = capsys.readouterr().out
+    assert "wrote" in message and "dblp" in message
+    # The generated corpus is immediately usable as a tasm document.
+    assert main(["tasm", "{article{author}{title}}", out, "-k", "1"]) == 0
+    assert len(capsys.readouterr().out.strip().splitlines()) == 1

@@ -1,0 +1,98 @@
+"""Synthetic corpora: parser-exact accounting, determinism, streaming.
+
+The generators' contract is that the returned node count equals the
+node count of the tree the file parses into under the library's own
+conventions, that output is byte-deterministic per seed, and that the
+documents flow through every postorder-queue backend with rankings
+identical to the dynamic baseline and ring peak within the paper's
+``k + 2|Q| - 1`` bound (Figures 9/10).
+"""
+
+import pytest
+
+from repro.datasets import DEFAULT_QUERIES, GENERATORS, generate
+from repro.distance import UnitCostModel
+from repro.errors import DatasetError
+from repro.postorder import IntervalStore, PostorderQueue
+from repro.tasm import PostorderStats, prune_threshold, tasm_dynamic, tasm_postorder
+from repro.trees import Tree
+from repro.trees.tree import validate_tree
+from repro.xmlio import iterparse_postorder, tree_from_xml_file
+
+CORPORA = sorted(GENERATORS)
+
+
+@pytest.mark.parametrize("name", CORPORA)
+def test_node_count_matches_parser(name, tmp_path):
+    path = str(tmp_path / f"{name}.xml")
+    reported = generate(name, path, target_nodes=1500, seed=11)
+    pairs = list(iterparse_postorder(path))
+    assert reported >= 1500
+    assert len(pairs) == reported
+    # The root subtree spans the whole document.
+    assert pairs[-1][1] == reported
+    tree = Tree.from_postorder(iter(pairs))
+    validate_tree(tree)
+
+
+@pytest.mark.parametrize("name", CORPORA)
+def test_deterministic_per_seed(name, tmp_path):
+    a, b, c = (str(tmp_path / f"{i}.xml") for i in "abc")
+    generate(name, a, target_nodes=600, seed=3)
+    generate(name, b, target_nodes=600, seed=3)
+    generate(name, c, target_nodes=600, seed=4)
+    bytes_a = open(a, "rb").read()
+    assert bytes_a == open(b, "rb").read()
+    assert bytes_a != open(c, "rb").read()
+
+
+@pytest.mark.parametrize("name", CORPORA)
+def test_streamed_ranking_matches_dynamic(name, tmp_path):
+    path = str(tmp_path / f"{name}.xml")
+    generate(name, path, target_nodes=2500, seed=5)
+    query = Tree.from_bracket(DEFAULT_QUERIES[name])
+    k = 4
+    stats = PostorderStats()
+    post = tasm_postorder(
+        query, PostorderQueue.from_xml_file(path), k, stats=stats
+    )
+    dyn = tasm_dynamic(query, tree_from_xml_file(path), k)
+    assert sorted(m.distance for m in post) == sorted(m.distance for m in dyn)
+    assert stats.peak_buffered <= prune_threshold(k, len(query), UnitCostModel())
+
+
+def test_corpus_through_interval_store(tmp_path):
+    # Full round trip: streamed XML -> tree -> SQLite interval store ->
+    # SQL postorder scan -> TASM, all agreeing with the dynamic run.
+    path = str(tmp_path / "dblp.xml")
+    generate("dblp", path, target_nodes=1200, seed=9)
+    document = tree_from_xml_file(path)
+    query = Tree.from_bracket(DEFAULT_QUERIES["dblp"])
+    with IntervalStore() as store:
+        doc_id = store.store_tree("dblp", document)
+        post = tasm_postorder(query, store.postorder_queue(doc_id), 3)
+    dyn = tasm_dynamic(query, document, 3)
+    assert sorted(m.distance for m in post) == sorted(m.distance for m in dyn)
+
+
+def test_ring_peak_flat_under_10x_document_growth(tmp_path):
+    # The paper's Figure 9/10 claim: memory depends on k and |Q| only.
+    query = Tree.from_bracket(DEFAULT_QUERIES["xmark"])
+    k = 5
+    bound = prune_threshold(k, len(query), UnitCostModel())
+    peaks = []
+    for nodes in (3000, 30000):
+        path = str(tmp_path / f"xmark-{nodes}.xml")
+        generate("xmark", path, target_nodes=nodes, seed=2)
+        stats = PostorderStats()
+        tasm_postorder(query, PostorderQueue.from_xml_file(path), k, stats=stats)
+        assert stats.peak_buffered <= bound
+        peaks.append(stats.peak_buffered)
+    assert peaks[0] == peaks[1]
+
+
+def test_unknown_corpus_and_bad_size(tmp_path):
+    with pytest.raises(DatasetError):
+        generate("wikipedia", str(tmp_path / "x.xml"), target_nodes=100)
+    with pytest.raises(DatasetError):
+        generate("dblp", str(tmp_path / "x.xml"), target_nodes=3)

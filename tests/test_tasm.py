@@ -160,3 +160,105 @@ def test_invalid_k_raises():
         tasm_postorder(query, query, 0)
     with pytest.raises(RankingError):
         tasm_dynamic(query, query, -2)
+
+
+def test_dynamic_threshold_is_strict():
+    # Regression for the off-by-one: a subtree of size exactly
+    # |Q| + max_distance / min_indel has lower bound >= max_distance
+    # and can never evict the incumbent (ties keep it), so it must be
+    # pruned, not evaluated.
+    query = Tree.from_bracket("{q}")
+    doc = Tree.from_bracket("{root{q}{a}}")  # postorder: q(1), a(2), root(3)
+    stats = PostorderStats()
+    matches = tasm_postorder(query, PostorderQueue.from_tree(doc), 1, stats=stats)
+    # root (size 3) trips the static threshold and retires the buffer;
+    # {q} is evaluated, filling the heap at distance 0.  The strict
+    # dynamic bound is then |Q| + ceil(0/1) - 1 = 0, so {a} (size 1)
+    # must be pruned unevaluated — the non-strict bound would have
+    # evaluated it as a second candidate.
+    assert [m.distance for m in matches] == [0]
+    assert matches[0].root == 1
+    assert stats.candidates_evaluated == 1
+    assert stats.subtrees_scored == 1
+    assert stats.pruned_buffered == 1
+    # The ranking is identical to the dynamic baseline.
+    dyn = tasm_dynamic(query, doc, 1)
+    assert [(m.distance, m.root) for m in matches] == [
+        (m.distance, m.root) for m in dyn
+    ]
+
+
+def test_dynamic_threshold_prunes_exact_boundary_size():
+    # After a distance-0 match of the 2-node query, the strict bound is
+    # |Q| + ceil(0) - 1 = 1: the still-buffered 2-node subtree {a{c}}
+    # sits exactly on the old (non-strict) bound and must now be pruned
+    # from the buffer unevaluated, while the root is an oversized
+    # arrival.  The non-strict bound would have evaluated {a{c}}.
+    query = Tree.from_bracket("{a{b}}")
+    doc = Tree.from_bracket("{r{a{b}}{a{c}}}")
+    stats = PostorderStats()
+    matches = tasm_postorder(query, PostorderQueue.from_tree(doc), 1, stats=stats)
+    assert [m.distance for m in matches] == [0]
+    dyn = tasm_dynamic(query, doc, 1)
+    assert sorted(m.distance for m in dyn) == [0]
+    assert stats.pruned_large == 1  # the document root
+    assert stats.pruned_buffered == 1  # {a{c}}'s root, size == old bound
+    assert stats.subtrees_scored + stats.pruned_large + stats.pruned_buffered == len(doc)
+
+
+def test_ring_capacity_is_paper_bound():
+    # The ring holds at most tau = k + 2|Q| - 1 entries (unit costs):
+    # any later node covering the buffer head would root a subtree
+    # larger than every threshold.
+    query = random_tree(5, seed=1)
+    k = 4
+    tau = k + 2 * len(query) - 1
+    for n in (50, 400, 2000):
+        stats = PostorderStats()
+        doc = random_tree(n, seed=n)
+        tasm_postorder(query, PostorderQueue.from_tree(doc), k, stats=stats)
+        assert stats.ring_capacity == tau
+        assert stats.peak_buffered <= tau
+
+
+def test_label_table_cost_model_survives_batched_retirement():
+    # Regression: batched retirements graft candidates under a virtual
+    # root; its label must never reach the user's cost model, which may
+    # only know the real vocabulary (dict lookups below).
+    class TableCost:
+        min_indel = 1.0
+        max_cost = 2.0
+        _ins = {"r": 1.0, "a": 2.0, "b": 1.0, "c": 1.5}
+
+        def rename(self, a, b):
+            return 0.0 if a == b else min(self._ins[a], self._ins[b])
+
+        def delete(self, label):
+            return self._ins[label]
+
+        def insert(self, label):
+            return self._ins[label]
+
+    cost = TableCost()
+    query = Tree.from_bracket("{a{b}}")
+    doc = Tree.from_bracket("{r{a{b}}{a{c}}{b}{c{a}}}")
+    post = tasm_postorder(query, PostorderQueue.from_tree(doc), 2, cost)
+    dyn = tasm_dynamic(query, doc, 2, cost)
+    assert sorted(m.distance for m in post) == sorted(m.distance for m in dyn)
+
+
+def test_peak_never_exceeds_ring_capacity_property():
+    # Streaming invariant over randomized documents, queries, and k.
+    rng = random.Random(77)
+    for _ in range(25):
+        doc = random_tree(rng.randint(1, 120), seed=rng.randrange(10**6))
+        query = random_tree(rng.randint(1, 9), seed=rng.randrange(10**6))
+        k = rng.choice([1, 2, 4, 7])
+        stats = PostorderStats()
+        tasm_postorder(query, PostorderQueue.from_tree(doc), k, stats=stats)
+        assert stats.peak_buffered <= stats.ring_capacity
+        assert stats.dequeued == len(doc)
+        assert (
+            stats.subtrees_scored + stats.pruned_large + stats.pruned_buffered
+            == len(doc)
+        )

@@ -1,11 +1,19 @@
-"""Tree edit distance: axioms, known distances, prefix array."""
+"""Tree edit distance: axioms, known distances, prefix array, kernel."""
 
 import random
 
 import pytest
 
-from repro.distance import UnitCostModel, WeightedCostModel, prefix_distance, ted
-from repro.trees import Tree, random_tree
+from repro.distance import (
+    PrefixDistanceKernel,
+    UnitCostModel,
+    WeightedCostModel,
+    prefix_distance,
+    ted,
+    ted_matrix,
+)
+from repro.trees import Tree, caterpillar, random_tree, star
+from repro.xmlio.types import Text
 
 
 def naive_ted(t1: Tree, t2: Tree) -> int:
@@ -127,3 +135,99 @@ def test_prefix_distance_equals_per_subtree_ted():
         distances = prefix_distance(query, doc, cost)
         for j in doc.node_ids():
             assert distances[j] == ted(query, doc.subtree(j), cost)
+
+
+def test_kernel_reuse_across_documents():
+    # One kernel, many candidates of varying size — exactly the TASM
+    # evaluation pattern.  Buffer reuse (including shrinking back to a
+    # smaller document) must never leak state between calls.
+    query = random_tree(6, seed=50)
+    kernel = PrefixDistanceKernel(query)
+    for n in (40, 7, 90, 1, 25, 90):
+        doc = random_tree(n, seed=500 + n)
+        assert kernel.distances(doc) == prefix_distance(query, doc)
+
+
+def test_kernel_matrix_matches_ted_matrix():
+    t1 = random_tree(8, seed=61)
+    t2 = random_tree(14, seed=62)
+    kernel = PrefixDistanceKernel(t1)
+    assert kernel.matrix(t2) == ted_matrix(t1, t2)
+    # matrix() returns copies: mutating one must not corrupt the next.
+    m = kernel.matrix(t2)
+    m[len(t1)][len(t2)] = -99.0
+    assert kernel.matrix(t2)[len(t1)][len(t2)] != -99.0
+
+
+def test_kernel_non_uniform_insert_costs():
+    # A label-dependent cost model must fall off the uniform-insert
+    # fast paths and still agree with a from-scratch computation.
+    class PerLabelCost:
+        min_indel = 1.0
+        max_cost = 3.0
+
+        def rename(self, a, b):
+            return 0.0 if a == b else 2.0
+
+        def delete(self, label):
+            return 1.5 if label == "a" else 1.0
+
+        def insert(self, label):
+            return 3.0 if label == "b" else 1.0
+
+    cost = PerLabelCost()
+    rng = random.Random(71)
+    query = random_tree(7, seed=70, labels="ab")
+    kernel = PrefixDistanceKernel(query, cost)
+    for _ in range(8):
+        t2 = random_tree(rng.randint(1, 14), seed=rng.randrange(10**6), labels="ab")
+        distances = kernel.distances(t2)
+        for j in t2.node_ids():
+            assert distances[j] == ted(query, t2.subtree(j), cost)
+
+
+def test_kernel_uniformity_flip_mid_lifetime():
+    # The uniform-insert specialisation must self-correct when a later
+    # document introduces a label with a different insert cost.
+    class FlipCost:
+        min_indel = 1.0
+        max_cost = 2.0
+
+        def rename(self, a, b):
+            return 0.0 if a == b else 1.0
+
+        def delete(self, label):
+            return 1.0
+
+        def insert(self, label):
+            return 2.0 if label == "z" else 1.0
+
+    cost = FlipCost()
+    query = Tree.from_bracket("{a{b}}")
+    kernel = PrefixDistanceKernel(query, cost)
+    plain = Tree.from_bracket("{a{c}}")
+    assert kernel.distances(plain) == prefix_distance(query, plain, cost)
+    flipper = Tree.from_bracket("{a{z}}")  # first non-uniform insert
+    assert kernel.distances(flipper) == prefix_distance(query, flipper, cost)
+    # And back to the earlier document with the generic path active.
+    assert kernel.distances(plain) == prefix_distance(query, plain, cost)
+
+
+def test_text_labels_compare_like_strings():
+    # Interning must preserve Text("x") == "x" (the paper's flat label
+    # alphabet): identical content, zero distance.
+    t1 = Tree.from_postorder([(Text("x"), 1), ("a", 2)])
+    t2 = Tree.from_postorder([("x", 1), ("a", 2)])
+    assert ted(t1, t2) == 0
+
+
+@pytest.mark.parametrize(
+    "shape",
+    [star(60), caterpillar(12, 4), random_tree(60, seed=9, max_fanout=2)],
+    ids=["star", "caterpillar", "deep-random"],
+)
+def test_prefix_distance_shapes_against_subtree_ted(shape):
+    query = random_tree(4, seed=90)
+    distances = prefix_distance(query, shape)
+    for j in list(shape.node_ids())[:25]:
+        assert distances[j] == ted(query, shape.subtree(j))
