@@ -17,6 +17,12 @@ disk, and checks the paper's memory claim: ring peak within the
 analytic ``k + 2|Q| - 1`` bound and rankings identical to the dynamic
 baseline.
 
+A parallel-scaling section (``--workers 1,2,4``) runs the sharded
+engine (:mod:`repro.parallel`) against an IntervalStore copy of the
+corpus and records wall-clock speedup over the single-pass run, with
+hard gates on ranking identity and the per-worker ring-peak bound
+(``cpu_count`` is recorded so speedups are interpretable).
+
 Usage::
 
     python bench/run_bench.py                      # default sweep
@@ -41,6 +47,8 @@ sys.path.insert(
 
 from repro.datasets import DEFAULT_QUERIES, generate  # noqa: E402
 from repro.distance import UnitCostModel, prefix_distance  # noqa: E402
+from repro.parallel import ShardedStats, StoreDocument, tasm_sharded  # noqa: E402
+from repro.postorder.interval import IntervalStore  # noqa: E402
 from repro.postorder.queue import PostorderQueue  # noqa: E402
 from repro.tasm import (  # noqa: E402
     PostorderStats,
@@ -175,6 +183,97 @@ def bench_dataset(name: str, target_nodes: int, k: int, seed: int) -> dict:
     }
 
 
+def bench_parallel(
+    name: str, target_nodes: int, k: int, seed: int, workers_list
+) -> dict:
+    """Parallel-scaling series: sharded runs against the single-pass
+    baseline at the largest corpus size.
+
+    The document lives in an IntervalStore file; the baseline streams
+    it through one SQL postorder scan, and each sharded run plans safe
+    cuts and fans the ranges out to a worker pool reading via
+    ``postorder_range``.  Identity of the rankings (distances, roots,
+    subtrees, tie order) and the per-worker ring-peak bound are
+    *checked*, not just reported; the wall-clock speedup depends on
+    ``cpu_count`` and is recorded alongside it.
+    """
+    query = Tree.from_bracket(DEFAULT_QUERIES[name])
+    bound = prune_threshold(k, len(query), UnitCostModel())
+    with tempfile.TemporaryDirectory() as tmp:
+        xml_path = os.path.join(tmp, f"{name}.xml")
+        nodes = generate(name, xml_path, target_nodes=target_nodes, seed=seed)
+        db_path = os.path.join(tmp, f"{name}.db")
+        with IntervalStore(db_path) as store:
+            doc_id = store.store_tree(name, tree_from_xml_file(xml_path))
+
+        with IntervalStore.open_readonly(db_path) as store:
+            t0 = time.perf_counter()
+            c0 = time.process_time()
+            base = tasm_postorder(query, store.postorder_queue(doc_id), k)
+            base_cpu = time.process_time() - c0
+            base_elapsed = time.perf_counter() - t0
+        base_key = [
+            (m.distance, m.root, m.subtree.to_bracket()) for m in base
+        ]
+
+        series = []
+        for workers in workers_list:
+            stats = ShardedStats()
+            t0 = time.perf_counter()
+            ranking = tasm_sharded(
+                query,
+                StoreDocument(db_path, doc_id),
+                k,
+                workers=workers,
+                stats=stats,
+            )
+            elapsed = time.perf_counter() - t0
+            key = [
+                (m.distance, m.root, m.subtree.to_bracket()) for m in ranking
+            ]
+            peaks = [s.peak_buffered for s in stats.shard_stats]
+            # The critical path (slowest shard, by its worker's own CPU
+            # time) is what the wall clock becomes once the host has
+            # >= `workers` cores; on fewer cores the wall-clock number
+            # is dominated by time-slicing and pool overhead.
+            critical = max(stats.shard_cpu_seconds, default=elapsed)
+            series.append(
+                {
+                    "workers": workers,
+                    "shards": len(stats.plan.shards) if stats.plan else 1,
+                    "seconds": round(elapsed, 3),
+                    "nodes_per_sec": round(nodes / elapsed) if elapsed else None,
+                    "speedup_vs_single_pass": (
+                        round(base_elapsed / elapsed, 3) if elapsed else None
+                    ),
+                    "critical_path_cpu_seconds": round(critical, 3),
+                    "speedup_critical_path": (
+                        round(base_cpu / critical, 3) if critical else None
+                    ),
+                    "ranking_identical_to_single_pass": key == base_key,
+                    "per_worker_peak_ring_buffer": peaks,
+                    "worker_peaks_within_bound": all(p <= bound for p in peaks),
+                }
+            )
+    return {
+        "dataset": name,
+        "doc_nodes": nodes,
+        "query_nodes": len(query),
+        "k": k,
+        "ring_bound": bound,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "speedup_vs_single_pass is wall clock and needs cpu_count >= "
+            "workers to manifest; speedup_critical_path (slowest shard's "
+            "own CPU time vs the single pass's CPU time) is the "
+            "hardware-independent measure of the achieved work partition"
+        ),
+        "single_pass_seconds": round(base_elapsed, 3),
+        "single_pass_cpu_seconds": round(base_cpu, 3),
+        "series": series,
+    }
+
+
 def _load_previous(path: str) -> dict:
     """Previous bench rows keyed by document size (missing file: {})."""
     try:
@@ -214,6 +313,12 @@ def main(argv=None) -> int:
         help="output JSON path (default: repo-root BENCH_tasm.json)",
     )
     parser.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated worker counts for the parallel-scaling "
+        "series at the corpus size (default 1,2,4; empty skips)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny configuration for CI (overrides --sizes/--k/--dataset)",
@@ -231,10 +336,12 @@ def main(argv=None) -> int:
     if args.smoke:
         sizes, k, query_size = [60], 3, 4
         dataset, dataset_nodes = "dblp", 5000
+        workers_list = [1, 2]
     else:
         sizes = [int(s) for s in args.sizes.split(",") if s]
         k, query_size = args.k, args.query_size
         dataset, dataset_nodes = args.dataset, args.dataset_nodes
+        workers_list = [int(w) for w in args.workers.split(",") if w]
 
     previous = _load_previous(args.out)
     results = []
@@ -265,6 +372,21 @@ def main(argv=None) -> int:
             f"agree={dataset_row['rankings_agree']}"
         )
 
+    parallel_row = None
+    if dataset != "none" and workers_list:
+        parallel_row = bench_parallel(
+            dataset, dataset_nodes, k, args.seed, workers_list
+        )
+        for entry in parallel_row["series"]:
+            print(
+                f"parallel w={entry['workers']} ({entry['shards']} shards)  "
+                f"{entry['seconds']}s  "
+                f"speedup={entry['speedup_vs_single_pass']}x  "
+                f"critical-path={entry['speedup_critical_path']}x  "
+                f"identical={entry['ranking_identical_to_single_pass']}  "
+                f"peaks<=bound={entry['worker_peaks_within_bound']}"
+            )
+
     payload = {
         "bench": "tasm",
         "query_size": query_size,
@@ -273,6 +395,7 @@ def main(argv=None) -> int:
         "cost_model": "unit",
         "results": results,
         "dataset": dataset_row,
+        "parallel": parallel_row,
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -283,6 +406,14 @@ def main(argv=None) -> int:
     if dataset_row is not None:
         ok = ok and dataset_row["rankings_agree"]
         ok = ok and dataset_row["ring_peak_within_bound"]
+    if parallel_row is not None:
+        # Hard correctness gates; the speedup itself is hardware-bound
+        # (cpu_count is recorded) and not gated here.
+        ok = ok and all(
+            e["ranking_identical_to_single_pass"]
+            and e["worker_peaks_within_bound"]
+            for e in parallel_row["series"]
+        )
     if args.fail_below_speedup is not None and results:
         speedup = results[-1]["speedup_postorder_over_dynamic"] or 0.0
         if speedup < args.fail_below_speedup:

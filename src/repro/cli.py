@@ -104,6 +104,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tasm_p.add_argument("-k", type=int, default=5, help="ranking size (default 5)")
     tasm_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="rank the document in N parallel shard processes, split at "
+        "safe postorder cuts; the ranking is identical to the "
+        "single-pass one (postorder algorithm only, default 1)",
+    )
+    tasm_p.add_argument(
         "--algorithm",
         choices=["postorder", "dynamic"],
         default="postorder",
@@ -189,7 +198,11 @@ def _run_tasm(args: argparse.Namespace) -> int:
     else:
         raise ReproError("a QUERY argument or --query-file is required")
     batch = args.query_file is not None
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
     if args.algorithm == "dynamic":
+        if args.workers > 1:
+            raise ReproError("--workers requires --algorithm postorder")
         document = _load_tree(args.document, args.format)
         rankings = [
             tasm_dynamic(query, document, args.k, args.cost) for query in queries
@@ -197,8 +210,18 @@ def _run_tasm(args: argparse.Namespace) -> int:
         stats = None
     else:
         stats = PostorderStats()
-        queue = _document_queue(args.document, args.format)
-        rankings = tasm_batch(queries, queue, args.k, args.cost, stats=stats)
+        if args.workers > 1 and _detect_format(args.document, args.format) == "xml":
+            # Shard the file itself: planning and every worker stream
+            # their own parse, so no process materialises the document
+            # (the same reason the single-pass run streams it).
+            from .parallel import XmlDocument
+
+            source = XmlDocument(args.document)
+        else:
+            source = _document_queue(args.document, args.format)
+        rankings = tasm_batch(
+            queries, source, args.k, args.cost, stats=stats, workers=args.workers
+        )
     if args.json:
         if batch:
             payload = [

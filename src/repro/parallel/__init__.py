@@ -1,0 +1,47 @@
+"""Sharded parallel TASM (beyond the paper: the scaling layer).
+
+The paper's candidate-size bound ``tau = k + 2|Q| - 1`` (unit costs)
+does more than cap the ring buffer — it makes the postorder stream
+*divisible*: wherever no subtree of size <= ``tau`` spans a position,
+the stream can be cut and the segments ranked independently, then
+merged into the exact single-pass ranking.
+
+* :mod:`~repro.parallel.plan` — safe-cut detection and shard planning
+  (one streaming size-only pass, O(tau) memory);
+* :mod:`~repro.parallel.worker` — picklable per-shard tasks executed
+  by the unmodified streaming core, over inline pair slices or
+  read-only :class:`~repro.postorder.interval.IntervalStore` range
+  scans;
+* :mod:`~repro.parallel.merge` — deterministic
+  ``(distance, postorder position)`` merge of per-shard rankings;
+* :mod:`~repro.parallel.sharded` — the public
+  :func:`tasm_sharded` / :func:`tasm_sharded_batch` entry points and
+  the :class:`ShardedStats` instrumentation.
+"""
+
+from .merge import merge_rankings
+from .plan import Shard, ShardPlan, iter_safe_cuts, plan_shards
+from .sharded import (
+    ShardedStats,
+    StoreDocument,
+    XmlDocument,
+    tasm_sharded,
+    tasm_sharded_batch,
+)
+from .worker import ShardResult, ShardTask, run_shard
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "ShardResult",
+    "ShardTask",
+    "ShardedStats",
+    "StoreDocument",
+    "XmlDocument",
+    "iter_safe_cuts",
+    "merge_rankings",
+    "plan_shards",
+    "run_shard",
+    "tasm_sharded",
+    "tasm_sharded_batch",
+]

@@ -1,0 +1,54 @@
+"""Deterministic merging of per-shard top-k rankings.
+
+Safe-cut sharding puts every candidate subtree entirely inside one
+shard, so the single-pass ranking is recoverable from the per-shard
+rankings alone.  The single-pass streaming core offers matches to its
+heap in document postorder position order and breaks distance ties in
+favour of the incumbent, which makes its final ranking *exactly* the
+first ``k`` elements of all candidate matches ordered by
+
+    ``(distance, document postorder position of the matched root)``
+
+— a total order, since roots are unique.  Each per-shard top-k is the
+first ``k`` elements of that same order restricted to one shard, hence
+a superset of the shard's contribution to the global ranking, and a
+sort-then-truncate over the concatenated shard rankings reproduces the
+single-pass result match-for-match (same distances, same roots, same
+subtrees, same order) regardless of shard count or completion order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..tasm.heap import Match
+from ..trees.tree import Tree
+from .worker import ShardResult
+
+__all__ = ["merge_rankings"]
+
+
+def merge_rankings(
+    results: Iterable[ShardResult], n_queries: int, k: int
+) -> List[List[Match]]:
+    """Fold per-shard results into one global top-k ranking per query."""
+    per_query: List[list] = [[] for _ in range(n_queries)]
+    for result in results:
+        for qi, ranking in enumerate(result.rankings):
+            per_query[qi].extend(ranking)
+    merged: List[List[Match]] = []
+    for entries in per_query:
+        entries.sort(key=lambda e: (e[0], e[1]))
+        ranking: List[Match] = []
+        for distance, root, pairs in entries[:k]:
+            subtree = Tree.from_postorder(pairs)
+            ranking.append(
+                Match(
+                    distance=distance,
+                    root=root,
+                    source=subtree,
+                    source_root=len(subtree),
+                )
+            )
+        merged.append(ranking)
+    return merged

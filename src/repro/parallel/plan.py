@@ -1,0 +1,146 @@
+"""Shard planning: safe postorder cuts for parallel TASM.
+
+The paper's pruning theorem bounds every ranking candidate by
+``tau = prune_threshold(k, |Q|, cost)`` nodes (``k + 2|Q| - 1`` under
+unit costs).  A postorder stream can therefore be *cut* after position
+``p`` whenever no subtree of size <= ``tau`` spans the cut — every
+candidate subtree then lies entirely inside one segment, so the
+segments can be ranked independently and the per-segment rankings
+merged into a result identical to the single-pass one
+(:mod:`repro.parallel.merge`).
+
+The subtrees spanning the cut after position ``p`` are exactly the
+proper ancestors of node ``p`` (their postorder intervals contain ``p``
+and close later), so:
+
+    cut after ``p`` is **safe**  iff  every proper ancestor of node
+    ``p`` has subtree size > ``tau``.
+
+Streaming detection needs only O(tau) memory: node ``i`` with size
+``s <= tau`` spans (blocks) the cuts ``i - s + 1 .. i - 1``, so any
+blocker of cut ``p`` arrives at a position ``<= p + tau - 1``.  A cut
+still unblocked once the scan passes ``p + tau - 1`` is safe forever.
+The planner does this size arithmetic in a single cheap pass over the
+``(label, size)`` pairs — no distance computation, no tree
+materialisation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from ..errors import RankingError
+
+__all__ = ["Shard", "ShardPlan", "iter_safe_cuts", "plan_shards"]
+
+Pair = Tuple[object, int]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous postorder range ``start .. end`` (1-based, inclusive)."""
+
+    index: int
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The outcome of one planning pass over a postorder stream."""
+
+    tau: int
+    total_nodes: int
+    shards: Tuple[Shard, ...]
+
+    @property
+    def cuts(self) -> Tuple[int, ...]:
+        """The selected safe cut positions (end of every shard but the last)."""
+        return tuple(shard.end for shard in self.shards[:-1])
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def iter_safe_cuts(pairs: Iterable[Pair], tau: int) -> Iterator[int]:
+    """Yield every safe cut position of a postorder stream, ascending.
+
+    A yielded ``p`` means the stream may be split between postorder
+    positions ``p`` and ``p + 1`` without separating any subtree of
+    size <= ``tau`` (the end-of-stream position is never yielded — a
+    cut there splits nothing).  Memory is O(tau): candidate cuts stay
+    pending until the scan passes the last position that could still
+    block them.
+    """
+    if tau < 1:
+        raise RankingError(f"tau must be >= 1, got {tau}")
+    pending: deque = deque()
+    position = 0
+    for _, size in pairs:
+        position += 1
+        if size <= tau:
+            # This node spans (and thereby blocks) the cuts
+            # position - size + 1 .. position - 1, which form a suffix
+            # of the pending deque.
+            lo = position - size + 1
+            while pending and pending[-1] >= lo:
+                pending.pop()
+        # Cuts with no possible blocker left are safe: any blocker of
+        # cut p sits at a position <= p + tau - 1.
+        horizon = position - tau + 1
+        while pending and pending[0] <= horizon:
+            yield pending.popleft()
+        pending.append(position)
+    # The stream is over; nothing can block the survivors.  The final
+    # position is dropped — cutting after the last node is vacuous.
+    while pending:
+        p = pending.popleft()
+        if p < position:
+            yield p
+
+
+def plan_shards(
+    pairs: Iterable[Pair],
+    total_nodes: int,
+    tau: int,
+    shards: int,
+) -> ShardPlan:
+    """Pick up to ``shards - 1`` safe cuts that balance the stream.
+
+    Greedy selection: for each target boundary ``w * n / shards`` take
+    the first safe cut at or past it.  When a region admits no safe cut
+    (e.g. the whole document is one subtree of size <= ``tau``), fewer
+    — possibly just one — shards come back; the result is always a
+    partition of ``1 .. total_nodes`` into contiguous ranges.
+    """
+    if shards < 1:
+        raise RankingError(f"shard count must be >= 1, got {shards}")
+    if total_nodes < 1:
+        raise RankingError(f"total_nodes must be >= 1, got {total_nodes}")
+    cuts: List[int] = []
+    if shards > 1:
+        targets = [(w * total_nodes) // shards for w in range(1, shards)]
+        targets = [t for t in targets if 1 <= t < total_nodes]
+        ti = 0
+        for cut in iter_safe_cuts(pairs, tau):
+            # Targets at or before the last selected cut are already
+            # covered by it; they get no cut of their own (one long
+            # shard instead of degenerate slivers).
+            while ti < len(targets) and targets[ti] <= (cuts[-1] if cuts else 0):
+                ti += 1
+            if ti >= len(targets):
+                break
+            if cut >= targets[ti]:
+                cuts.append(cut)
+                ti += 1
+    bounds = [0] + cuts + [total_nodes]
+    shard_list = tuple(
+        Shard(index=i, start=lo + 1, end=hi)
+        for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
+    )
+    return ShardPlan(tau=tau, total_nodes=total_nodes, shards=shard_list)

@@ -1,0 +1,256 @@
+"""Sharded parallel TASM: plan safe cuts, fan out, merge.
+
+``tasm_sharded`` / ``tasm_sharded_batch`` split a postorder stream at
+safe cut positions (:mod:`repro.parallel.plan`), rank every shard
+independently — inline or on a ``multiprocessing`` pool
+(:mod:`repro.parallel.worker`) — and merge the per-shard rankings into
+a result provably identical to the single-pass
+:func:`~repro.tasm.postorder.tasm_postorder` /
+:func:`~repro.tasm.batch.tasm_batch` ranking
+(:mod:`repro.parallel.merge`).
+
+Document sources:
+
+* :class:`~repro.trees.tree.Tree`, :class:`~repro.postorder.queue.
+  PostorderQueue`, or any iterable of ``(label, size)`` pairs — the
+  coordinator materialises the pair list once (the planning pass needs
+  one scan, the shards another) and ships each worker its slice;
+* :class:`StoreDocument` — a document inside an
+  :class:`~repro.postorder.interval.IntervalStore` database *file*.
+  Planning streams one cheap size-only scan, and each worker opens its
+  own read-only connection and range-scans exactly its shard
+  (:meth:`~repro.postorder.interval.IntervalStore.postorder_range`),
+  so no process ever holds the document in memory.
+
+Worker processes re-run the unmodified streaming core per shard, so
+every per-worker guarantee of the paper still holds — in particular
+each worker's ring peak stays within its ``k + 2|Q| - 1`` bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
+from ..errors import RankingError
+from ..postorder.queue import PostorderQueue
+from ..tasm.heap import Match
+from ..tasm.postorder import PostorderStats, prune_threshold
+from ..trees.tree import Tree
+from .merge import merge_rankings
+from .plan import ShardPlan, plan_shards
+from .worker import ShardResult, ShardTask, run_shard
+
+__all__ = [
+    "ShardedStats",
+    "StoreDocument",
+    "XmlDocument",
+    "tasm_sharded",
+    "tasm_sharded_batch",
+]
+
+
+@dataclass(frozen=True)
+class StoreDocument:
+    """A document held in an :class:`IntervalStore` database file."""
+
+    path: str
+    doc_id: int
+
+
+@dataclass(frozen=True)
+class XmlDocument:
+    """An XML document on disk, sharded without materialisation.
+
+    Planning makes two streaming parses (one to count nodes, one to
+    pick safe cuts) and every worker re-parses the file up to its
+    range — more parse CPU than shipping pair slices, but memory stays
+    O(parse depth + tau) in every process, preserving the streaming
+    guarantee for documents that do not fit in memory.
+    """
+
+    path: str
+
+
+@dataclass
+class ShardedStats:
+    """Instrumentation of one sharded run.
+
+    ``shard_stats`` holds each worker's ordinary
+    :class:`~repro.tasm.postorder.PostorderStats`; the aggregate
+    properties mirror its field names (max for capacity/peak, sums for
+    counters) so callers can report either kind interchangeably.
+    """
+
+    workers: int = 0
+    plan: Optional[ShardPlan] = None
+    shard_stats: List[PostorderStats] = field(default_factory=list)
+    #: Per-shard worker-side CPU time, in shard order.  The maximum is
+    #: the run's critical path (the wall-clock lower bound once the
+    #: host has >= `workers` cores).
+    shard_cpu_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def dequeued(self) -> int:
+        return sum(s.dequeued for s in self.shard_stats)
+
+    @property
+    def ring_capacity(self) -> int:
+        return max((s.ring_capacity for s in self.shard_stats), default=0)
+
+    @property
+    def peak_buffered(self) -> int:
+        return max((s.peak_buffered for s in self.shard_stats), default=0)
+
+    @property
+    def candidates_evaluated(self) -> int:
+        return sum(s.candidates_evaluated for s in self.shard_stats)
+
+    @property
+    def subtrees_scored(self) -> int:
+        return sum(s.subtrees_scored for s in self.shard_stats)
+
+    @property
+    def pruned_large(self) -> int:
+        return sum(s.pruned_large for s in self.shard_stats)
+
+    @property
+    def pruned_buffered(self) -> int:
+        return sum(s.pruned_buffered for s in self.shard_stats)
+
+
+def _normalise_source(source) -> tuple:
+    """Reduce ``source`` to (total_nodes, planning_pairs, payload_maker)."""
+    if isinstance(source, StoreDocument):
+        from ..postorder.interval import IntervalStore
+
+        store = IntervalStore.open_readonly(source.path)
+        try:
+            total = store.n_nodes(source.doc_id)
+        finally:
+            store.close()
+
+        def payload(start: int, end: int) -> tuple:
+            return ("store", source.path, source.doc_id)
+
+        # Lazy size-only scan on a connection of its own: the planner
+        # consumes it streaming, so the coordinator never materialises
+        # the document either.
+        return total, _store_planning_scan(source.path, source.doc_id), payload
+    if isinstance(source, XmlDocument):
+        from ..xmlio.parse import iterparse_postorder
+
+        total = sum(1 for _ in iterparse_postorder(source.path))
+        if total == 0:
+            raise RankingError(f"no nodes parsed from {source.path!r}")
+
+        def payload(start: int, end: int) -> tuple:
+            return ("xml", source.path)
+
+        planning = ((None, size) for _, size in iterparse_postorder(source.path))
+        return total, planning, payload
+    if isinstance(source, Tree):
+        pairs = list(source.postorder())
+    elif isinstance(source, PostorderQueue):
+        pairs = list(source)
+    else:
+        pairs = list(source)
+    if not pairs:
+        raise RankingError("cannot shard an empty postorder stream")
+
+    def payload(start: int, end: int) -> tuple:
+        return ("pairs", tuple(pairs[start - 1 : end]))
+
+    return len(pairs), pairs, payload
+
+
+def _store_planning_scan(path: str, doc_id: int):
+    from ..postorder.interval import IntervalStore
+
+    store = IntervalStore.open_readonly(path)
+    try:
+        # Planning only reads sizes; dropping labels keeps the pass light.
+        for _, size in store.postorder_pairs(doc_id):
+            yield None, size
+    finally:
+        store.close()
+
+
+def tasm_sharded_batch(
+    queries: Iterable[Tree],
+    source,
+    k: int,
+    cost: Optional[CostModel] = None,
+    workers: int = 2,
+    shards: Optional[int] = None,
+    stats: Optional[ShardedStats] = None,
+) -> List[List[Match]]:
+    """Top-``k`` rankings of every query via sharded (parallel) passes.
+
+    ``workers`` is the process count (1 = run every shard inline in
+    this process, which is how tests exercise the plan/merge machinery
+    without pool overhead); ``shards`` defaults to ``workers`` and may
+    exceed it for load balancing.  Returns exactly what
+    :func:`~repro.tasm.batch.tasm_batch` returns for the same inputs.
+    """
+    query_list: Sequence[Tree] = list(queries)
+    if not query_list:
+        raise RankingError("tasm_sharded_batch needs at least one query")
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise RankingError(f"workers must be a positive integer, got {workers!r}")
+    if shards is None:
+        shards = workers
+    if cost is None:
+        cost = UnitCostModel()
+    validate_cost_model(cost)
+    if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
+        raise RankingError(f"k must be a positive integer, got {k!r}")
+
+    tau = max(prune_threshold(k, len(query), cost) for query in query_list)
+    total, planning_pairs, payload = _normalise_source(source)
+    plan = plan_shards(planning_pairs, total, tau, shards)
+    tasks = [
+        ShardTask(
+            index=shard.index,
+            start=shard.start,
+            end=shard.end,
+            payload=payload(shard.start, shard.end),
+            queries=tuple(query_list),
+            k=k,
+            cost=cost,
+        )
+        for shard in plan.shards
+    ]
+    results = _execute(tasks, min(workers, len(tasks)))
+    if stats is not None:
+        stats.workers = min(workers, len(tasks))
+        stats.plan = plan
+        ordered = sorted(results, key=lambda r: r.index)
+        stats.shard_stats = [r.stats for r in ordered]
+        stats.shard_cpu_seconds = [r.cpu_seconds for r in ordered]
+    return merge_rankings(results, len(query_list), k)
+
+
+def _execute(tasks: List[ShardTask], workers: int) -> List[ShardResult]:
+    if workers <= 1 or len(tasks) <= 1:
+        return [run_shard(task) for task in tasks]
+    import multiprocessing
+
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(run_shard, tasks)
+
+
+def tasm_sharded(
+    query: Tree,
+    source,
+    k: int,
+    cost: Optional[CostModel] = None,
+    workers: int = 2,
+    shards: Optional[int] = None,
+    stats: Optional[ShardedStats] = None,
+) -> List[Match]:
+    """Single-query convenience wrapper around :func:`tasm_sharded_batch`."""
+    return tasm_sharded_batch(
+        [query], source, k, cost, workers=workers, shards=shards, stats=stats
+    )[0]

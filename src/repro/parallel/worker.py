@@ -1,0 +1,141 @@
+"""Per-shard TASM execution for the parallel worker pool.
+
+A :class:`ShardTask` is a fully picklable description of one unit of
+work: *which* postorder range to scan, *where* to scan it from, and the
+query workload to rank.  :func:`run_shard` — a module-level function so
+``multiprocessing`` can ship it to worker processes — replays the
+shard through the ordinary streaming core
+(:func:`repro.tasm.batch.tasm_batch`) and returns a compact,
+picklable :class:`ShardResult`.
+
+Shard streams are *forests*: a shard may contain nodes (e.g. the
+document root in the last shard) whose subtrees reach outside its
+range.  Safe-cut planning guarantees every such node has size >
+``tau``, so the streaming core skips it via the very pruning rule that
+defines ``tau`` — no special casing is needed, and every subtree the
+core does evaluate lies entirely inside the shard.
+
+Two payload kinds are supported:
+
+* ``("pairs", (...))`` — the shard's ``(label, size)`` pairs shipped
+  inline (in-memory documents);
+* ``("store", path, doc_id)`` — an :class:`~repro.postorder.interval.
+  IntervalStore` database file.  The worker opens its own read-only
+  connection and scans exactly its range with
+  :meth:`~repro.postorder.interval.IntervalStore.postorder_range`, so
+  the document is never materialised in any process;
+* ``("xml", path)`` — an XML file.  The worker streams its own parse
+  and slices out its postorder range on the fly (memory stays at the
+  parse depth), trading repeated parse CPU for the streaming-memory
+  guarantee on documents that do not fit in memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..errors import RankingError
+from ..tasm.batch import tasm_batch
+from ..tasm.postorder import PostorderStats
+from ..trees.tree import Tree
+
+__all__ = ["ShardTask", "ShardResult", "ShardMatch", "run_shard"]
+
+#: One ranked match in wire format: (distance, global document postorder
+#: position of the matched root, the matched subtree as postorder
+#: ``(label, size)`` pairs).
+ShardMatch = Tuple[float, int, Tuple[Tuple[object, int], ...]]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to rank one shard."""
+
+    index: int
+    start: int  # first postorder position of the shard (1-based)
+    end: int  # last postorder position, inclusive
+    payload: tuple  # ("pairs", pairs) | ("store", path, doc_id) | ("xml", path)
+    queries: Tuple[Tree, ...]
+    k: int
+    cost: object
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Per-shard rankings (one list per query) plus instrumentation.
+
+    ``cpu_seconds`` is the worker's own CPU time for its shard
+    (``time.process_time``), which is independent of how many workers
+    share a core; the maximum over all shards is the run's critical
+    path — the wall-clock lower bound once the host has at least as
+    many cores as workers.
+    """
+
+    index: int
+    rankings: Tuple[Tuple[ShardMatch, ...], ...]
+    stats: PostorderStats
+    cpu_seconds: float = 0.0
+
+
+def _shard_pairs(task: ShardTask) -> Iterable[Tuple[object, int]]:
+    kind = task.payload[0]
+    if kind == "pairs":
+        return task.payload[1]
+    if kind == "store":
+        from ..postorder.interval import IntervalStore
+
+        _, path, doc_id = task.payload
+        store = IntervalStore.open_readonly(path)
+        return _closing_scan(store, doc_id, task.start, task.end)
+    if kind == "xml":
+        return _xml_range_scan(task.payload[1], task.start, task.end)
+    raise RankingError(f"unknown shard payload kind {kind!r}")
+
+
+def _closing_scan(store, doc_id: int, start: int, end: int):
+    try:
+        yield from store.postorder_range(doc_id, start, end)
+    finally:
+        store.close()
+
+
+def _xml_range_scan(path: str, start: int, end: int):
+    from ..xmlio.parse import iterparse_postorder
+
+    position = 0
+    for pair in iterparse_postorder(path):
+        position += 1
+        if position < start:
+            continue
+        if position > end:
+            break
+        yield pair
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Rank ``task``'s queries over its shard; picklable in and out.
+
+    Match roots are rebased from shard-local dequeue positions to
+    global document postorder positions, so results from different
+    shards merge without further context.
+    """
+    t0 = time.process_time()
+    stats = PostorderStats()
+    rankings = tasm_batch(
+        task.queries, _shard_pairs(task), task.k, task.cost, stats=stats
+    )
+    elapsed = time.process_time() - t0
+    offset = task.start - 1
+    wire: List[Tuple[ShardMatch, ...]] = []
+    for ranking in rankings:
+        wire.append(
+            tuple(
+                (m.distance, m.root + offset, tuple(m.subtree.postorder()))
+                for m in ranking
+            )
+        )
+    return ShardResult(
+        index=task.index, rankings=tuple(wire), stats=stats, cpu_seconds=elapsed
+    )

@@ -62,6 +62,23 @@ class IntervalStore:
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
 
+    @classmethod
+    def open_readonly(cls, path: str) -> "IntervalStore":
+        """Open an existing store file without write access.
+
+        Skips schema creation, so any number of reader processes (the
+        parallel TASM workers) can share one database file without
+        ever contending for the write lock.
+        """
+        store = cls.__new__(cls)
+        try:
+            store._conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+        except sqlite3.OperationalError as exc:
+            raise PostorderQueueError(
+                f"cannot open store {path!r} read-only: {exc}"
+            ) from None
+        return store
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -147,12 +164,45 @@ class IntervalStore:
             raise PostorderQueueError(f"no document named {name!r}")
         return int(row[0])
 
+    def n_nodes(self, doc_id: int) -> int:
+        """Node count of a stored document (from its metadata row)."""
+        row = self._conn.execute(
+            "SELECT n_nodes FROM document WHERE doc_id = ?", (doc_id,)
+        ).fetchone()
+        if row is None:
+            raise PostorderQueueError(f"no document with doc_id {doc_id}")
+        return int(row[0])
+
     def postorder_pairs(self, doc_id: int) -> Iterator[Tuple[str, int]]:
         """Stream ``(label, size)`` pairs in postorder from SQL."""
         cur = self._conn.execute(
             "SELECT label, (end_pos - start_pos + 1) / 2 FROM node "
             "WHERE doc_id = ? ORDER BY end_pos",
             (doc_id,),
+        )
+        for label, size in cur:
+            yield label, int(size)
+
+    def postorder_range(
+        self, doc_id: int, start: int, end: int
+    ) -> Iterator[Tuple[str, int]]:
+        """Stream ``(label, size)`` pairs for postorder positions
+        ``start .. end`` (1-based, inclusive).
+
+        Postorder position is the rank by closing tag position
+        (``ORDER BY end_pos``), so the range scan is a single
+        LIMIT/OFFSET walk of the ``(doc_id, end_pos)`` primary-key
+        index.  This is what lets a parallel worker read exactly its
+        shard without any process materialising the document.
+        """
+        if start < 1 or end < start:
+            raise PostorderQueueError(
+                f"invalid postorder range {start}..{end} (need 1 <= start <= end)"
+            )
+        cur = self._conn.execute(
+            "SELECT label, (end_pos - start_pos + 1) / 2 FROM node "
+            "WHERE doc_id = ? ORDER BY end_pos LIMIT ? OFFSET ?",
+            (doc_id, end - start + 1, start - 1),
         )
         for label, size in cur:
             yield label, int(size)

@@ -35,6 +35,7 @@ def tasm_batch(
     k: int,
     cost: Optional[CostModel] = None,
     stats: Optional[PostorderStats] = None,
+    workers: int = 1,
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query in one document pass.
 
@@ -43,6 +44,11 @@ def tasm_batch(
     (and :func:`~repro.tasm.dynamic.tasm_dynamic`) would return for
     that query alone.  ``stats``, if given, instruments the single
     shared pass (ring capacity is the largest per-query threshold).
+
+    With ``workers > 1`` the document is split at safe postorder cuts
+    and ranked on a process pool (:mod:`repro.parallel`); the result —
+    including tie order — is identical to the single-pass run, and a
+    supplied ``stats`` receives the aggregate over all shards.
     """
     query_list = list(queries)
     if not query_list:
@@ -50,4 +56,23 @@ def tasm_batch(
     if cost is None:
         cost = UnitCostModel()
     validate_cost_model(cost)
+    if workers > 1:
+        from ..parallel.sharded import ShardedStats, tasm_sharded_batch
+
+        sharded_stats = ShardedStats() if stats is not None else None
+        rankings = tasm_sharded_batch(
+            query_list, queue, k, cost, workers=workers, stats=sharded_stats
+        )
+        if stats is not None:
+            for name in (
+                "dequeued",
+                "ring_capacity",
+                "peak_buffered",
+                "candidates_evaluated",
+                "subtrees_scored",
+                "pruned_large",
+                "pruned_buffered",
+            ):
+                setattr(stats, name, getattr(sharded_stats, name))
+        return rankings
     return _stream_topk(query_list, queue, k, cost, stats)

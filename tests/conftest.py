@@ -1,0 +1,72 @@
+"""Shared Hypothesis profiles and strategies for the test suite.
+
+Profiles: ``dev`` (the default) keeps local runs fast; ``ci`` spends
+more examples per property.  CI selects with ``HYPOTHESIS_PROFILE=ci``
+and caches the ``.hypothesis`` example database between runs so
+previously found counterexamples replay first.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.distance import UnitCostModel, WeightedCostModel
+from repro.trees import Tree
+from repro.trees.node import Node
+
+settings.register_profile(
+    "dev",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+#: Small shared alphabet: collisions between query and document labels
+#: are what make distances (and renames) interesting.
+LABELS = "abcd"
+labels = st.sampled_from(LABELS)
+
+
+def node_trees(max_leaves: int):
+    """Ordered labeled trees as :class:`Node`, arbitrary shape/fanout."""
+    return st.recursive(
+        st.builds(Node, labels),
+        lambda children: st.builds(
+            Node, labels, st.lists(children, min_size=1, max_size=4)
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+#: Document-sized trees (up to a few dozen nodes).
+trees = node_trees(20).map(Tree.from_node)
+#: Query-sized trees (TASM queries are small relative to documents).
+small_trees = node_trees(6).map(Tree.from_node)
+#: Ranking sizes.
+ks = st.integers(min_value=1, max_value=8)
+
+#: Unit and weighted cost models.  Weighted costs are multiples of 1/4
+#: so every edit-script total is exact in binary floating point and the
+#: cross-engine equality assertions stay exact.
+cost_models = st.one_of(
+    st.just(UnitCostModel()),
+    st.builds(
+        WeightedCostModel,
+        rename_cost=st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+        delete_cost=st.sampled_from([1.0, 1.5, 2.0]),
+        insert_cost=st.sampled_from([1.0, 2.0, 3.0]),
+    ),
+)
+
+
+def ranking_triples(ranking):
+    """Byte-comparable view of a ranking: (distance, root, subtree)."""
+    return [(m.distance, m.root, m.subtree.to_bracket()) for m in ranking]

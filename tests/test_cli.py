@@ -117,3 +117,45 @@ def test_dataset_subcommand(capsys, tmp_path):
     # The generated corpus is immediately usable as a tasm document.
     assert main(["tasm", "{article{author}{title}}", out, "-k", "1"]) == 0
     assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+
+def test_dataset_seed_reproducible_from_cli(capsys, tmp_path):
+    # --seed fully determines the corpus: equal seeds give byte-identical
+    # files, different seeds give different files.
+    a, b, c = (str(tmp_path / f"{name}.xml") for name in "abc")
+    assert main(["dataset", "xmark", a, "--nodes", "400", "--seed", "7"]) == 0
+    assert main(["dataset", "xmark", b, "--nodes", "400", "--seed", "7"]) == 0
+    assert main(["dataset", "xmark", c, "--nodes", "400", "--seed", "8"]) == 0
+    capsys.readouterr()
+    with open(a, "rb") as fh:
+        bytes_a = fh.read()
+    with open(b, "rb") as fh:
+        assert fh.read() == bytes_a
+    with open(c, "rb") as fh:
+        assert fh.read() != bytes_a
+    # The seed is reported so a run can be reproduced from its log line.
+    assert main(["dataset", "xmark", a, "--nodes", "400", "--seed", "7"]) == 0
+    assert "seed 7" in capsys.readouterr().out
+
+
+def test_tasm_workers_matches_single_pass(capsys, tmp_path):
+    doc = Tree.from_bracket(
+        "{dblp{article{title}{year}}{book{title}}{article{title}{year}}}"
+    )
+    path = str(tmp_path / "doc.xml")
+    write_xml(doc, path)
+    args = ["tasm", "{article{title}{year}}", path, "-k", "3", "--stats"]
+    assert main(args) == 0
+    single = capsys.readouterr()
+    assert main(args + ["--workers", "2"]) == 0
+    parallel = capsys.readouterr()
+    assert parallel.out == single.out
+    assert "dequeued=" in parallel.err
+
+
+def test_tasm_workers_rejects_dynamic_and_bad_counts(capsys):
+    args = ["tasm", "{a}", "{a{b}}", "-k", "1"]
+    assert main(args + ["--workers", "2", "--algorithm", "dynamic"]) == 1
+    assert "postorder" in capsys.readouterr().err
+    assert main(args + ["--workers", "0"]) == 1
+    assert ">= 1" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""Differential equivalence of all four TASM engines (Hypothesis).
+
+On generated (query, document, k, cost model) cases, the four engines
+
+    ``tasm_dynamic`` == ``tasm_postorder`` == ``tasm_batch``
+    == ``tasm_sharded``
+
+must return the *same ranking* — distances, matched roots, subtrees,
+and tie order — across every postorder-queue backend (in-memory tree,
+streamed XML file, relational interval store).  This replaces the old
+fixed-seed 50-pair spot checks: Hypothesis explores the structure
+space and shrinks any disagreement to a minimal witness.
+
+All engines break distance ties by document postorder position (the
+streaming heaps prefer the earliest push; the merger sorts by
+``(distance, root)``), so full rankings — not just distance multisets
+— are comparable byte for byte.
+"""
+
+import os
+import tempfile
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import cost_models, ks, ranking_triples, small_trees, trees
+from repro.parallel import ShardedStats, tasm_sharded
+from repro.postorder import IntervalStore, PostorderQueue
+from repro.tasm import tasm_batch, tasm_dynamic, tasm_postorder
+from repro.xmlio import write_xml
+
+
+@given(query=small_trees, doc=trees, k=ks, cost=cost_models)
+def test_dynamic_equals_postorder_exactly(query, doc, k, cost):
+    dynamic = tasm_dynamic(query, doc, k, cost)
+    postorder = tasm_postorder(query, PostorderQueue.from_tree(doc), k, cost)
+    assert ranking_triples(dynamic) == ranking_triples(postorder)
+
+
+@given(query=small_trees, doc=trees, k=ks, cost=cost_models)
+def test_postorder_identical_across_queue_backends(query, doc, k, cost):
+    base = ranking_triples(
+        tasm_postorder(query, PostorderQueue.from_tree(doc), k, cost)
+    )
+    # Backend 2: plain (label, size) pairs.
+    assert ranking_triples(
+        tasm_postorder(query, list(doc.postorder()), k, cost)
+    ) == base
+    # Backend 3: streamed XML file (labels a..d are valid element tags).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "doc.xml")
+        write_xml(doc, path)
+        assert ranking_triples(
+            tasm_postorder(query, PostorderQueue.from_xml_file(path), k, cost)
+        ) == base
+    # Backend 4: relational interval-encoding store.
+    with IntervalStore() as store:
+        doc_id = store.store_tree("doc", doc)
+        assert ranking_triples(
+            tasm_postorder(query, store.postorder_queue(doc_id), k, cost)
+        ) == base
+
+
+@given(
+    queries=st.lists(small_trees, min_size=1, max_size=3),
+    doc=trees,
+    k=ks,
+    cost=cost_models,
+)
+def test_batch_equals_per_query_postorder(queries, doc, k, cost):
+    batched = tasm_batch(queries, PostorderQueue.from_tree(doc), k, cost)
+    assert len(batched) == len(queries)
+    for query, ranking in zip(queries, batched):
+        single = tasm_postorder(query, PostorderQueue.from_tree(doc), k, cost)
+        assert ranking_triples(ranking) == ranking_triples(single)
+
+
+@given(
+    query=small_trees,
+    doc=trees,
+    k=ks,
+    cost=cost_models,
+    shards=st.integers(min_value=2, max_value=5),
+)
+def test_sharded_equals_postorder_exactly(query, doc, k, cost, shards):
+    # workers=1 executes the shards inline — same planner, same
+    # per-shard streaming core, same merger as the process pool, with
+    # per-example cost low enough for Hypothesis.  The pool itself is
+    # exercised in test_parallel.py.
+    base = tasm_postorder(query, PostorderQueue.from_tree(doc), k, cost)
+    stats = ShardedStats()
+    sharded = tasm_sharded(
+        query, doc, k, cost, workers=1, shards=shards, stats=stats
+    )
+    assert ranking_triples(sharded) == ranking_triples(base)
+    # The shards partition the document and every worker honours the
+    # paper's memory bound.
+    assert stats.plan is not None
+    assert [s for shard in stats.plan.shards for s in range(shard.start, shard.end + 1)] == list(
+        range(1, len(doc) + 1)
+    )
+    assert stats.dequeued == len(doc)
+    for shard_stat in stats.shard_stats:
+        assert shard_stat.peak_buffered <= stats.plan.tau

@@ -101,3 +101,47 @@ def test_documents_listing_and_missing_name():
         assert store.doc_id("one") == docs[0][0]
         with pytest.raises(PostorderQueueError):
             store.doc_id("missing")
+
+
+def test_postorder_range_matches_full_scan_slices():
+    tree = random_tree(60, seed=17)
+    with IntervalStore() as store:
+        doc_id = store.store_tree("t", tree)
+        full = list(store.postorder_pairs(doc_id))
+        n = len(tree)
+        for start, end in ((1, n), (1, 1), (n, n), (5, 23), (30, n)):
+            assert (
+                list(store.postorder_range(doc_id, start, end))
+                == full[start - 1 : end]
+            )
+        # Contiguous ranges tile the full scan.
+        assert (
+            list(store.postorder_range(doc_id, 1, 20))
+            + list(store.postorder_range(doc_id, 21, 40))
+            + list(store.postorder_range(doc_id, 41, n))
+            == full
+        )
+        with pytest.raises(PostorderQueueError):
+            list(store.postorder_range(doc_id, 0, 5))
+        with pytest.raises(PostorderQueueError):
+            list(store.postorder_range(doc_id, 8, 7))
+
+
+def test_n_nodes_and_readonly_open(tmp_path):
+    path = str(tmp_path / "docs.db")
+    tree = random_tree(25, seed=4)
+    with IntervalStore(path) as store:
+        doc_id = store.store_tree("t", tree)
+        assert store.n_nodes(doc_id) == 25
+        with pytest.raises(PostorderQueueError):
+            store.n_nodes(doc_id + 99)
+    # Read-only connections see the data but cannot write.
+    import sqlite3
+
+    with IntervalStore.open_readonly(path) as reader:
+        assert reader.n_nodes(doc_id) == 25
+        assert list(reader.postorder_pairs(doc_id)) == [
+            (str(label), size) for label, size in tree.postorder()
+        ]
+        with pytest.raises(sqlite3.OperationalError):
+            reader.store_tree("nope", tree)

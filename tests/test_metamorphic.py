@@ -1,0 +1,98 @@
+"""Metamorphic properties of TED and the TASM rankings (Hypothesis).
+
+Two relations that need no oracle:
+
+* **Edit-bounded drift** — applying ``m`` single-node edit operations
+  to the query moves ``ted(Q, T)`` by at most ``m * max_cost``: the
+  mutation itself is an edit script of cost <= ``m * max_cost``, so the
+  bound is the triangle inequality in disguise.
+* **Relabeling invariance** — pushing the document (and query) through
+  a fresh :class:`~repro.xmlio.dictionary.LabelDictionary` renames
+  every label bijectively.  Label-independent cost models only ever
+  compare labels for equality, so distances, matched roots, and tie
+  order must all survive, and decoding the matched subtrees must give
+  back the original matches.
+"""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import LABELS, cost_models, ks, small_trees, trees
+from repro.distance import ted
+from repro.postorder import PostorderQueue
+from repro.tasm import tasm_postorder
+from repro.trees import Tree
+from repro.trees.node import Node
+from repro.xmlio.dictionary import LabelDictionary
+
+
+def _parent_of(root, target):
+    for node in root.preorder():
+        if target in node.children:
+            return node
+    raise AssertionError("target not in tree")
+
+
+def mutate(tree: Tree, m: int, rng: random.Random) -> Tree:
+    """Apply ``m`` single-node edits (rename/delete/insert) to ``tree``.
+
+    Each step is one standard tree edit operation, so the edit script
+    from the original to the result costs at most ``m * max_cost``.
+    """
+    root = tree.to_node()
+    for _ in range(m):
+        nodes = list(root.preorder())
+        ops = ["rename", "insert"]
+        if len(nodes) > 1:
+            ops.append("delete")
+        op = rng.choice(ops)
+        if op == "rename":
+            rng.choice(nodes).label = rng.choice(LABELS)
+        elif op == "delete":
+            node = rng.choice(nodes[1:])
+            parent = _parent_of(root, node)
+            at = parent.children.index(node)
+            parent.children[at : at + 1] = node.children
+        else:  # insert: adopt a contiguous run of some node's children
+            parent = rng.choice(nodes)
+            lo = rng.randrange(len(parent.children) + 1)
+            hi = rng.randrange(lo, len(parent.children) + 1)
+            fresh = Node(rng.choice(LABELS), parent.children[lo:hi])
+            parent.children[lo:hi] = [fresh]
+    return Tree.from_node(root)
+
+
+@given(
+    query=small_trees,
+    doc=trees,
+    cost=cost_models,
+    m=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_m_edits_change_ted_by_at_most_m_times_max_cost(
+    query, doc, cost, m, seed
+):
+    mutated = mutate(query, m, random.Random(seed))
+    before = ted(query, doc, cost)
+    after = ted(mutated, doc, cost)
+    assert abs(after - before) <= m * cost.max_cost
+
+
+@given(query=small_trees, doc=trees, k=ks, cost=cost_models)
+def test_label_dictionary_relabeling_leaves_rankings_invariant(
+    query, doc, k, cost
+):
+    dictionary = LabelDictionary()
+    enc_doc = dictionary.encode_tree(doc)
+    enc_query = dictionary.encode_tree(query)
+    base = tasm_postorder(query, PostorderQueue.from_tree(doc), k, cost)
+    encoded = tasm_postorder(
+        enc_query, PostorderQueue.from_tree(enc_doc), k, cost
+    )
+    assert [(m.distance, m.root) for m in base] == [
+        (m.distance, m.root) for m in encoded
+    ]
+    for orig, enc in zip(base, encoded):
+        assert dictionary.decode_tree(enc.subtree).equals(orig.subtree)

@@ -1,0 +1,241 @@
+"""Sharded parallel TASM: planner safety, pool execution, merging.
+
+The contract under test: for any shard count and worker count, the
+sharded ranking is byte-identical — distances, roots, subtrees, tie
+order — to the single-pass ``tasm_postorder`` ranking, and every
+worker honours the paper's ring-peak bound.
+"""
+
+import os
+import random
+
+import pytest
+
+from conftest import ranking_triples
+from repro.distance import UnitCostModel, WeightedCostModel
+from repro.errors import RankingError, ReproError
+from repro.parallel import (
+    ShardedStats,
+    StoreDocument,
+    XmlDocument,
+    iter_safe_cuts,
+    plan_shards,
+    tasm_sharded,
+    tasm_sharded_batch,
+)
+from repro.postorder import IntervalStore, PostorderQueue
+from repro.tasm import prune_threshold, tasm_batch, tasm_postorder
+from repro.trees import Tree, caterpillar, left_spine, random_tree, star
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+def test_safe_cuts_match_ancestor_definition():
+    # A cut after position p is safe iff every proper ancestor of node
+    # p has subtree size > tau — brute-forced against the tree.
+    rng = random.Random(11)
+    for _ in range(40):
+        doc = random_tree(rng.randint(2, 80), seed=rng.randrange(10**6))
+        tau = rng.randint(1, 15)
+        cuts = set(iter_safe_cuts(doc.postorder(), tau))
+        for p in range(1, len(doc)):
+            expected = all(doc.size(a) > tau for a in doc.ancestors(p))
+            assert (p in cuts) == expected, (p, tau)
+
+
+def test_safe_cuts_on_record_sequence():
+    # A flat record sequence (the DBLP shape): every boundary between
+    # whole records is safe once tau is below the root size.
+    doc = caterpillar(1, 5)  # root with 5 leaves, n = 6
+    assert list(iter_safe_cuts(doc.postorder(), tau=3)) == [1, 2, 3, 4, 5]
+    # tau >= n: the root spans everything, no safe cut exists.
+    assert list(iter_safe_cuts(doc.postorder(), tau=6)) == []
+
+
+def test_plan_partitions_the_stream():
+    rng = random.Random(7)
+    for _ in range(30):
+        doc = random_tree(rng.randint(1, 150), seed=rng.randrange(10**6))
+        tau = rng.randint(1, 12)
+        shards = rng.randint(1, 6)
+        plan = plan_shards(doc.postorder(), len(doc), tau, shards)
+        assert 1 <= len(plan.shards) <= shards
+        covered = [
+            p for shard in plan.shards for p in range(shard.start, shard.end + 1)
+        ]
+        assert covered == list(range(1, len(doc) + 1))
+        safe = set(iter_safe_cuts(doc.postorder(), tau))
+        assert all(cut in safe for cut in plan.cuts)
+        # Greedy spec: each selected cut is the FIRST safe cut at or
+        # past a target not covered by the previous cut — no degenerate
+        # backfill slivers.
+        targets = [(w * len(doc)) // shards for w in range(1, shards)]
+        targets = [t for t in targets if 1 <= t < len(doc)]
+        prev = 0
+        for cut in plan.cuts:
+            served = [t for t in targets if prev < t <= cut]
+            assert served, (plan.cuts, targets)
+            assert not any(prev < c < cut for c in safe if c >= served[0])
+            prev = cut
+
+
+def test_plan_single_subtree_document_yields_one_shard():
+    doc = left_spine(40)  # every proper ancestor chain has growing sizes
+    plan = plan_shards(doc.postorder(), len(doc), tau=5, shards=4)
+    # Cutting a spine at p is safe iff all ancestors are > tau, i.e.
+    # only in the first n - tau positions; the planner still partitions.
+    covered = [p for s in plan.shards for p in range(s.start, s.end + 1)]
+    assert covered == list(range(1, 41))
+
+
+def test_plan_rejects_bad_arguments():
+    doc = star(5)
+    with pytest.raises(RankingError):
+        plan_shards(doc.postorder(), len(doc), tau=0, shards=2)
+    with pytest.raises(RankingError):
+        plan_shards(doc.postorder(), len(doc), tau=3, shards=0)
+    with pytest.raises(RankingError):
+        plan_shards(doc.postorder(), 0, tau=3, shards=2)
+
+
+# ----------------------------------------------------------------------
+# Sharded execution — inline and on the process pool
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 4], ids=["inline", "pool-2", "pool-4"])
+def test_sharded_identical_to_single_pass(workers):
+    doc = random_tree(800, seed=3, labels="abcdefgh", max_fanout=6)
+    query = random_tree(6, seed=4, labels="abcdefgh")
+    k = 5
+    base = tasm_postorder(query, PostorderQueue.from_tree(doc), k)
+    stats = ShardedStats()
+    sharded = tasm_sharded(
+        query, doc, k, workers=workers, shards=max(workers, 2), stats=stats
+    )
+    assert ranking_triples(sharded) == ranking_triples(base)
+    assert stats.dequeued == len(doc)
+    bound = prune_threshold(k, len(query), UnitCostModel())
+    assert stats.plan.tau == bound
+    for shard_stat in stats.shard_stats:
+        assert shard_stat.peak_buffered <= bound
+
+
+def test_sharded_weighted_costs_on_pool():
+    cost = WeightedCostModel(rename_cost=2.0, delete_cost=1.0, insert_cost=3.0)
+    doc = random_tree(400, seed=13, max_fanout=5)
+    query = random_tree(5, seed=14)
+    base = tasm_postorder(query, PostorderQueue.from_tree(doc), 4, cost)
+    sharded = tasm_sharded(query, doc, 4, cost, workers=2)
+    assert ranking_triples(sharded) == ranking_triples(base)
+
+
+def test_sharded_batch_matches_batch(tmp_path):
+    queries = [random_tree(4, seed=s) for s in (1, 2, 3)]
+    doc = random_tree(600, seed=21, max_fanout=6)
+    base = tasm_batch(queries, PostorderQueue.from_tree(doc), 3)
+    stats = ShardedStats()
+    sharded = tasm_sharded_batch(queries, doc, 3, workers=2, shards=3, stats=stats)
+    assert [ranking_triples(r) for r in sharded] == [
+        ranking_triples(r) for r in base
+    ]
+    # Planning uses the loosest per-query threshold, like the batch ring.
+    assert stats.plan.tau == max(
+        prune_threshold(3, len(q), UnitCostModel()) for q in queries
+    )
+
+
+def test_sharded_from_interval_store_range_scans(tmp_path):
+    # Workers read their shard straight from the store file via
+    # postorder_range — no process materialises the document.
+    doc = random_tree(1000, seed=31, labels="abcdef", max_fanout=5)
+    query = random_tree(5, seed=32, labels="abcdef")
+    path = os.path.join(str(tmp_path), "docs.db")
+    with IntervalStore(path) as store:
+        doc_id = store.store_tree("doc", doc)
+        base = tasm_postorder(query, store.postorder_queue(doc_id), 4)
+    stats = ShardedStats()
+    sharded = tasm_sharded(
+        query, StoreDocument(path, doc_id), 4, workers=2, shards=4, stats=stats
+    )
+    assert ranking_triples(sharded) == ranking_triples(base)
+    assert len(stats.shard_stats) == len(stats.plan.shards)
+    assert stats.dequeued == len(doc)
+    # Inline execution takes the same store range-scan path in-process.
+    inline = tasm_sharded(query, StoreDocument(path, doc_id), 4, workers=1, shards=4)
+    assert ranking_triples(inline) == ranking_triples(base)
+
+
+def test_sharded_from_xml_file_streams_every_process(tmp_path):
+    # The XmlDocument source never materialises the pair list: planning
+    # and each worker stream their own parse and slice their range.
+    from repro.xmlio import write_xml
+
+    doc = random_tree(700, seed=51, labels="abcdef", max_fanout=5)
+    query = random_tree(5, seed=52, labels="abcdef")
+    path = os.path.join(str(tmp_path), "doc.xml")
+    write_xml(doc, path)
+    base = tasm_postorder(query, PostorderQueue.from_xml_file(path), 4)
+    for workers in (1, 2):
+        stats = ShardedStats()
+        sharded = tasm_sharded(
+            query, XmlDocument(path), 4, workers=workers, shards=3, stats=stats
+        )
+        assert ranking_triples(sharded) == ranking_triples(base)
+        assert stats.dequeued == len(doc)
+    with pytest.raises(ReproError):  # malformed XML surfaces at planning
+        empty = os.path.join(str(tmp_path), "empty.xml")
+        with open(empty, "w", encoding="utf-8") as fh:
+            fh.write("")
+        tasm_sharded(query, XmlDocument(empty), 4, workers=1)
+
+
+def test_tasm_batch_workers_parameter_aggregates_stats():
+    from repro.tasm import PostorderStats
+
+    doc = random_tree(500, seed=41, max_fanout=6)
+    query = random_tree(5, seed=42)
+    single_stats = PostorderStats()
+    base = tasm_batch(
+        [query], PostorderQueue.from_tree(doc), 4, stats=single_stats
+    )
+    parallel_stats = PostorderStats()
+    parallel = tasm_batch(
+        [query],
+        PostorderQueue.from_tree(doc),
+        4,
+        stats=parallel_stats,
+        workers=2,
+    )
+    assert [ranking_triples(r) for r in parallel] == [
+        ranking_triples(r) for r in base
+    ]
+    assert parallel_stats.dequeued == single_stats.dequeued == len(doc)
+    assert parallel_stats.ring_capacity == single_stats.ring_capacity
+
+
+def test_sharded_degenerate_inputs():
+    # Single-node document: one shard, ranking of size 1.
+    one = Tree.from_bracket("{a}")
+    assert ranking_triples(tasm_sharded(one, one, 3, workers=2)) == [
+        (0.0, 1, "{a}")
+    ]
+    # Star document where no safe cut exists below the root size.
+    doc = star(30)
+    query = Tree.from_bracket("{r{x}}")
+    base = tasm_postorder(query, PostorderQueue.from_tree(doc), 5)
+    sharded = tasm_sharded(query, doc, 5, workers=2, shards=4)
+    assert ranking_triples(sharded) == ranking_triples(base)
+
+
+def test_sharded_rejects_bad_arguments():
+    doc = Tree.from_bracket("{a{b}}")
+    with pytest.raises(RankingError):
+        tasm_sharded(doc, doc, 0, workers=2)
+    with pytest.raises(RankingError):
+        tasm_sharded(doc, doc, 2, workers=0)
+    with pytest.raises(RankingError):
+        tasm_sharded_batch([], doc, 2, workers=2)
+    with pytest.raises(RankingError):
+        tasm_sharded(doc, [], 2, workers=2)
+    with pytest.raises(ReproError):  # missing store file, library error
+        tasm_sharded(doc, StoreDocument("/nonexistent/typo.db", 1), 2, workers=1)

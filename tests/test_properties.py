@@ -1,0 +1,71 @@
+"""Property-based TED axioms and streaming invariants (Hypothesis).
+
+The axioms below are exactly what the paper's pruning machinery rests
+on: the size-difference lower bound justifies both pruning rules, and
+the metric properties are what make "distance" a meaningful ranking
+key.  The ring-peak property asserts the paper's headline memory claim
+— ``tau = k + 2|Q| - 1`` under unit costs — on *every* generated run,
+not just on fixed seeds.
+"""
+
+from hypothesis import given
+
+from conftest import cost_models, ks, small_trees, trees
+from repro.distance import UnitCostModel, ted
+from repro.postorder import PostorderQueue
+from repro.tasm import PostorderStats, prune_threshold, tasm_postorder
+
+
+@given(t=trees, cost=cost_models)
+def test_ted_identity(t, cost):
+    assert ted(t, t, cost) == 0
+
+
+@given(a=trees, b=trees)
+def test_ted_symmetry_under_unit_costs(a, b):
+    # Unit costs price delete and insert equally, so reversing the
+    # direction of the edit script reverses each operation at equal
+    # cost.  (Weighted models with delete != insert are asymmetric by
+    # design, hence the unit-cost restriction.)
+    assert ted(a, b) == ted(b, a)
+
+
+@given(a=small_trees, b=small_trees, c=small_trees, cost=cost_models)
+def test_ted_triangle_inequality(a, b, c, cost):
+    # Concatenating an edit script a->b with one b->c edits a into c,
+    # so the optimal a->c script cannot cost more.
+    assert ted(a, c, cost) <= ted(a, b, cost) + ted(b, c, cost)
+
+
+@given(q=trees, t=trees, cost=cost_models)
+def test_ted_size_difference_lower_bound(q, t, cost):
+    # Any mapping leaves at least ||Q| - |T|| nodes unmapped, each
+    # costing at least min_indel to delete or insert.  Both pruning
+    # rules of TASM-postorder are instances of this bound.
+    assert ted(q, t, cost) >= cost.min_indel * abs(len(q) - len(t))
+
+
+@given(q=small_trees, t=trees, k=ks)
+def test_ring_peak_within_paper_bound(q, t, k):
+    # Unit costs: prune_threshold is the paper's tau = k + 2|Q| - 1.
+    tau = prune_threshold(k, len(q), UnitCostModel())
+    assert tau == k + 2 * len(q) - 1
+    stats = PostorderStats()
+    tasm_postorder(q, PostorderQueue.from_tree(t), k, stats=stats)
+    assert stats.ring_capacity == tau
+    assert stats.peak_buffered <= tau
+    assert stats.dequeued == len(t)
+    # Node conservation: every document node is scored exactly once or
+    # pruned exactly once.
+    assert (
+        stats.subtrees_scored + stats.pruned_large + stats.pruned_buffered
+        == len(t)
+    )
+
+
+@given(q=small_trees, t=trees, k=ks, cost=cost_models)
+def test_ring_peak_within_bound_weighted(q, t, k, cost):
+    stats = PostorderStats()
+    tasm_postorder(q, PostorderQueue.from_tree(t), k, cost, stats=stats)
+    assert stats.peak_buffered <= stats.ring_capacity
+    assert stats.ring_capacity == prune_threshold(k, len(q), cost)
