@@ -21,7 +21,17 @@ A parallel-scaling section (``--workers 1,2,4``) runs the sharded
 engine (:mod:`repro.parallel`) against an IntervalStore copy of the
 corpus and records wall-clock speedup over the single-pass run, with
 hard gates on ranking identity and the per-worker ring-peak bound
-(``cpu_count`` is recorded so speedups are interpretable).
+(``cpu_count`` is recorded; with ``--fail-parallel-speedup`` the
+wall-clock win over the single pass is gated too, but only when
+``cpu_count >= 2`` — a single-core host cannot show one, and skipping
+silently there would mask regressions on real runners).
+
+A serving section (``--serve-concurrency 1,8,32``) boots the
+:mod:`repro.serve` HTTP server over the corpus store and measures
+requests/second at increasing client concurrency, with the result
+cache disabled so every request exercises the engine; every served
+ranking is gated byte-identical to a direct :func:`repro.tasm.
+tasm_batch` run on the same store.
 
 Usage::
 
@@ -40,6 +50,7 @@ import os
 import sys
 import tempfile
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
@@ -50,9 +61,16 @@ from repro.distance import UnitCostModel, prefix_distance  # noqa: E402
 from repro.parallel import ShardedStats, StoreDocument, tasm_sharded  # noqa: E402
 from repro.postorder.interval import IntervalStore  # noqa: E402
 from repro.postorder.queue import PostorderQueue  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServeClient,
+    ServerConfig,
+    ServerThread,
+    ranking_payload,
+)
 from repro.tasm import (  # noqa: E402
     PostorderStats,
     prune_threshold,
+    tasm_batch,
     tasm_dynamic,
     tasm_postorder,
 )
@@ -274,6 +292,94 @@ def bench_parallel(
     }
 
 
+def bench_serve(
+    name: str, target_nodes: int, k: int, seed: int, concurrencies
+) -> dict:
+    """Serving throughput: requests/second against a live HTTP server.
+
+    The corpus lives in an IntervalStore file served by a real
+    :class:`repro.serve.TasmServer` on a private event loop; clients
+    are threads driving the stdlib :class:`ServeClient`.  The result
+    cache is disabled so every request pays the full streamed ranking
+    (cache throughput would only measure a dict lookup), and every
+    response is compared byte-for-byte against a direct ``tasm_batch``
+    run — the serve series doubles as a continuous ranking-identity
+    check of the whole HTTP path.
+    """
+    query_name = "bench"
+    query = Tree.from_bracket(DEFAULT_QUERIES[name])
+    with tempfile.TemporaryDirectory() as tmp:
+        xml_path = os.path.join(tmp, f"{name}.xml")
+        nodes = generate(name, xml_path, target_nodes=target_nodes, seed=seed)
+        db_path = os.path.join(tmp, f"{name}.db")
+        with IntervalStore(db_path) as store:
+            doc_id = store.store_tree(name, tree_from_xml_file(xml_path))
+
+        with IntervalStore.open_readonly(db_path) as store:
+            reference = tasm_batch([query], store.postorder_queue(doc_id), k)[0]
+        expected = json.dumps(ranking_payload(reference), indent=2)
+
+        config = ServerConfig(
+            store=db_path,
+            port=0,
+            cache_size=0,
+            request_threads=max([8, *concurrencies]),
+        )
+        series = []
+        all_identical = True
+        with ServerThread(config) as thread:
+            client = ServeClient(port=thread.port)
+            client.wait_healthy()
+            client.register_query(query_name, bracket=DEFAULT_QUERIES[name])
+
+            def one_request() -> bool:
+                response = client.tasm(query_name, name, k=k)
+                served = json.dumps(response["matches"], indent=2)
+                return served == expected
+
+            # Warm the kernel/label tables once before timing.
+            all_identical &= one_request()
+
+            for concurrency in concurrencies:
+                with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                    t0 = time.perf_counter()
+                    outcomes = list(
+                        pool.map(lambda _: one_request(), range(concurrency))
+                    )
+                    elapsed = time.perf_counter() - t0
+                identical = all(outcomes)
+                all_identical &= identical
+                series.append(
+                    {
+                        "concurrency": concurrency,
+                        "requests": len(outcomes),
+                        "seconds": round(elapsed, 3),
+                        "requests_per_sec": (
+                            round(len(outcomes) / elapsed, 3) if elapsed else None
+                        ),
+                        "rankings_identical": identical,
+                    }
+                )
+            metrics = client.metrics()
+    return {
+        "dataset": name,
+        "doc_nodes": nodes,
+        "query_nodes": len(query),
+        "k": k,
+        "cache": "disabled",
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "one registered query ranked repeatedly: requests serialise on "
+            "its kernel lock, so requests_per_sec measures the full "
+            "HTTP+engine path under load, not parallel compute"
+        ),
+        "ring_peak_high_water": metrics["ring_peak_high_water"],
+        "latency": metrics["latency_by_route"].get("POST /v1/tasm"),
+        "rankings_identical_to_tasm_batch": all_identical,
+        "series": series,
+    }
+
+
 def _load_previous(path: str) -> dict:
     """Previous bench rows keyed by document size (missing file: {})."""
     try:
@@ -319,6 +425,12 @@ def main(argv=None) -> int:
         "series at the corpus size (default 1,2,4; empty skips)",
     )
     parser.add_argument(
+        "--serve-concurrency",
+        default="1,8,32",
+        help="comma-separated client concurrency levels for the serving "
+        "series at the corpus size (default 1,8,32; empty skips)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny configuration for CI (overrides --sizes/--k/--dataset)",
@@ -331,17 +443,30 @@ def main(argv=None) -> int:
         help="exit 1 unless postorder/dynamic speedup at the largest "
         "size is >= X",
     )
+    parser.add_argument(
+        "--fail-parallel-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless the best multi-worker wall-clock speedup over "
+        "the single pass is >= X; enforced only when cpu_count >= 2 "
+        "(a single-core host cannot show a wall-clock win)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
         sizes, k, query_size = [60], 3, 4
         dataset, dataset_nodes = "dblp", 5000
         workers_list = [1, 2]
+        serve_concurrency = [1, 2]
     else:
         sizes = [int(s) for s in args.sizes.split(",") if s]
         k, query_size = args.k, args.query_size
         dataset, dataset_nodes = args.dataset, args.dataset_nodes
         workers_list = [int(w) for w in args.workers.split(",") if w]
+        serve_concurrency = [
+            int(c) for c in args.serve_concurrency.split(",") if c
+        ]
 
     previous = _load_previous(args.out)
     results = []
@@ -387,33 +512,31 @@ def main(argv=None) -> int:
                 f"peaks<=bound={entry['worker_peaks_within_bound']}"
             )
 
-    payload = {
-        "bench": "tasm",
-        "query_size": query_size,
-        "k": k,
-        "seed": args.seed,
-        "cost_model": "unit",
-        "results": results,
-        "dataset": dataset_row,
-        "parallel": parallel_row,
-    }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {os.path.abspath(args.out)}")
+    serve_row = None
+    if dataset != "none" and serve_concurrency:
+        serve_row = bench_serve(dataset, dataset_nodes, k, args.seed, serve_concurrency)
+        for entry in serve_row["series"]:
+            print(
+                f"serve c={entry['concurrency']:>3}  {entry['seconds']}s  "
+                f"{entry['requests_per_sec']} req/s  "
+                f"identical={entry['rankings_identical']}"
+            )
 
     ok = all(r["rankings_agree"] for r in results)
     if dataset_row is not None:
         ok = ok and dataset_row["rankings_agree"]
         ok = ok and dataset_row["ring_peak_within_bound"]
     if parallel_row is not None:
-        # Hard correctness gates; the speedup itself is hardware-bound
-        # (cpu_count is recorded) and not gated here.
+        # Hard correctness gates; the wall-clock speedup is gated
+        # separately below because it is hardware-bound.
         ok = ok and all(
             e["ranking_identical_to_single_pass"]
             and e["worker_peaks_within_bound"]
             for e in parallel_row["series"]
         )
+    if serve_row is not None and not serve_row["rankings_identical_to_tasm_batch"]:
+        print("FAIL: a served ranking diverged from tasm_batch", file=sys.stderr)
+        ok = False
     if args.fail_below_speedup is not None and results:
         speedup = results[-1]["speedup_postorder_over_dynamic"] or 0.0
         if speedup < args.fail_below_speedup:
@@ -423,6 +546,62 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             ok = False
+    if args.fail_parallel_speedup is not None and parallel_row is not None:
+        multi = [e for e in parallel_row["series"] if e["workers"] > 1]
+        cpu_count = parallel_row["cpu_count"] or 1
+        if cpu_count < 2:
+            # Explicitly recorded as skipped: a skipped-by-accident gate
+            # on a single-core runner must not read as a pass.
+            parallel_row["wall_clock_gate"] = {
+                "threshold": args.fail_parallel_speedup,
+                "enforced": False,
+                "reason": f"cpu_count={cpu_count} < 2",
+            }
+            print(
+                f"parallel wall-clock gate skipped: cpu_count={cpu_count} "
+                "(needs >= 2 cores to manifest)"
+            )
+        elif multi:
+            best = max(e["speedup_vs_single_pass"] or 0.0 for e in multi)
+            passed = best >= args.fail_parallel_speedup
+            parallel_row["wall_clock_gate"] = {
+                "threshold": args.fail_parallel_speedup,
+                "enforced": True,
+                "best_speedup": best,
+                "passed": passed,
+            }
+            if not passed:
+                print(
+                    f"FAIL: best multi-worker wall-clock speedup {best} < "
+                    f"{args.fail_parallel_speedup} (cpu_count={cpu_count})",
+                    file=sys.stderr,
+                )
+                ok = False
+        else:
+            parallel_row["wall_clock_gate"] = {
+                "threshold": args.fail_parallel_speedup,
+                "enforced": False,
+                "reason": "no multi-worker series (--workers has no entry > 1)",
+            }
+            print(
+                "parallel wall-clock gate skipped: no multi-worker series"
+            )
+
+    payload = {
+        "bench": "tasm",
+        "query_size": query_size,
+        "k": k,
+        "seed": args.seed,
+        "cost_model": "unit",
+        "results": results,
+        "dataset": dataset_row,
+        "parallel": parallel_row,
+        "serve": serve_row,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {os.path.abspath(args.out)}")
     return 0 if ok else 1
 
 

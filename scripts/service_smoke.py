@@ -1,0 +1,220 @@
+"""Service-contract smoke test: boot ``repro serve`` and check it cold.
+
+What the ``service-smoke`` CI job runs on every push.  The contract:
+
+1.  **Startup** — a server over a freshly built IntervalStore boots and
+    answers ``/healthz`` within a hard deadline.
+2.  **Registration** — every :data:`repro.datasets.DEFAULT_QUERIES`
+    entry registers over ``PUT /v1/queries/{name}``.
+3.  **Ranking identity** — for each registered query,
+    ``POST /v1/tasm`` returns a ranking whose JSON is byte-for-byte
+    identical to ``repro tasm --json`` run against the same store
+    file, query, and ``k`` (the CLI and the server share one payload
+    builder; this guards that contract end to end, across processes).
+4.  **Observability** — ``/metrics`` counted the traffic, and the ring
+    high-water mark respects the paper's bound.
+
+The server runs with a shard pool (``--workers 2``) and a shard
+threshold below the corpus size, so the smoke also covers the
+sharded execution path.  On any failure the server log is dumped to
+stderr before exiting non-zero.
+
+Usage: ``python scripts/service_smoke.py [--nodes 5000] [--k 5]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.datasets import DEFAULT_QUERIES, generate  # noqa: E402
+from repro.postorder.interval import IntervalStore  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.xmlio import tree_from_xml_file  # noqa: E402
+
+HEALTH_DEADLINE_SECONDS = 30.0
+
+
+def build_store(tmp: str, dataset: str, nodes: int) -> str:
+    xml_path = os.path.join(tmp, f"{dataset}.xml")
+    generate(dataset, xml_path, target_nodes=nodes, seed=11)
+    db_path = os.path.join(tmp, f"{dataset}.db")
+    with IntervalStore(db_path) as store:
+        store.store_tree(dataset, tree_from_xml_file(xml_path))
+    return db_path
+
+
+def start_server(db_path: str, log_path: str, workers: int, threshold: int):
+    """Boot ``repro serve`` on an ephemeral port; return (proc, port)."""
+    log = open(log_path, "w", encoding="utf-8")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--store",
+            db_path,
+            "--port",
+            "0",
+            "--workers",
+            str(workers),
+            "--shard-threshold",
+            str(threshold),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=log,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=os.path.join(REPO, "src")),
+        cwd=REPO,
+    )
+    # The CLI announces the bound port on stdout once listening.  The
+    # read happens on a helper thread so the startup deadline holds
+    # even if the server wedges before printing anything.
+    lines: "queue.Queue[str]" = queue.Queue()
+    threading.Thread(
+        target=lambda: lines.put(proc.stdout.readline()), daemon=True
+    ).start()
+    deadline = time.monotonic() + HEALTH_DEADLINE_SECONDS
+    line = ""
+    while time.monotonic() < deadline:
+        try:
+            line = lines.get(timeout=0.2)
+            break
+        except queue.Empty:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early with {proc.returncode}"
+                )
+    else:
+        raise RuntimeError(
+            f"server printed no listening line within "
+            f"{HEALTH_DEADLINE_SECONDS}s"
+        )
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    if not match:
+        raise RuntimeError(f"could not parse server address from {line!r}")
+    return proc, int(match.group(1))
+
+
+def cli_ranking_bytes(db_path: str, bracket: str, k: int) -> str:
+    """``repro tasm --json`` output for the same store/query/k."""
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "tasm",
+            bracket,
+            db_path,
+            "-k",
+            str(k),
+            "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=os.path.join(REPO, "src")),
+        cwd=REPO,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"CLI tasm failed: {result.stderr}")
+    return result.stdout
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="dblp", choices=sorted(DEFAULT_QUERIES))
+    parser.add_argument("--nodes", type=int, default=5000)
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--shard-threshold",
+        type=int,
+        default=1000,
+        help="kept below --nodes so the sharded path is exercised",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        log_path = os.path.join(tmp, "server.log")
+        db_path = build_store(tmp, args.dataset, args.nodes)
+        print(f"store built: {db_path}")
+        proc = None
+        try:
+            proc, port = start_server(
+                db_path, log_path, args.workers, args.shard_threshold
+            )
+            client = ServeClient(port=port)
+            health = client.wait_healthy(timeout=HEALTH_DEADLINE_SECONDS)
+            print(f"healthy on port {port}: {health}")
+
+            for name, bracket in DEFAULT_QUERIES.items():
+                registered = client.register_query(name, bracket=bracket)
+                print(f"registered query {name}: {registered}")
+
+            for name, bracket in DEFAULT_QUERIES.items():
+                response = client.tasm(name, args.dataset, k=args.k)
+                served = json.dumps(response["matches"], indent=2) + "\n"
+                cli = cli_ranking_bytes(db_path, bracket, args.k)
+                if served != cli:
+                    failures.append(
+                        f"ranking mismatch for {name}:\n"
+                        f"--- served ---\n{served}\n--- cli ---\n{cli}"
+                    )
+                else:
+                    print(
+                        f"ranking identity OK for {name} "
+                        f"(engine={response['engine']}, "
+                        f"{len(response['matches'])} matches)"
+                    )
+
+            metrics = client.metrics()
+            print(f"metrics: {json.dumps(metrics, indent=2)}")
+            expected = len(DEFAULT_QUERIES)
+            served_count = metrics["requests_by_route"].get("POST /v1/tasm", 0)
+            if served_count != expected:
+                failures.append(
+                    f"/metrics counted {served_count} POST /v1/tasm "
+                    f"requests, expected {expected}"
+                )
+            if metrics["errors_total"]:
+                failures.append(
+                    f"{metrics['errors_total']} errors during the smoke run"
+                )
+        except Exception as exc:  # noqa: BLE001 - report and dump logs
+            failures.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            if proc is not None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            if failures and os.path.exists(log_path):
+                print("---- server log ----", file=sys.stderr)
+                with open(log_path, "r", encoding="utf-8") as fh:
+                    sys.stderr.write(fh.read())
+                print("---- end server log ----", file=sys.stderr)
+
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

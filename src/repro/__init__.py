@@ -14,6 +14,11 @@ Layer map:
   :func:`tasm_batch` (many queries, one document pass).
 * :mod:`repro.datasets`  — streaming XMark/DBLP/PSD-lookalike corpus
   generators for document-scale experiments.
+* :mod:`repro.parallel`  — sharded parallel TASM: safe-cut planning,
+  worker pool, exact-merge.
+* :mod:`repro.serve`     — the asyncio HTTP serving layer: registered
+  queries with warm kernels, document catalog, result cache, metrics
+  (imported on demand; ``repro serve`` on the command line).
 
 Quickstart::
 
@@ -38,6 +43,7 @@ from .errors import (
     PostorderQueueError,
     RankingError,
     ReproError,
+    ServeError,
     TreeStructureError,
     XmlFormatError,
 )
@@ -53,7 +59,7 @@ from .tasm import (
 )
 from .trees import Node, Tree
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "__version__",
@@ -81,4 +87,5 @@ __all__ = [
     "CostModelError",
     "RankingError",
     "DatasetError",
+    "ServeError",
 ]

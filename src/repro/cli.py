@@ -1,18 +1,21 @@
 """Command-line interface: ``python -m repro`` / the ``repro`` script.
 
-Three subcommands mirror the library's entry points:
+Four subcommands mirror the library's entry points:
 
 * ``repro ted A B`` — tree edit distance between two trees,
 * ``repro tasm QUERY DOCUMENT -k K`` — top-k approximate subtree
-  matching, streaming the document when it is an XML file; with
+  matching, streaming the document when it is an XML file or an
+  :class:`~repro.postorder.interval.IntervalStore` database; with
   ``--query-file`` a whole workload of queries is ranked in one
   document pass (:func:`repro.tasm.tasm_batch`),
 * ``repro dataset NAME OUT`` — generate an XMark/DBLP/PSD-lookalike
-  document (:mod:`repro.datasets`) for benchmarks and experiments.
+  document (:mod:`repro.datasets`) for benchmarks and experiments,
+* ``repro serve`` — run the long-lived TASM HTTP service
+  (:mod:`repro.serve`) over a store file and/or XML documents.
 
 Tree arguments are bracket notation (``{a{b}{c}}``) given inline, or a
-path to a ``.xml`` / ``.bracket`` file; ``--format`` overrides the
-autodetection.
+path to a ``.xml`` / ``.bracket`` / ``.db`` file; ``--format``
+overrides the autodetection.
 """
 
 from __future__ import annotations
@@ -30,6 +33,8 @@ from .trees.tree import Tree
 
 __all__ = ["main"]
 
+_STORE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
 
 def _detect_format(arg: str, forced: str) -> str:
     if forced != "auto":
@@ -38,6 +43,8 @@ def _detect_format(arg: str, forced: str) -> str:
         return "bracket"
     if arg.lower().endswith(".xml"):
         return "xml"
+    if arg.lower().endswith(_STORE_SUFFIXES):
+        return "store"
     return "bracket-file"
 
 
@@ -49,15 +56,55 @@ def _load_tree(arg: str, forced: str) -> Tree:
         from .xmlio.parse import tree_from_xml_file
 
         return tree_from_xml_file(arg)
+    if fmt == "store":
+        raise ReproError(
+            f"{arg!r} is an IntervalStore file; store documents are "
+            "supported as tasm DOCUMENT arguments, not as tree arguments"
+        )
     with open(arg, "r", encoding="utf-8") as fh:
         return Tree.from_bracket(fh.read())
 
 
-def _document_queue(arg: str, forced: str) -> PostorderQueue:
-    """Document as a postorder queue, streaming XML files."""
+def _store_document(path: str, doc_name: Optional[str]):
+    """Resolve a store file + optional name to a CatalogDocument.
+
+    Delegates to :class:`repro.serve.catalog.DocumentCatalog`, which
+    also wraps non-store/corrupt files in a clean
+    :class:`~repro.errors.ServeError` instead of a sqlite traceback.
+    """
+    from .serve.catalog import DocumentCatalog
+
+    catalog = DocumentCatalog(path)
+    if doc_name is None:
+        names = catalog.names()
+        if len(names) > 1:
+            raise ReproError(
+                f"store {path!r} holds {len(names)} documents "
+                f"({', '.join(names)}); pick one with --doc-name"
+            )
+        return catalog.get(names[0])
+    return catalog.get(doc_name)
+
+
+def _load_store_tree(path: str, doc_name: Optional[str]) -> Tree:
+    """Materialise a store document (the --algorithm dynamic path)."""
+    from .postorder.interval import IntervalStore
+
+    doc = _store_document(path, doc_name)
+    store = IntervalStore.open_readonly(path)
+    try:
+        return store.load_tree(doc.doc_id)
+    finally:
+        store.close()
+
+
+def _document_queue(arg: str, forced: str, doc_name: Optional[str] = None):
+    """Document as a postorder queue, streaming XML files and stores."""
     fmt = _detect_format(arg, forced)
     if fmt == "xml":
         return PostorderQueue.from_xml_file(arg)
+    if fmt == "store":
+        return _store_document(arg, doc_name).queue()
     return PostorderQueue.from_tree(_load_tree(arg, forced))
 
 
@@ -124,13 +171,28 @@ def _build_parser() -> argparse.ArgumentParser:
     tasm_p.add_argument(
         "--stats", action="store_true", help="print run statistics to stderr"
     )
+    tasm_p.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="print run statistics plus which execution path ran "
+        "(stream vs sharded, shard count) to stderr",
+    )
+    tasm_p.add_argument(
+        "--doc-name",
+        default=None,
+        metavar="NAME",
+        help="document name inside an IntervalStore .db file (default: "
+        "the store's only document)",
+    )
 
     for p in (ted_p, tasm_p):
         p.add_argument(
             "--format",
-            choices=["auto", "bracket", "bracket-file", "xml"],
+            choices=["auto", "bracket", "bracket-file", "xml", "store"],
             default="auto",
-            help="input format (default: autodetect)",
+            help="input format (default: autodetect; .db/.sqlite documents "
+            "are IntervalStore files)",
         )
         p.add_argument(
             "--cost",
@@ -151,6 +213,80 @@ def _build_parser() -> argparse.ArgumentParser:
         "--nodes", type=int, default=100_000, help="target node count (default 100000)"
     )
     dataset_p.add_argument("--seed", type=int, default=0, help="random seed")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the TASM HTTP service (repro.serve)"
+    )
+    serve_p.add_argument(
+        "--store",
+        default=None,
+        metavar="FILE",
+        help="IntervalStore database whose documents become servable",
+    )
+    serve_p.add_argument(
+        "--xml",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register an XML document under NAME (repeatable)",
+    )
+    serve_p.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="NAME=BRACKET",
+        help="pre-register a query (repeatable; more can be PUT later)",
+    )
+    serve_p.add_argument(
+        "--default-queries",
+        action="store_true",
+        help="pre-register the repro.datasets default corpus queries",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        help="listening port (default 8077; 0 picks a free one)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="persistent shard-pool processes for large documents "
+        "(default 1: everything runs in-process)",
+    )
+    serve_p.add_argument(
+        "--shard-threshold",
+        type=int,
+        default=50_000,
+        metavar="NODES",
+        help="document size at which requests route to the shard pool "
+        "(default 50000)",
+    )
+    serve_p.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="LRU result-cache entries (default 256; 0 disables)",
+    )
+    serve_p.add_argument(
+        "--request-threads",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent blocking rankings (default 8)",
+    )
+    serve_p.add_argument(
+        "--max-k",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="per-request k ceiling (default 10000; the ring buffer is "
+        "preallocated at k + 2|Q| - 1 slots)",
+    )
     return parser
 
 
@@ -177,15 +313,9 @@ def _load_query_file(path: str) -> List[Tree]:
 
 
 def _ranking_payload(matches) -> List[dict]:
-    return [
-        {
-            "rank": rank,
-            "distance": m.distance,
-            "root": m.root,
-            "subtree": m.subtree.to_bracket(),
-        }
-        for rank, m in enumerate(matches, 1)
-    ]
+    from .serve.wire import ranking_payload
+
+    return ranking_payload(matches)
 
 
 def _run_tasm(args: argparse.Namespace) -> int:
@@ -198,30 +328,63 @@ def _run_tasm(args: argparse.Namespace) -> int:
     else:
         raise ReproError("a QUERY argument or --query-file is required")
     batch = args.query_file is not None
+    show_stats = args.stats or args.verbose
     if args.workers < 1:
         raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    doc_fmt = _detect_format(args.document, args.format)
+    sharded_stats = None
     if args.algorithm == "dynamic":
         if args.workers > 1:
             raise ReproError("--workers requires --algorithm postorder")
-        document = _load_tree(args.document, args.format)
+        if doc_fmt == "store":
+            document = _load_store_tree(args.document, args.doc_name)
+        else:
+            document = _load_tree(args.document, args.format)
         rankings = [
             tasm_dynamic(query, document, args.k, args.cost) for query in queries
         ]
         stats = None
-    else:
-        stats = PostorderStats()
-        if args.workers > 1 and _detect_format(args.document, args.format) == "xml":
-            # Shard the file itself: planning and every worker stream
-            # their own parse, so no process materialises the document
-            # (the same reason the single-pass run streams it).
-            from .parallel import XmlDocument
+    elif args.workers > 1:
+        # Shard XML and store files in place: planning and every worker
+        # stream their own scan, so no process materialises the
+        # document (the same reason the single-pass run streams it).
+        from .parallel import ShardedStats, XmlDocument, tasm_sharded_batch
 
+        if doc_fmt == "xml":
             source = XmlDocument(args.document)
+        elif doc_fmt == "store":
+            source = _store_document(args.document, args.doc_name).shard_source()
         else:
             source = _document_queue(args.document, args.format)
-        rankings = tasm_batch(
-            queries, source, args.k, args.cost, stats=stats, workers=args.workers
+        sharded_stats = ShardedStats()
+        rankings = tasm_sharded_batch(
+            queries,
+            source,
+            args.k,
+            args.cost,
+            workers=args.workers,
+            stats=sharded_stats,
         )
+        stats = sharded_stats
+        if sharded_stats.n_shards < args.workers:
+            if sharded_stats.n_shards == 1:
+                print(
+                    f"repro: warning: the shard planner found no safe cut; "
+                    f"the document ran as a single pass "
+                    f"(--workers {args.workers} had no effect)",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"repro: warning: only {sharded_stats.n_shards} safe "
+                    f"shards found for --workers {args.workers}; some "
+                    f"workers stayed idle",
+                    file=sys.stderr,
+                )
+    else:
+        stats = PostorderStats()
+        source = _document_queue(args.document, args.format, args.doc_name)
+        rankings = tasm_batch(queries, source, args.k, args.cost, stats=stats)
     if args.json:
         if batch:
             payload = [
@@ -239,13 +402,17 @@ def _run_tasm(args: argparse.Namespace) -> int:
                     f"{prefix}{rank}\t{m.distance:g}\t@{m.root}\t"
                     f"{m.subtree.to_bracket()}"
                 )
-    if args.stats:
+    if show_stats:
         if stats is None:
-            print(
-                "repro: note: --stats only applies to --algorithm postorder",
-                file=sys.stderr,
-            )
+            if args.stats:
+                print(
+                    "repro: note: --stats only applies to --algorithm "
+                    "postorder",
+                    file=sys.stderr,
+                )
         else:
+            # ShardedStats mirrors the PostorderStats field names
+            # (aggregated over shards), so one format covers both paths.
             print(
                 f"dequeued={stats.dequeued} peak_buffered={stats.peak_buffered} "
                 f"ring_capacity={stats.ring_capacity} "
@@ -253,6 +420,15 @@ def _run_tasm(args: argparse.Namespace) -> int:
                 f"scored={stats.subtrees_scored}",
                 file=sys.stderr,
             )
+    if args.verbose:
+        if sharded_stats is not None:
+            print(
+                f"engine=sharded shards={sharded_stats.n_shards} "
+                f"workers={sharded_stats.workers}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"engine={args.algorithm}", file=sys.stderr)
     return 0
 
 
@@ -264,6 +440,47 @@ def _run_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pairs(pairs: List[str], what: str) -> dict:
+    """``NAME=VALUE`` argument lists as a dict (order-preserving)."""
+    out = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name or not value:
+            raise ReproError(f"--{what} needs NAME=VALUE, got {pair!r}")
+        out[name] = value
+    return out
+
+
+def _serve_config(args: argparse.Namespace):
+    """An argparse namespace as a :class:`repro.serve.ServerConfig`."""
+    from .serve import ServerConfig
+
+    queries = _parse_pairs(args.query, "query")
+    if args.default_queries:
+        from .datasets import DEFAULT_QUERIES
+
+        for name, bracket in DEFAULT_QUERIES.items():
+            queries.setdefault(name, bracket)
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        xml_documents=_parse_pairs(args.xml, "xml"),
+        queries=queries,
+        workers=args.workers,
+        shard_threshold=args.shard_threshold,
+        cache_size=args.cache_size,
+        request_threads=args.request_threads,
+        max_k=args.max_k,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .serve import run_server
+
+    return run_server(_serve_config(args))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -271,6 +488,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_ted(args)
         if args.command == "dataset":
             return _run_dataset(args)
+        if args.command == "serve":
+            return _run_serve(args)
         return _run_tasm(args)
     except (ReproError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

@@ -44,3 +44,15 @@ class RankingError(ReproError):
 
 class DatasetError(ReproError, ValueError):
     """A synthetic-corpus request was invalid (unknown name, bad size)."""
+
+
+class ServeError(ReproError):
+    """A serving-layer request was invalid or referenced unknown state.
+
+    ``status`` is the HTTP status the front end should answer with
+    (400 for malformed requests, 404 for unknown queries/documents).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = status
+        super().__init__(message)

@@ -119,6 +119,14 @@ class ShardedStats:
     def pruned_buffered(self) -> int:
         return sum(s.pruned_buffered for s in self.shard_stats)
 
+    @property
+    def n_shards(self) -> int:
+        """How many shards the planner produced (1 = no safe cut found,
+        i.e. the run degenerated to a single pass)."""
+        if self.plan is not None:
+            return len(self.plan.shards)
+        return len(self.shard_stats)
+
 
 def _normalise_source(source) -> tuple:
     """Reduce ``source`` to (total_nodes, planning_pairs, payload_maker)."""
@@ -185,6 +193,7 @@ def tasm_sharded_batch(
     workers: int = 2,
     shards: Optional[int] = None,
     stats: Optional[ShardedStats] = None,
+    pool=None,
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query via sharded (parallel) passes.
 
@@ -193,6 +202,13 @@ def tasm_sharded_batch(
     without pool overhead); ``shards`` defaults to ``workers`` and may
     exceed it for load balancing.  Returns exactly what
     :func:`~repro.tasm.batch.tasm_batch` returns for the same inputs.
+
+    ``pool`` — an already-running ``multiprocessing.Pool`` to fan the
+    shard tasks out on, instead of creating (and tearing down) a pool
+    per call.  A long-lived caller such as the serving layer's
+    executor amortises worker start-up across requests this way;
+    ``Pool.map`` is thread-safe, so several request threads may share
+    one pool.
     """
     query_list: Sequence[Tree] = list(queries)
     if not query_list:
@@ -222,7 +238,7 @@ def tasm_sharded_batch(
         )
         for shard in plan.shards
     ]
-    results = _execute(tasks, min(workers, len(tasks)))
+    results = _execute(tasks, min(workers, len(tasks)), pool)
     if stats is not None:
         stats.workers = min(workers, len(tasks))
         stats.plan = plan
@@ -232,13 +248,17 @@ def tasm_sharded_batch(
     return merge_rankings(results, len(query_list), k)
 
 
-def _execute(tasks: List[ShardTask], workers: int) -> List[ShardResult]:
-    if workers <= 1 or len(tasks) <= 1:
+def _execute(
+    tasks: List[ShardTask], workers: int, pool=None
+) -> List[ShardResult]:
+    if len(tasks) <= 1 or (workers <= 1 and pool is None):
         return [run_shard(task) for task in tasks]
+    if pool is not None:
+        return pool.map(run_shard, tasks)
     import multiprocessing
 
-    with multiprocessing.Pool(processes=workers) as pool:
-        return pool.map(run_shard, tasks)
+    with multiprocessing.Pool(processes=workers) as local_pool:
+        return local_pool.map(run_shard, tasks)
 
 
 def tasm_sharded(
@@ -249,8 +269,16 @@ def tasm_sharded(
     workers: int = 2,
     shards: Optional[int] = None,
     stats: Optional[ShardedStats] = None,
+    pool=None,
 ) -> List[Match]:
     """Single-query convenience wrapper around :func:`tasm_sharded_batch`."""
     return tasm_sharded_batch(
-        [query], source, k, cost, workers=workers, shards=shards, stats=stats
+        [query],
+        source,
+        k,
+        cost,
+        workers=workers,
+        shards=shards,
+        stats=stats,
+        pool=pool,
     )[0]

@@ -1,0 +1,97 @@
+"""Async TASM serving layer: the step from library to service.
+
+The paper's prefix-ring memory bound makes top-k subtree matching a
+constant-memory *streaming* operation — exactly what a long-lived
+process wants.  This package runs the matching engine behind an
+asyncio HTTP front end so registered queries keep their pre-built
+:class:`~repro.distance.ted.PrefixDistanceKernel`s warm across
+requests, documents are served from read-only
+:class:`~repro.postorder.interval.IntervalStore` files or on-demand
+XML, and repeated requests hit an LRU result cache keyed by
+``(document, version, query, k, cost model)``.
+
+* :mod:`~repro.serve.registry` — validated queries + per-cost kernels.
+* :mod:`~repro.serve.catalog`  — store/XML documents with versions.
+* :mod:`~repro.serve.cache`    — the LRU result cache.
+* :mod:`~repro.serve.metrics`  — request/latency/ring-peak counters.
+* :mod:`~repro.serve.executor` — stream vs sharded-pool routing.
+* :mod:`~repro.serve.httpd`    — dependency-free HTTP/1.1 on asyncio.
+* :mod:`~repro.serve.server`   — routes, lifecycle, ``ServerThread``.
+* :mod:`~repro.serve.client`   — stdlib client (tests, CI, bench).
+* :mod:`~repro.serve.wire`     — the JSON ranking format shared with
+  the CLI (the byte-identity contract CI enforces).
+
+Start one from the command line::
+
+    repro serve --store corpus.db --port 8077 --workers 4
+"""
+
+from importlib import import_module
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from .cache import ResultCache, result_key
+    from .catalog import CatalogDocument, DocumentCatalog
+    from .client import ServeClient, ServeHttpError
+    from .executor import TasmExecutor
+    from .metrics import ServeMetrics
+    from .registry import QueryRegistry, RegisteredQuery
+    from .server import ServerConfig, ServerThread, TasmServer, run_server
+    from .wire import cost_key, parse_cost, ranking_payload
+
+#: Public name -> defining submodule.  Resolved lazily (PEP 562) so a
+#: one-shot CLI run that only needs the wire format never pays for the
+#: asyncio/http server stack.
+_EXPORTS = {
+    "CatalogDocument": ".catalog",
+    "DocumentCatalog": ".catalog",
+    "QueryRegistry": ".registry",
+    "RegisteredQuery": ".registry",
+    "ResultCache": ".cache",
+    "ServeClient": ".client",
+    "ServeHttpError": ".client",
+    "ServeMetrics": ".metrics",
+    "ServerConfig": ".server",
+    "ServerThread": ".server",
+    "TasmExecutor": ".executor",
+    "TasmServer": ".server",
+    "cost_key": ".wire",
+    "parse_cost": ".wire",
+    "ranking_payload": ".wire",
+    "result_key": ".cache",
+    "run_server": ".server",
+}
+
+
+def __getattr__(name: str):
+    submodule = _EXPORTS.get(name)
+    if submodule is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(submodule, __name__), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "CatalogDocument",
+    "DocumentCatalog",
+    "QueryRegistry",
+    "RegisteredQuery",
+    "ResultCache",
+    "ServeClient",
+    "ServeHttpError",
+    "ServeMetrics",
+    "ServerConfig",
+    "ServerThread",
+    "TasmExecutor",
+    "TasmServer",
+    "cost_key",
+    "parse_cost",
+    "ranking_payload",
+    "result_key",
+    "run_server",
+]

@@ -1,0 +1,87 @@
+"""LRU result cache for served rankings.
+
+Rankings are pure functions of ``(document identity+version, query
+bracket, k, cost model)`` — the ROADMAP's "persistent result cache"
+item.  The cache therefore needs no explicit invalidation hooks:
+bumping a document's version (or re-registering a query, which changes
+nothing if the bracket is unchanged and changes the key if it is not)
+makes every stale entry unreachable, and the LRU discipline ages it
+out.
+
+Thread-safe; capacity 0 disables caching (every lookup is a miss and
+nothing is stored), which the bench uses to measure raw engine
+throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["ResultCache", "result_key"]
+
+
+def result_key(
+    doc_name: str,
+    doc_version: int,
+    query_bracket: str,
+    k: int,
+    cost: str,
+) -> Tuple:
+    """The canonical cache key for one ranking request."""
+    return (doc_name, doc_version, query_bracket, k, cost)
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU mapping of result keys to payloads."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def payload(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 4) if total else None,
+            }

@@ -1,0 +1,179 @@
+"""Document catalog: the corpora a TASM server ranks against.
+
+Two document kinds, matching the two streaming backends of the
+library:
+
+* ``store`` — a document inside a read-only
+  :class:`~repro.postorder.interval.IntervalStore` database file.  The
+  catalog enumerates the file's documents once at attach time; every
+  request later opens its own read-only connection (SQLite connections
+  are not shareable across threads), scans ``postorder_pairs``, and the
+  sharded path hands workers a
+  :class:`~repro.parallel.sharded.StoreDocument` so each ranges over
+  the same file.
+* ``xml`` — an XML file on disk, parsed on demand
+  (:meth:`~repro.postorder.queue.PostorderQueue.from_xml_file`); the
+  sharded path re-parses per worker via
+  :class:`~repro.parallel.sharded.XmlDocument`.
+
+Every document carries a **version**, starting at 1.  Re-registering a
+name (the file changed on disk) bumps it; since the result cache keys
+on ``(name, version, ...)``, a bump retires every cached ranking for
+the document without any scanning.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Dict, List, Optional
+
+from ..errors import ServeError
+from ..postorder.interval import IntervalStore
+from ..postorder.queue import PostorderQueue
+
+__all__ = ["CatalogDocument", "DocumentCatalog"]
+
+
+class CatalogDocument:
+    """One servable document: where it lives and how big it is."""
+
+    __slots__ = ("name", "kind", "path", "doc_id", "n_nodes", "version")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        path: str,
+        n_nodes: int,
+        doc_id: Optional[int] = None,
+        version: int = 1,
+    ):
+        self.name = name
+        self.kind = kind  # "store" | "xml"
+        self.path = path
+        self.doc_id = doc_id
+        self.n_nodes = n_nodes
+        self.version = version
+
+    def queue(self) -> PostorderQueue:
+        """A fresh postorder queue over this document (one per request)."""
+        if self.kind == "store":
+            store = IntervalStore.open_readonly(self.path)
+            return PostorderQueue(
+                self._closing_pairs(store, self.doc_id)
+            )
+        return PostorderQueue.from_xml_file(self.path)
+
+    @staticmethod
+    def _closing_pairs(store: IntervalStore, doc_id: int):
+        try:
+            yield from store.postorder_pairs(doc_id)
+        finally:
+            store.close()
+
+    def shard_source(self):
+        """The document as a :mod:`repro.parallel` shardable source."""
+        from ..parallel.sharded import StoreDocument, XmlDocument
+
+        if self.kind == "store":
+            return StoreDocument(self.path, self.doc_id)
+        return XmlDocument(self.path)
+
+    def payload(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "nodes": self.n_nodes,
+            "version": self.version,
+        }
+
+
+class DocumentCatalog:
+    """Named documents over store files and on-demand XML sources."""
+
+    def __init__(self, store_path: Optional[str] = None):
+        self._documents: Dict[str, CatalogDocument] = {}
+        self._lock = threading.Lock()
+        self.store_path = store_path
+        if store_path is not None:
+            self.attach_store(store_path)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def names(self) -> List[str]:
+        return sorted(self._documents)
+
+    def attach_store(self, path: str) -> List[CatalogDocument]:
+        """Register every document of an IntervalStore file.
+
+        The store is opened read-only just long enough to read the
+        document table; a name collision with an already-registered
+        document bumps that document's version (the store replaced it).
+        """
+        store = IntervalStore.open_readonly(path)
+        try:
+            rows = store.documents()
+        except sqlite3.Error as exc:
+            raise ServeError(
+                f"{path!r} is not an IntervalStore database: {exc}"
+            ) from None
+        finally:
+            store.close()
+        if not rows:
+            raise ServeError(f"store {path!r} holds no documents")
+        registered = []
+        for doc_id, name, n_nodes in rows:
+            registered.append(
+                self._register(
+                    CatalogDocument(name, "store", path, n_nodes, doc_id=doc_id)
+                )
+            )
+        return registered
+
+    def register_xml(self, name: str, path: str) -> CatalogDocument:
+        """Register (or re-register, bumping the version) an XML file.
+
+        The node count — needed for stream-vs-sharded routing — is
+        taken with one streaming parse at registration, so a broken
+        file is rejected here rather than at request time.
+        """
+        if not os.path.exists(path):
+            raise ServeError(f"no such XML file: {path!r}", status=404)
+        from ..xmlio.parse import iterparse_postorder
+
+        n_nodes = sum(1 for _ in iterparse_postorder(path))
+        if n_nodes == 0:
+            raise ServeError(f"no nodes parsed from {path!r}")
+        return self._register(CatalogDocument(name, "xml", path, n_nodes))
+
+    def _register(self, doc: CatalogDocument) -> CatalogDocument:
+        with self._lock:
+            previous = self._documents.get(doc.name)
+            if previous is not None:
+                doc.version = previous.version + 1
+            self._documents[doc.name] = doc
+        return doc
+
+    def bump_version(self, name: str) -> CatalogDocument:
+        """Invalidate every cached ranking for ``name`` (file changed)."""
+        with self._lock:
+            doc = self._documents.get(name)
+            if doc is None:
+                raise ServeError(f"no document named {name!r}", status=404)
+            doc.version += 1
+            return doc
+
+    def get(self, name: str) -> CatalogDocument:
+        doc = self._documents.get(name)
+        if doc is None:
+            raise ServeError(f"no document named {name!r}", status=404)
+        return doc
+
+    def payload(self) -> List[dict]:
+        return [self._documents[name].payload() for name in self.names()]

@@ -1,0 +1,150 @@
+"""Minimal stdlib client for the TASM service.
+
+Wraps ``http.client`` — one fresh connection per call, so a single
+:class:`ServeClient` may be shared freely across threads (the bench
+drives one from dozens of them).  Non-2xx responses raise
+:class:`ServeHttpError` carrying the status and the server's decoded
+error payload.  Used by the test suite, the ``service-smoke`` CI job,
+and the ``serve`` bench series; it is also a usable starting point for
+real callers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import List, Optional
+
+from ..errors import ServeError
+
+__all__ = ["ServeClient", "ServeHttpError"]
+
+
+class ServeHttpError(ServeError):
+    """The server answered with a non-2xx status."""
+
+    def __init__(self, status: int, payload):
+        message = (
+            payload.get("error", str(payload))
+            if isinstance(payload, dict)
+            else str(payload)
+        )
+        super().__init__(f"HTTP {status}: {message}", status=status)
+        self.payload = payload
+
+
+class ServeClient:
+    """A tiny JSON-over-HTTP client for one server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8077, timeout: float = 60.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload=None):
+        """One round trip; returns the decoded JSON response body."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else None
+        except ValueError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if not 200 <= response.status < 300:
+            raise ServeHttpError(response.status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def wait_healthy(
+        self, timeout: float = 15.0, interval: float = 0.1
+    ) -> dict:
+        """Poll ``/healthz`` until it answers ``ok`` (hard deadline)."""
+        deadline = time.monotonic() + timeout
+        last_error: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                health = self.health()
+                if health.get("status") == "ok":
+                    return health
+            except (OSError, socket.timeout, ServeHttpError) as exc:
+                last_error = exc
+            time.sleep(interval)
+        raise ServeError(
+            f"server at {self.host}:{self.port} not healthy after "
+            f"{timeout}s (last error: {last_error})"
+        )
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def documents(self) -> List[dict]:
+        return self.request("GET", "/v1/documents")["documents"]
+
+    def queries(self) -> List[dict]:
+        return self.request("GET", "/v1/queries")["queries"]
+
+    def register_query(
+        self,
+        name: str,
+        bracket: Optional[str] = None,
+        xml: Optional[str] = None,
+    ) -> dict:
+        if (bracket is None) == (xml is None):
+            raise ServeError("give exactly one of bracket= or xml=")
+        body = {"bracket": bracket} if bracket is not None else {"xml": xml}
+        return self.request("PUT", f"/v1/queries/{name}", body)["query"]
+
+    def register_document(self, name: str, xml_path: str) -> dict:
+        return self.request(
+            "PUT", f"/v1/documents/{name}", {"xml_path": xml_path}
+        )["document"]
+
+    def tasm(
+        self,
+        query: str,
+        document: str,
+        k: int = 5,
+        cost="unit",
+    ) -> dict:
+        """Rank ``query`` (a registered name or inline bracket tree)."""
+        return self.request(
+            "POST",
+            "/v1/tasm",
+            {"query": query, "document": document, "k": k, "cost": cost},
+        )
+
+    def tasm_batch(
+        self,
+        queries: List[str],
+        document: str,
+        k: int = 5,
+        cost="unit",
+    ) -> dict:
+        return self.request(
+            "POST",
+            "/v1/tasm/batch",
+            {"queries": queries, "document": document, "k": k, "cost": cost},
+        )

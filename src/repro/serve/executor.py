@@ -1,0 +1,246 @@
+"""Request execution: route rankings to the right engine.
+
+Small documents are ranked in-process by the streaming core
+(:func:`~repro.tasm.batch.tasm_batch`) with the registry's pre-built
+kernels; documents at or above ``shard_threshold`` nodes go to
+:func:`~repro.parallel.sharded.tasm_sharded_batch` on a **persistent**
+``multiprocessing`` pool, created once at server start so worker
+start-up is amortised across requests (``Pool.map`` is thread-safe, so
+concurrent request threads share it).
+
+Both paths consult the LRU result cache first, keyed by
+``(document name, document version, query bracket, k, cost model)`` —
+so a repeated request is one dictionary lookup, and bumping a
+document's version transparently invalidates all of its entries.
+
+Kernels reuse internal row buffers, so the in-process path holds each
+registered query's lock while streaming; requests for *different*
+queries still execute concurrently (up to the front end's thread
+pool), and inline ad-hoc queries never contend at all.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from typing import List, Optional, Sequence, Tuple
+
+from ..distance.cost import CostModel
+from ..errors import ServeError
+from ..tasm.batch import tasm_batch
+from ..tasm.postorder import PostorderStats
+from .cache import ResultCache, result_key
+from .catalog import CatalogDocument, DocumentCatalog
+from .registry import QueryRegistry, RegisteredQuery
+from .wire import cost_key, parse_cost, ranking_payload
+
+__all__ = ["TasmExecutor"]
+
+
+class TasmExecutor:
+    """Routes validated ranking requests to an engine and caches results."""
+
+    def __init__(
+        self,
+        registry: QueryRegistry,
+        catalog: DocumentCatalog,
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        shard_threshold: int = 50_000,
+        max_k: int = 10_000,
+    ):
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        self.registry = registry
+        self.catalog = catalog
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
+        self.shard_threshold = shard_threshold
+        #: Upper bound on a request's ``k``.  The ring buffer is
+        #: preallocated at ``k + 2|Q| - 1`` slots, so an unbounded k
+        #: would let one request OOM the whole service.
+        self.max_k = max_k
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the persistent worker pool (no-op for workers=1).
+
+        Called before the front end accepts connections: the pool must
+        fork before request threads exist.
+        """
+        if self.workers > 1 and self._pool is None:
+            import multiprocessing
+
+            self._pool = multiprocessing.Pool(processes=self.workers)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, request: dict) -> Tuple[dict, dict]:
+        """Execute one ``/v1/tasm`` request body.
+
+        Returns ``(response_payload, info)`` where ``info`` carries the
+        engine/ring instrumentation the front end feeds into metrics.
+        """
+        if not isinstance(request, dict):
+            raise ServeError("request body must be a JSON object")
+        query = self.registry.resolve(request.get("query"))
+        results, info = self._run_queries(
+            [query],
+            request.get("document"),
+            request.get("k", 5),
+            request.get("cost"),
+        )
+        return results[0], info
+
+    def run_batch(self, request: dict) -> Tuple[dict, dict]:
+        """Execute one ``/v1/tasm/batch`` request body.
+
+        Uncached queries share a single document pass (the
+        :func:`tasm_batch` guarantee); cached ones are answered from
+        the LRU without touching the document.
+        """
+        if not isinstance(request, dict):
+            raise ServeError("request body must be a JSON object")
+        specs = request.get("queries")
+        if not isinstance(specs, (list, tuple)) or not specs:
+            raise ServeError("queries must be a non-empty list")
+        queries = [self.registry.resolve(spec) for spec in specs]
+        results, info = self._run_queries(
+            queries,
+            request.get("document"),
+            request.get("k", 5),
+            request.get("cost"),
+        )
+        return {"document": request.get("document"), "results": results}, info
+
+    def _run_queries(
+        self,
+        queries: Sequence[RegisteredQuery],
+        doc_name,
+        k,
+        cost_spec,
+    ) -> Tuple[List[dict], dict]:
+        if not isinstance(doc_name, str) or not doc_name:
+            raise ServeError(f"document must be a document name, got {doc_name!r}")
+        document = self.catalog.get(doc_name)
+        k = self.registry.validate_k(k)
+        if k > self.max_k:
+            raise ServeError(
+                f"k={k} exceeds this server's limit of {self.max_k} "
+                f"(the ring buffer is preallocated at k + 2|Q| - 1 slots)"
+            )
+        cost = self.registry.validate_cost(parse_cost(cost_spec))
+        ckey = cost_key(cost)
+
+        # Snapshot the version once per request: bump_version() mutates
+        # the document in place, and re-reading it after ranking could
+        # cache a pre-bump ranking under the post-bump version.
+        doc_version = document.version
+        keys = [
+            result_key(document.name, doc_version, query.bracket, k, ckey)
+            for query in queries
+        ]
+        results: List[Optional[dict]] = [None] * len(queries)
+        misses: List[int] = []
+        for i, query in enumerate(queries):
+            cached = self.cache.get(keys[i])
+            if cached is not None:
+                # Cached values are query-name-independent (keyed by the
+                # canonical bracket); stamp the name this request used.
+                results[i] = dict(cached, query=query.name, cached=True)
+            else:
+                misses.append(i)
+
+        info = {
+            "engine": "cache",
+            "ring_peak": None,
+            "ring_capacity": None,
+            "document": document.name,
+            "document_version": doc_version,
+        }
+        if misses:
+            miss_queries = [queries[i] for i in misses]
+            rankings, engine, stats = self._rank(
+                miss_queries, document, k, cost
+            )
+            info["engine"] = engine
+            if stats is not None:
+                info["ring_peak"] = stats.peak_buffered
+                info["ring_capacity"] = stats.ring_capacity
+            for i, query, ranking in zip(misses, miss_queries, rankings):
+                payload = {
+                    "bracket": query.bracket,
+                    "document": document.name,
+                    "document_version": doc_version,
+                    "k": k,
+                    "cost": ckey,
+                    "engine": engine,
+                    "matches": ranking_payload(ranking),
+                }
+                self.cache.put(keys[i], payload)
+                results[i] = dict(payload, query=query.name, cached=False)
+        return results, info  # type: ignore[return-value]
+
+    def _rank(
+        self,
+        queries: Sequence[RegisteredQuery],
+        document: CatalogDocument,
+        k: int,
+        cost: CostModel,
+    ):
+        """One engine pass over ``document`` for ``queries``."""
+        if self._pool is not None and document.n_nodes >= self.shard_threshold:
+            from ..parallel.sharded import ShardedStats, tasm_sharded_batch
+
+            stats = ShardedStats()
+            rankings = tasm_sharded_batch(
+                [q.tree for q in queries],
+                document.shard_source(),
+                k,
+                cost,
+                workers=self.workers,
+                stats=stats,
+                pool=self._pool,
+            )
+            return rankings, "sharded", stats
+        stats = PostorderStats()
+        with ExitStack() as held:
+            kernels = []
+            # Deterministic acquisition order prevents deadlock when two
+            # batch requests overlap on the same registered queries.
+            for query in sorted(
+                set(q for q in queries if q.version > 0),
+                key=lambda q: id(q.lock),
+            ):
+                held.enter_context(query.lock)
+            for query in queries:
+                kernels.append(query.kernel(cost))
+            rankings = tasm_batch(
+                [q.tree for q in queries],
+                document.queue(),
+                k,
+                cost,
+                stats=stats,
+                kernels=kernels,
+            )
+        return rankings, "stream", stats
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def payload(self) -> dict:
+        return {
+            "workers": self.workers,
+            "shard_threshold": self.shard_threshold,
+            "pool_running": self._pool is not None,
+            "cache": self.cache.payload(),
+        }

@@ -1,0 +1,146 @@
+"""Minimal HTTP/1.1 over asyncio streams — no runtime dependencies.
+
+The serving layer needs exactly this much HTTP: JSON request bodies
+sized by ``Content-Length``, JSON responses, keep-alive.  Rather than
+pull in a framework, a ~hundred lines of protocol code read requests
+from an :class:`asyncio.StreamReader` and write responses to the
+matching writer; :mod:`repro.serve.server` supplies the routing on
+top.
+
+Limits are deliberately tight (16 KiB of request head, 8 MiB of body):
+a TASM request is a few names and numbers, and the server should shed
+malformed or abusive traffic before buffering it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+__all__ = ["HttpError", "Request", "read_request", "write_response"]
+
+_MAX_HEAD_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure that maps straight to a status code."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self):
+        """The body as JSON (400 on syntax errors; ``None`` if empty)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request, or return None on a clean connection close."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer closed between requests: normal keep-alive end
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request head too large")
+    if len(head) > _MAX_HEAD_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes refused")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return Request(method, path, headers, body)
+
+
+def encode_response(
+    status: int, payload: object, keep_alive: bool = True
+) -> bytes:
+    """A full JSON response (status line, headers, body) as bytes."""
+    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+) -> None:
+    writer.write(encode_response(status, payload, keep_alive))
+    await writer.drain()
+
+
+def route_key(method: str, path: str) -> Tuple[str, str]:
+    """Normalise a request target for routing (drop the query string)."""
+    path = path.split("?", 1)[0]
+    return method.upper(), path

@@ -1,0 +1,102 @@
+"""Service metrics: request counts, latency quantiles, ring high-water.
+
+``GET /metrics`` answers with a JSON snapshot of these counters.  Three
+groups:
+
+* **requests** — total / per-route counts and error counts (by status
+  class), so traffic and failure mix are visible at a glance;
+* **latency** — p50/p95 (and max) over a bounded reservoir of the most
+  recent observations, per route; bounded so a long-lived server's
+  memory stays flat, recent so the quantiles track current behaviour;
+* **engine** — the ring-buffer peak high-water mark and capacity
+  observed across all streamed requests (the paper's ``k + 2|Q| - 1``
+  memory guarantee, continuously monitored in production), plus how
+  many requests took the in-process stream vs the sharded pool path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["ServeMetrics"]
+
+#: Latency observations kept per route (a deque, oldest dropped first).
+_RESERVOIR = 512
+
+
+def _quantile(sorted_values, q: float) -> float:
+    """Nearest-rank quantile of a non-empty ascending list."""
+    idx = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[idx]
+
+
+class ServeMetrics:
+    """Thread-safe counters behind ``GET /metrics``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.errors_total = 0
+        self._by_route: Counter = Counter()
+        self._by_status: Counter = Counter()
+        self._latency: Dict[str, Deque[float]] = {}
+        self._engine: Counter = Counter()
+        self.ring_peak_high_water = 0
+        self.ring_capacity_high_water = 0
+
+    def observe(
+        self,
+        route: str,
+        status: int,
+        seconds: float,
+        engine: Optional[str] = None,
+        ring_peak: Optional[int] = None,
+        ring_capacity: Optional[int] = None,
+    ) -> None:
+        """Record one finished request."""
+        with self._lock:
+            self.requests_total += 1
+            self._by_route[route] += 1
+            self._by_status[f"{status // 100}xx"] += 1
+            if status >= 400:
+                self.errors_total += 1
+            reservoir = self._latency.get(route)
+            if reservoir is None:
+                reservoir = self._latency[route] = deque(maxlen=_RESERVOIR)
+            reservoir.append(seconds)
+            if engine is not None:
+                self._engine[engine] += 1
+            if ring_peak is not None and ring_peak > self.ring_peak_high_water:
+                self.ring_peak_high_water = ring_peak
+            if (
+                ring_capacity is not None
+                and ring_capacity > self.ring_capacity_high_water
+            ):
+                self.ring_capacity_high_water = ring_capacity
+
+    def payload(self) -> dict:
+        """A JSON-ready snapshot of every counter."""
+        with self._lock:
+            latency = {}
+            for route, reservoir in sorted(self._latency.items()):
+                values = sorted(reservoir)
+                latency[route] = {
+                    "observations": len(values),
+                    "p50_seconds": round(_quantile(values, 0.50), 6),
+                    "p95_seconds": round(_quantile(values, 0.95), 6),
+                    "max_seconds": round(values[-1], 6),
+                }
+            return {
+                "requests_total": self.requests_total,
+                "errors_total": self.errors_total,
+                "requests_by_route": dict(sorted(self._by_route.items())),
+                "responses_by_status_class": dict(
+                    sorted(self._by_status.items())
+                ),
+                "latency_by_route": latency,
+                "engine_requests": dict(sorted(self._engine.items())),
+                "ring_peak_high_water": self.ring_peak_high_water,
+                "ring_capacity_high_water": self.ring_capacity_high_water,
+            }

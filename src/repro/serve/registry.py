@@ -1,0 +1,164 @@
+"""Query registry: parse and validate each registered query once.
+
+A long-lived TASM service answers many requests for the same small set
+of query trees.  The registry front-loads everything per-query that is
+request-independent:
+
+* parsing/validation (bracket or XML source) happens at registration —
+  a malformed query is rejected with a 400 before it can ever poison a
+  request path;
+* one :class:`~repro.distance.ted.PrefixDistanceKernel` per cost model
+  is built lazily and then reused for every request (the kernel interns
+  document labels incrementally across calls, so its label table only
+  warms up over the server's lifetime);
+* the per-query pruning threshold ``k + 2|Q| - 1`` (unit costs; the
+  weighted-cost generalisation of
+  :func:`~repro.tasm.postorder.prune_threshold`) is a method away.
+
+Kernels reuse internal row buffers across calls and are therefore not
+safe for concurrent use; each registered query carries a lock that the
+executor holds while streaming a document against it.  Different
+queries never contend.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, List, Optional
+
+from ..distance.cost import CostModel, validate_cost_model
+from ..distance.ted import PrefixDistanceKernel
+from ..errors import ServeError
+from ..tasm.postorder import prune_threshold
+from ..trees.tree import Tree
+from .wire import cost_key
+
+__all__ = ["QueryRegistry", "RegisteredQuery"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.-]{1,128}$")
+
+
+class RegisteredQuery:
+    """One validated query plus its per-cost-model kernels."""
+
+    __slots__ = ("name", "tree", "bracket", "version", "lock", "_kernels")
+
+    def __init__(self, name: str, tree: Tree, version: int = 1):
+        self.name = name
+        self.tree = tree
+        #: Canonical bracket form — the identity used in cache keys.
+        self.bracket = tree.to_bracket()
+        self.version = version
+        #: Held by the executor while this query's kernel is streaming.
+        self.lock = threading.Lock()
+        self._kernels: Dict[str, PrefixDistanceKernel] = {}
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def kernel(self, cost: CostModel) -> PrefixDistanceKernel:
+        """The reusable kernel for ``cost`` (built on first use)."""
+        key = cost_key(cost)
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            kernel = PrefixDistanceKernel(self.tree, cost)
+            self._kernels[key] = kernel
+        return kernel
+
+    def threshold(self, k: int, cost: CostModel) -> int:
+        """Largest candidate-subtree size for this query at ``k``."""
+        return prune_threshold(k, len(self.tree), cost)
+
+    def payload(self, k: int = 5, cost: Optional[CostModel] = None) -> dict:
+        row = {
+            "name": self.name,
+            "bracket": self.bracket,
+            "nodes": len(self.tree),
+            "version": self.version,
+        }
+        if cost is not None:
+            row["threshold"] = self.threshold(k, cost)
+        return row
+
+
+class QueryRegistry:
+    """Named, validated queries with pre-built distance kernels."""
+
+    def __init__(self):
+        self._queries: Dict[str, RegisteredQuery] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queries
+
+    def names(self) -> List[str]:
+        return sorted(self._queries)
+
+    def register(
+        self, name: str, source: str, fmt: str = "bracket"
+    ) -> RegisteredQuery:
+        """Parse, validate, and (re-)register a query under ``name``.
+
+        ``fmt`` is ``"bracket"`` or ``"xml"`` (``source`` is the raw
+        query text either way).  Re-registering a name replaces the
+        query and bumps its version, which retires every cache entry
+        keyed on the old bracket.  Parse failures raise the library's
+        ordinary :class:`~repro.errors.BracketSyntaxError` /
+        :class:`~repro.errors.XmlFormatError` — the HTTP layer maps
+        them to 400s.
+        """
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ServeError(
+                f"query name must match {_NAME_RE.pattern}, got {name!r}"
+            )
+        if not isinstance(source, str) or not source.strip():
+            raise ServeError(f"query {name!r} needs a non-empty source")
+        if fmt == "bracket":
+            tree = Tree.from_bracket(source)
+        elif fmt == "xml":
+            from ..xmlio.parse import tree_from_xml_string
+
+            tree = tree_from_xml_string(source)
+        else:
+            raise ServeError(f"query format must be bracket or xml, got {fmt!r}")
+        with self._lock:
+            previous = self._queries.get(name)
+            version = previous.version + 1 if previous is not None else 1
+            entry = RegisteredQuery(name, tree, version)
+            self._queries[name] = entry
+        return entry
+
+    def get(self, name: str) -> RegisteredQuery:
+        entry = self._queries.get(name)
+        if entry is None:
+            raise ServeError(f"no registered query named {name!r}", status=404)
+        return entry
+
+    def resolve(self, spec: str) -> RegisteredQuery:
+        """A request's query field as a registered (or ad-hoc) query.
+
+        A spec starting with ``{`` is an inline bracket tree — parsed
+        into an unregistered, request-local entry (fresh kernel, no
+        contention).  Anything else is looked up by name.
+        """
+        if not isinstance(spec, str) or not spec:
+            raise ServeError(f"query must be a name or bracket tree, got {spec!r}")
+        if spec.lstrip().startswith("{"):
+            return RegisteredQuery("<inline>", Tree.from_bracket(spec), 0)
+        return self.get(spec)
+
+    def validate_k(self, k) -> int:
+        """The request's ``k`` as a positive int (400 otherwise)."""
+        if isinstance(k, bool) or not isinstance(k, int) or k <= 0:
+            raise ServeError(f"k must be a positive integer, got {k!r}")
+        return k
+
+    def validate_cost(self, cost: CostModel) -> CostModel:
+        return validate_cost_model(cost)
+
+    def payload(self) -> List[dict]:
+        return [self._queries[name].payload() for name in self.names()]

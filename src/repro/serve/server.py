@@ -1,0 +1,430 @@
+"""The TASM HTTP service: configuration, routing, lifecycle.
+
+``TasmServer`` composes the serving subsystem — query registry,
+document catalog, result cache, metrics, executor — behind the asyncio
+front end of :mod:`repro.serve.httpd`:
+
+========================  ====================================================
+``GET /healthz``          liveness + registry/catalog counts (CI polls this)
+``GET /metrics``          request counts, p50/p95 latency, ring high-water
+``GET /v1/queries``       registered queries
+``PUT /v1/queries/NAME``  register/replace a query (body: bracket or xml)
+``GET /v1/documents``     servable documents
+``PUT /v1/documents/NAME``register/re-register an XML file (bumps version)
+``POST /v1/tasm``         rank one query against one document
+``POST /v1/tasm/batch``   rank a query workload in one shared document pass
+========================  ====================================================
+
+Ranking work is CPU-bound and blocking, so the event loop hands it to a
+bounded thread pool (`run_in_executor`) and stays free to accept and
+parse connections; large documents fan out further to the executor's
+persistent process pool.  Every request — success or failure — lands in
+the metrics reservoirs.
+
+``ServerThread`` hosts a server on a private event loop in a daemon
+thread, which is how the test suite and the bench drive a real server
+in-process; ``repro serve`` runs :func:`run_server` in the foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .. import __version__
+from ..errors import ReproError, ServeError
+from .cache import ResultCache
+from .catalog import DocumentCatalog
+from .executor import TasmExecutor
+from .httpd import HttpError, Request, read_request, route_key, write_response
+from .metrics import ServeMetrics
+from .registry import QueryRegistry
+
+__all__ = ["ServerConfig", "ServerThread", "TasmServer", "run_server"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything needed to boot one TASM server."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port (tests, bench)
+    store: Optional[str] = None  # IntervalStore file to attach
+    xml_documents: Dict[str, str] = field(default_factory=dict)  # name -> path
+    queries: Dict[str, str] = field(default_factory=dict)  # name -> bracket
+    workers: int = 1  # >1 enables the persistent shard pool
+    shard_threshold: int = 50_000  # nodes at which requests go sharded
+    cache_size: int = 256  # LRU entries; 0 disables caching
+    request_threads: int = 8  # concurrent blocking rankings
+    max_k: int = 10_000  # per-request k ceiling (ring is O(k)-allocated)
+
+
+def _log(message: str) -> None:
+    print(
+        f"[repro.serve {time.strftime('%H:%M:%S')}] {message}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+class TasmServer:
+    """One configured service instance on one asyncio event loop."""
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.registry = QueryRegistry()
+        self.catalog = DocumentCatalog(config.store)
+        self.cache = ResultCache(config.cache_size)
+        self.metrics = ServeMetrics()
+        self.executor = TasmExecutor(
+            self.registry,
+            self.catalog,
+            cache=self.cache,
+            workers=config.workers,
+            shard_threshold=config.shard_threshold,
+            max_k=config.max_k,
+        )
+        for name, path in config.xml_documents.items():
+            self.catalog.register_xml(name, path)
+        for name, bracket in config.queries.items():
+            self.registry.register(name, bracket)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._connections: set = set()
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        # The process pool must fork before request threads exist.
+        self.executor.start()
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.config.request_threads,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        _log(
+            f"listening on http://{self.config.host}:{self.port} "
+            f"({len(self.catalog)} documents, {len(self.registry)} queries, "
+            f"workers={self.config.workers})"
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections sit parked in read_request; cancel
+        # them so the loop can wind down without orphaned tasks.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+        self.executor.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() must run first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer,
+                        exc.status,
+                        {"error": str(exc)},
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                status, payload, info = await self._dispatch(request)
+                await write_response(
+                    writer, status, payload, keep_alive=request.keep_alive
+                )
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _dispatch(self, request: Request) -> Tuple[int, object, dict]:
+        method, path = route_key(request.method, request.path)
+        route = f"{method} {path}"
+        started = time.perf_counter()
+        info: dict = {}
+        try:
+            status, payload, info = await self._route(method, path, request)
+        except ServeError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except HttpError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except ReproError as exc:
+            status, payload = 400, {
+                "error": str(exc),
+                "kind": type(exc).__name__,
+            }
+        except Exception as exc:  # noqa: BLE001 - the 500 boundary
+            _log(f"internal error on {route}: {exc}\n{traceback.format_exc()}")
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        elapsed = time.perf_counter() - started
+        self.metrics.observe(
+            self._metrics_route(method, path),
+            status,
+            elapsed,
+            engine=info.get("engine"),
+            ring_peak=info.get("ring_peak"),
+            ring_capacity=info.get("ring_capacity"),
+        )
+        if status >= 400:
+            _log(f"{route} -> {status} ({payload.get('error', '')})")
+        return status, payload, info
+
+    _KNOWN_PATHS = frozenset(
+        ("/healthz", "/metrics", "/v1/queries", "/v1/documents",
+         "/v1/tasm", "/v1/tasm/batch")
+    )
+
+    @staticmethod
+    def _metrics_route(method: str, path: str) -> str:
+        # Collapse per-name and unrouted paths so metrics cardinality
+        # stays bounded — otherwise a path-scanning client would grow a
+        # counter and a latency reservoir per probed URL.
+        if path.startswith("/v1/queries/"):
+            path = "/v1/queries/{name}"
+        elif path.startswith("/v1/documents/"):
+            path = "/v1/documents/{name}"
+        elif path not in TasmServer._KNOWN_PATHS:
+            path = "<unknown>"
+        return f"{method} {path}"
+
+    async def _route(
+        self, method: str, path: str, request: Request
+    ) -> Tuple[int, object, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            return 200, self._health_payload(), {}
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            return 200, self.metrics.payload(), {}
+        if path == "/v1/queries":
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            return 200, {"queries": self.registry.payload()}, {}
+        if path.startswith("/v1/queries/"):
+            return await self._route_query(method, path, request)
+        if path == "/v1/documents":
+            if method != "GET":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            return 200, {"documents": self.catalog.payload()}, {}
+        if path.startswith("/v1/documents/"):
+            return await self._route_document(method, path, request)
+        if path == "/v1/tasm":
+            if method != "POST":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            payload, info = await self._blocking(
+                self.executor.run, request.json()
+            )
+            return 200, payload, info
+        if path == "/v1/tasm/batch":
+            if method != "POST":
+                raise HttpError(405, f"{method} not allowed on {path}")
+            payload, info = await self._blocking(
+                self.executor.run_batch, request.json()
+            )
+            return 200, payload, info
+        raise HttpError(404, f"no route for {method} {path}")
+
+    async def _route_query(
+        self, method: str, path: str, request: Request
+    ) -> Tuple[int, object, dict]:
+        name = path[len("/v1/queries/"):]
+        if method == "PUT":
+            body = request.json()
+            if not isinstance(body, dict):
+                raise ServeError("body must be a JSON object")
+            if "bracket" in body:
+                source, fmt = body["bracket"], "bracket"
+            elif "xml" in body:
+                source, fmt = body["xml"], "xml"
+            else:
+                raise ServeError("body needs a 'bracket' or 'xml' field")
+            entry = await self._blocking(
+                self.registry.register, name, source, fmt
+            )
+            return 200, {"query": entry.payload()}, {}
+        if method == "GET":
+            return 200, {"query": self.registry.get(name).payload()}, {}
+        raise HttpError(405, f"{method} not allowed on {path}")
+
+    async def _route_document(
+        self, method: str, path: str, request: Request
+    ) -> Tuple[int, object, dict]:
+        name = path[len("/v1/documents/"):]
+        if method == "PUT":
+            body = request.json()
+            if not isinstance(body, dict) or "xml_path" not in body:
+                raise ServeError("body needs an 'xml_path' field")
+            doc = await self._blocking(
+                self.catalog.register_xml, name, body["xml_path"]
+            )
+            return 200, {"document": doc.payload()}, {}
+        if method == "GET":
+            return 200, {"document": self.catalog.get(name).payload()}, {}
+        raise HttpError(405, f"{method} not allowed on {path}")
+
+    async def _blocking(self, fn, *args):
+        assert self._threads is not None, "start() must run first"
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._threads, lambda: fn(*args))
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "documents": len(self.catalog),
+            "queries": len(self.registry),
+            "workers": self.config.workers,
+            "shard_threshold": self.config.shard_threshold,
+            "cache": self.cache.payload(),
+        }
+
+
+class ServerThread:
+    """A live server on a private event loop in a daemon thread.
+
+    Context-manager: entering starts the loop and blocks until the
+    listening socket is bound (or raises the startup error); exiting
+    stops the loop and joins the thread.  ``server.port`` is the bound
+    port — configs default to port 0, so parallel tests never collide.
+    """
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.server: Optional[TasmServer] = None
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServeError("server thread failed to start within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if (
+            self._loop is not None
+            and self._stop is not None
+            and not self._loop.is_closed()
+        ):
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop closed between the check and the call
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        self._stop = asyncio.Event()
+        server = None
+        try:
+            server = TasmServer(self.config)
+            await server.start()
+        except BaseException as exc:  # noqa: BLE001 - reported to start()
+            self._startup_error = exc
+            self._ready.set()
+            if server is not None:
+                await server.close()
+            return
+        self.server = server
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.close()
+
+
+def run_server(config: ServerConfig) -> int:
+    """Run a server in the foreground until interrupted (the CLI path).
+
+    Prints the bound address to stdout once listening — the
+    ``service-smoke`` CI job parses that line to find the port when the
+    config asked for an ephemeral one.
+    """
+
+    async def _amain() -> None:
+        server = TasmServer(config)
+        await server.start()
+        print(
+            f"repro serve: listening on http://{config.host}:{server.port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        _log("interrupted; shutting down")
+    return 0

@@ -1,0 +1,66 @@
+"""Wire format shared by the serving layer and the CLI.
+
+The service contract requires that a ``POST /v1/tasm`` ranking and a
+``repro tasm --json`` run over the same store, query, and ``k`` are
+**byte-identical** (the ``service-smoke`` CI job compares the two).
+Both therefore build their match payloads through this module — one
+source of truth for the JSON shape of a ranking.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..distance.cost import CostModel, UnitCostModel, WeightedCostModel
+from ..errors import ServeError
+from ..tasm.heap import Match
+
+__all__ = ["cost_key", "parse_cost", "ranking_payload"]
+
+
+def ranking_payload(matches: Sequence[Match]) -> List[dict]:
+    """One ranking as JSON-ready dicts: rank, distance, root, subtree."""
+    return [
+        {
+            "rank": rank,
+            "distance": m.distance,
+            "root": m.root,
+            "subtree": m.subtree.to_bracket(),
+        }
+        for rank, m in enumerate(matches, 1)
+    ]
+
+
+def parse_cost(spec) -> CostModel:
+    """A request's cost field as a cost model.
+
+    Accepts ``"unit"`` (or omitted/None), a ``[rename, delete, insert]``
+    list, or the CLI's ``"REN,DEL,INS"`` string.  Invalid specs raise
+    :class:`~repro.errors.ServeError` (HTTP 400); cost-model constraint
+    violations (``cst >= 1``) propagate as
+    :class:`~repro.errors.CostModelError`.
+    """
+    if spec is None or spec == "unit":
+        return UnitCostModel()
+    if isinstance(spec, str):
+        parts = spec.split(",")
+    elif isinstance(spec, (list, tuple)):
+        parts = list(spec)
+    else:
+        raise ServeError(f"cost must be 'unit' or [REN, DEL, INS], got {spec!r}")
+    if len(parts) != 3:
+        raise ServeError(f"cost needs exactly 3 components, got {spec!r}")
+    try:
+        rename, delete, insert = (float(part) for part in parts)
+    except (TypeError, ValueError):
+        raise ServeError(f"cost components must be numbers, got {spec!r}")
+    return WeightedCostModel(rename, delete, insert)
+
+
+def cost_key(cost: CostModel) -> str:
+    """A stable string identifying a cost model (cache/kernel key)."""
+    if isinstance(cost, UnitCostModel):
+        return "unit"
+    if isinstance(cost, WeightedCostModel):
+        return f"w:{cost.rename_cost:g},{cost.delete_cost:g},{cost.insert_cost:g}"
+    return f"{type(cost).__module__}.{type(cost).__qualname__}@{id(cost):x}"

@@ -36,6 +36,7 @@ def tasm_batch(
     cost: Optional[CostModel] = None,
     stats: Optional[PostorderStats] = None,
     workers: int = 1,
+    kernels=None,
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query in one document pass.
 
@@ -49,6 +50,14 @@ def tasm_batch(
     and ranked on a process pool (:mod:`repro.parallel`); the result —
     including tie order — is identical to the single-pass run, and a
     supplied ``stats`` receives the aggregate over all shards.
+
+    ``kernels`` — one pre-built
+    :class:`~repro.distance.ted.PrefixDistanceKernel` per query, built
+    for the same query/cost pair — skips per-call kernel construction
+    in the single-pass path (long-lived callers such as
+    :class:`repro.serve.registry.QueryRegistry` hold them for the
+    process lifetime).  Worker processes build their own kernels, so
+    ``kernels`` cannot be combined with ``workers > 1``.
     """
     query_list = list(queries)
     if not query_list:
@@ -57,6 +66,8 @@ def tasm_batch(
         cost = UnitCostModel()
     validate_cost_model(cost)
     if workers > 1:
+        if kernels is not None:
+            raise RankingError("kernels cannot be combined with workers > 1")
         from ..parallel.sharded import ShardedStats, tasm_sharded_batch
 
         sharded_stats = ShardedStats() if stats is not None else None
@@ -75,4 +86,4 @@ def tasm_batch(
             ):
                 setattr(stats, name, getattr(sharded_stats, name))
         return rankings
-    return _stream_topk(query_list, queue, k, cost, stats)
+    return _stream_topk(query_list, queue, k, cost, stats, kernels=kernels)

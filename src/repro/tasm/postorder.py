@@ -44,6 +44,7 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
 from ..distance.ted import PrefixDistanceKernel
+from ..errors import RankingError
 from ..postorder.queue import PostorderQueue
 from ..trees.tree import Tree
 from .heap import Match, TopKHeap
@@ -95,6 +96,7 @@ def _stream_topk(
     k: int,
     cost: CostModel,
     stats: Optional[PostorderStats],
+    kernels: Optional[Sequence[PrefixDistanceKernel]] = None,
 ) -> List[List[Match]]:
     """One postorder pass ranking every query; the core of Algorithms 2/3.
 
@@ -103,11 +105,19 @@ def _stream_topk(
     the per-query (statically or dynamically tightened) thresholds — a
     node prunable under the shared limit is prunable for every query.
     Evaluated candidates are scored once per query against that query's
-    reusable :class:`PrefixDistanceKernel`.
+    reusable :class:`PrefixDistanceKernel`; callers holding long-lived
+    kernels (the serving layer's query registry) pass them in via
+    ``kernels`` — one per query, built for the same query/cost pair —
+    instead of paying the per-call construction.
     """
     q = _as_queue(source)
     heaps = [TopKHeap(k) for _ in queries]  # validates k
-    kernels = [PrefixDistanceKernel(query, cost) for query in queries]
+    if kernels is None:
+        kernels = [PrefixDistanceKernel(query, cost) for query in queries]
+    elif len(kernels) != len(queries):
+        raise RankingError(
+            f"got {len(kernels)} pre-built kernels for {len(queries)} queries"
+        )
     q_sizes = [len(query) for query in queries]
     statics = [prune_threshold(k, q_size, cost) for q_size in q_sizes]
     min_indel = cost.min_indel

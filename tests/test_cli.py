@@ -159,3 +159,129 @@ def test_tasm_workers_rejects_dynamic_and_bad_counts(capsys):
     assert "postorder" in capsys.readouterr().err
     assert main(args + ["--workers", "0"]) == 1
     assert ">= 1" in capsys.readouterr().err
+
+
+def test_tasm_workers_warns_when_no_safe_cut(capsys, tmp_path):
+    # A 6-node document against tau = k + 2|Q| - 1 = 10: the root's
+    # subtree is within the bound, so it blocks every cut and the run
+    # degenerates to a single pass — which must be said out loud.
+    doc = Tree.from_bracket("{a{b}{c}{d{b}{c}}}")
+    path = str(tmp_path / "tiny.xml")
+    write_xml(doc, path)
+    assert main(
+        ["tasm", "{a{b}{c}}", path, "-k", "5", "--workers", "4", "--verbose"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "warning" in err and "no safe cut" in err
+    assert "single pass" in err
+    assert "shards=1" in err and "engine=sharded" in err
+
+
+def test_tasm_verbose_reports_engine_and_stats(capsys):
+    assert main(["tasm", "{a{b}}", "{r{a{b}}{a{c}}}", "-k", "2", "-v"]) == 0
+    err = capsys.readouterr().err
+    assert "dequeued=" in err  # --verbose implies --stats
+    assert "engine=postorder" in err
+
+
+def _store_with(tmp_path, trees):
+    from repro import IntervalStore
+
+    path = str(tmp_path / "docs.db")
+    with IntervalStore(path) as store:
+        for name, tree in trees.items():
+            store.store_tree(name, tree)
+    return path
+
+
+def test_tasm_over_interval_store_document(capsys, tmp_path):
+    doc = Tree.from_bracket("{dblp{article{title}{year}}{book{title}}}")
+    db = _store_with(tmp_path, {"dblp": doc})
+    assert main(["tasm", "{article{title}{year}}", db, "-k", "1", "--json"]) == 0
+    store_ranking = capsys.readouterr().out
+    assert main(
+        ["tasm", "{article{title}{year}}", doc.to_bracket(), "-k", "1", "--json"]
+    ) == 0
+    assert capsys.readouterr().out == store_ranking  # byte-identical
+
+
+def test_tasm_store_doc_name_selection(capsys, tmp_path):
+    first = Tree.from_bracket("{a{b}{c}}")
+    second = Tree.from_bracket("{x{y}{z}}")
+    db = _store_with(tmp_path, {"first": first, "second": second})
+    # Ambiguous without --doc-name.
+    assert main(["tasm", "{a{b}}", db, "-k", "1"]) == 1
+    assert "--doc-name" in capsys.readouterr().err
+    assert main(["tasm", "{x{y}}", db, "-k", "1", "--doc-name", "second"]) == 0
+    assert "{y}" in capsys.readouterr().out  # ranked from "second", not "first"
+    assert main(["tasm", "{a}", db, "-k", "1", "--doc-name", "missing"]) == 1
+    assert "missing" in capsys.readouterr().err
+
+
+def test_tasm_store_document_dynamic_algorithm(capsys, tmp_path):
+    doc = Tree.from_bracket("{dblp{article{title}{year}}{book{title}}}")
+    db = _store_with(tmp_path, {"dblp": doc})
+    args = ["tasm", "{article{title}{year}}", db, "-k", "2", "--json"]
+    assert main(args) == 0
+    postorder_out = capsys.readouterr().out
+    assert main(args + ["--algorithm", "dynamic"]) == 0
+    assert capsys.readouterr().out == postorder_out
+
+
+def test_store_error_paths_are_clean(capsys, tmp_path):
+    # A .db file that is not an IntervalStore: error message, not a
+    # sqlite traceback.
+    junk = str(tmp_path / "junk.db")
+    with open(junk, "w", encoding="utf-8") as fh:
+        fh.write("not a database")
+    assert main(["tasm", "{a}", junk, "-k", "1"]) == 1
+    assert "not an IntervalStore" in capsys.readouterr().err
+    # Store files cannot serve as tree arguments (ted, queries).
+    assert main(["ted", "{a}", junk]) == 1
+    assert "tree arguments" in capsys.readouterr().err
+
+
+def test_tasm_store_document_sharded_matches_single_pass(capsys, tmp_path):
+    from repro.trees import random_tree
+
+    doc = random_tree(400, seed=9, labels="abc", max_fanout=4)
+    db = _store_with(tmp_path, {"rand": doc})
+    args = ["tasm", "{a{b}}", db, "-k", "3", "--json"]
+    assert main(args) == 0
+    single = capsys.readouterr().out
+    assert main(args + ["--workers", "2"]) == 0
+    assert capsys.readouterr().out == single
+
+
+def test_serve_config_construction():
+    import argparse
+
+    from repro.cli import _serve_config
+    from repro.datasets import DEFAULT_QUERIES
+
+    args = argparse.Namespace(
+        host="0.0.0.0",
+        port=9000,
+        store="docs.db",
+        xml=["extra=extra.xml"],
+        query=["q1={a{b}}"],
+        default_queries=True,
+        workers=3,
+        shard_threshold=1234,
+        cache_size=7,
+        request_threads=5,
+        max_k=99,
+    )
+    config = _serve_config(args)
+    assert config.port == 9000 and config.workers == 3
+    assert config.max_k == 99
+    assert config.xml_documents == {"extra": "extra.xml"}
+    assert config.queries["q1"] == "{a{b}}"
+    for name, bracket in DEFAULT_QUERIES.items():
+        assert config.queries[name] == bracket
+    assert config.cache_size == 7 and config.shard_threshold == 1234
+
+
+def test_serve_config_rejects_malformed_pairs(capsys):
+    assert main(["serve", "--xml", "nameonly", "--port", "0"]) == 1
+    assert "NAME=VALUE" in capsys.readouterr().err

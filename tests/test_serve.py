@@ -1,0 +1,558 @@
+"""The serving layer: registry, catalog, cache, metrics, executor, HTTP.
+
+End-to-end tests drive a real server (``ServerThread`` on a private
+event loop) through the stdlib client and through raw asyncio
+connections — including the ≥8-parallel-client concurrency check the
+service contract requires.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import IntervalStore, Tree, tasm_postorder
+from repro.errors import (
+    BracketSyntaxError,
+    ServeError,
+    XmlFormatError,
+)
+from repro.serve import (
+    DocumentCatalog,
+    QueryRegistry,
+    ResultCache,
+    ServeClient,
+    ServeHttpError,
+    ServeMetrics,
+    ServerConfig,
+    ServerThread,
+    TasmExecutor,
+    parse_cost,
+    ranking_payload,
+    result_key,
+)
+from repro.distance import UnitCostModel, WeightedCostModel
+from repro.trees import random_tree
+from repro.xmlio import write_xml
+
+QUERY = "{a{b}{c}}"
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A store file with two documents plus a loose XML file."""
+    tmp = tmp_path_factory.mktemp("serve")
+    small = random_tree(120, seed=5, labels="abcde", max_fanout=4)
+    large = random_tree(600, seed=6, labels="abcde", max_fanout=5)
+    db = str(tmp / "docs.db")
+    with IntervalStore(db) as store:
+        store.store_tree("small", small)
+        store.store_tree("large", large)
+    xml_doc = Tree.from_bracket("{r{a{b}{c}}{a{b}{d}}{e{a{b}{c}}}}")
+    xml_path = str(tmp / "extra.xml")
+    write_xml(xml_doc, xml_path)
+    return {
+        "db": db,
+        "small": small,
+        "large": large,
+        "xml_path": xml_path,
+        "xml_doc": xml_doc,
+    }
+
+
+@pytest.fixture(scope="module")
+def server(corpus):
+    config = ServerConfig(
+        store=corpus["db"],
+        port=0,
+        queries={"q1": QUERY, "q2": "{a{b}}"},
+        cache_size=64,
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        yield thread, client
+
+
+def expected_matches(query, document, k, cost=None):
+    return ranking_payload(
+        tasm_postorder(Tree.from_bracket(query), document, k, cost)
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_register_get_and_payload():
+    registry = QueryRegistry()
+    entry = registry.register("q", " {a{b}{c}} ")
+    assert entry.bracket == QUERY  # canonical form
+    assert len(entry) == 3
+    assert registry.get("q") is entry
+    assert "q" in registry and len(registry) == 1
+    assert registry.payload()[0]["version"] == 1
+
+
+def test_registry_reregistration_bumps_version():
+    registry = QueryRegistry()
+    registry.register("q", QUERY)
+    entry = registry.register("q", "{a{b}}")
+    assert entry.version == 2
+    assert registry.get("q").bracket == "{a{b}}"
+
+
+def test_registry_kernel_cached_per_cost_model():
+    registry = QueryRegistry()
+    entry = registry.register("q", QUERY)
+    unit = UnitCostModel()
+    assert entry.kernel(unit) is entry.kernel(UnitCostModel())
+    weighted = WeightedCostModel(2.0, 1.0, 1.0)
+    assert entry.kernel(weighted) is not entry.kernel(unit)
+    assert entry.threshold(5, unit) == 5 + 2 * 3 - 1
+
+
+def test_registry_validation_errors():
+    registry = QueryRegistry()
+    with pytest.raises(ServeError):
+        registry.register("bad name!", QUERY)
+    with pytest.raises(ServeError):
+        registry.register("q", "   ")
+    with pytest.raises(BracketSyntaxError):
+        registry.register("q", "{a{b}")
+    with pytest.raises(XmlFormatError):
+        registry.register("q", "<a><b></a>", fmt="xml")
+    with pytest.raises(ServeError):
+        registry.register("q", QUERY, fmt="nope")
+    assert len(registry) == 0  # nothing half-registered
+
+
+def test_registry_xml_query_and_resolve():
+    registry = QueryRegistry()
+    registry.register("q", "<a><b/><c/></a>", fmt="xml")
+    assert registry.get("q").bracket == QUERY
+    inline = registry.resolve("{x{y}}")
+    assert inline.version == 0 and inline.bracket == "{x{y}}"
+    assert registry.resolve("q").name == "q"
+    with pytest.raises(ServeError) as excinfo:
+        registry.resolve("unknown")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError):
+        registry.resolve(None)
+
+
+def test_registry_validate_k():
+    registry = QueryRegistry()
+    assert registry.validate_k(3) == 3
+    for bad in (0, -1, True, "5", 2.0, None):
+        with pytest.raises(ServeError):
+            registry.validate_k(bad)
+
+
+def test_parse_cost_specs():
+    assert isinstance(parse_cost(None), UnitCostModel)
+    assert isinstance(parse_cost("unit"), UnitCostModel)
+    weighted = parse_cost([2, 1.5, 1])
+    assert weighted.rename_cost == 2.0 and weighted.min_indel == 1.0
+    assert parse_cost("2,1.5,1").max_cost == 2.0
+    for bad in ("2,1", [1, 2, 3, 4], {"rename": 1}, "a,b,c"):
+        with pytest.raises(ServeError):
+            parse_cost(bad)
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+def test_catalog_store_and_xml_documents(corpus):
+    catalog = DocumentCatalog(corpus["db"])
+    assert catalog.names() == ["large", "small"]
+    small = catalog.get("small")
+    assert small.kind == "store" and small.n_nodes == 120
+    assert small.version == 1
+    doc = catalog.register_xml("extra", corpus["xml_path"])
+    assert doc.n_nodes == len(corpus["xml_doc"])
+    # A fresh queue streams the same postorder as the source tree.
+    assert list(doc.queue()) == list(corpus["xml_doc"].postorder())
+    assert list(small.queue()) == list(corpus["small"].postorder())
+
+
+def test_catalog_versioning_and_errors(corpus, tmp_path):
+    catalog = DocumentCatalog(corpus["db"])
+    with pytest.raises(ServeError) as excinfo:
+        catalog.get("missing")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError):
+        catalog.bump_version("missing")
+    assert catalog.bump_version("small").version == 2
+    catalog.register_xml("extra", corpus["xml_path"])
+    assert catalog.register_xml("extra", corpus["xml_path"]).version == 2
+    with pytest.raises(ServeError) as excinfo:
+        catalog.register_xml("nope", str(tmp_path / "missing.xml"))
+    assert excinfo.value.status == 404
+    empty = str(tmp_path / "empty.db")
+    with IntervalStore(empty):
+        pass
+    with pytest.raises(ServeError):
+        DocumentCatalog(empty)
+    not_a_store = str(tmp_path / "junk.db")
+    with open(not_a_store, "w", encoding="utf-8") as fh:
+        fh.write("")  # readable, but holds no IntervalStore schema
+    with pytest.raises(ServeError) as excinfo:
+        DocumentCatalog(not_a_store)
+    assert "not an IntervalStore" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+def test_cache_lru_eviction_and_stats():
+    cache = ResultCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes a
+    cache.put("c", 3)  # evicts b, the least recently used
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    stats = cache.payload()
+    assert stats["hits"] == 3 and stats["misses"] == 1
+    assert stats["evictions"] == 1 and stats["entries"] == 2
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_capacity_zero_disables():
+    cache = ResultCache(capacity=0)
+    cache.put("a", 1)
+    assert cache.get("a") is None
+    assert cache.payload()["hit_rate"] == 0.0
+    with pytest.raises(ValueError):
+        ResultCache(capacity=-1)
+
+
+def test_result_key_includes_version_and_cost():
+    base = result_key("doc", 1, QUERY, 5, "unit")
+    assert result_key("doc", 2, QUERY, 5, "unit") != base
+    assert result_key("doc", 1, QUERY, 5, "w:1,2,2") != base
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_metrics_counts_latency_and_high_water():
+    metrics = ServeMetrics()
+    for seconds in (0.01, 0.02, 0.03):
+        metrics.observe(
+            "POST /v1/tasm", 200, seconds,
+            engine="stream", ring_peak=7, ring_capacity=10,
+        )
+    metrics.observe("POST /v1/tasm", 404, 0.001)
+    metrics.observe("GET /healthz", 200, 0.0005)
+    snapshot = metrics.payload()
+    assert snapshot["requests_total"] == 5
+    assert snapshot["errors_total"] == 1
+    assert snapshot["requests_by_route"]["POST /v1/tasm"] == 4
+    assert snapshot["responses_by_status_class"] == {"2xx": 4, "4xx": 1}
+    latency = snapshot["latency_by_route"]["POST /v1/tasm"]
+    assert latency["observations"] == 4
+    assert latency["p50_seconds"] <= latency["p95_seconds"] <= latency["max_seconds"]
+    assert snapshot["engine_requests"] == {"stream": 3}
+    assert snapshot["ring_peak_high_water"] == 7
+    assert snapshot["ring_capacity_high_water"] == 10
+
+
+# ----------------------------------------------------------------------
+# Executor (no HTTP)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def executor(corpus):
+    registry = QueryRegistry()
+    registry.register("q1", QUERY)
+    return TasmExecutor(
+        registry, DocumentCatalog(corpus["db"]), cache=ResultCache(16)
+    )
+
+
+def test_executor_matches_streaming_reference(corpus, executor):
+    payload, info = executor.run({"query": "q1", "document": "small", "k": 4})
+    assert payload["matches"] == expected_matches(QUERY, corpus["small"], 4)
+    assert payload["engine"] == "stream" and payload["cached"] is False
+    assert info["ring_peak"] <= info["ring_capacity"]
+    # Inline ad-hoc queries work without registration.
+    inline, _ = executor.run(
+        {"query": "{a{b}}", "document": "small", "k": 2}
+    )
+    assert inline["matches"] == expected_matches("{a{b}}", corpus["small"], 2)
+
+
+def test_executor_cache_hit_and_version_invalidation(executor):
+    first, _ = executor.run({"query": "q1", "document": "small", "k": 3})
+    assert first["cached"] is False
+    again, info = executor.run({"query": "q1", "document": "small", "k": 3})
+    assert again["cached"] is True
+    assert again["matches"] == first["matches"]
+    assert info["engine"] == "cache"
+    # Bumping the document version must miss the cache.
+    executor.catalog.bump_version("small")
+    after_bump, _ = executor.run({"query": "q1", "document": "small", "k": 3})
+    assert after_bump["cached"] is False
+    assert after_bump["document_version"] == 2
+
+
+def test_executor_weighted_cost_and_batch(corpus, executor):
+    cost = WeightedCostModel(2.0, 1.0, 1.0)
+    payload, _ = executor.run(
+        {"query": "q1", "document": "small", "k": 3, "cost": [2, 1, 1]}
+    )
+    assert payload["matches"] == expected_matches(QUERY, corpus["small"], 3, cost)
+    batch, _ = executor.run_batch(
+        {"queries": ["q1", "{a{b}}"], "document": "small", "k": 2}
+    )
+    assert [r["query"] for r in batch["results"]] == ["q1", "<inline>"]
+    assert batch["results"][0]["matches"] == expected_matches(
+        QUERY, corpus["small"], 2
+    )
+    assert batch["results"][1]["matches"] == expected_matches(
+        "{a{b}}", corpus["small"], 2
+    )
+
+
+def test_executor_rejects_oversized_k(executor):
+    # The ring buffer is preallocated at k + 2|Q| - 1 slots, so an
+    # unbounded network-supplied k could OOM the service.
+    executor.max_k = 10
+    with pytest.raises(ServeError) as excinfo:
+        executor.run({"query": "q1", "document": "small", "k": 11})
+    assert "limit" in str(excinfo.value)
+    payload, _ = executor.run({"query": "q1", "document": "small", "k": 10})
+    assert payload["k"] == 10
+
+
+def test_cache_hit_reports_the_name_this_request_used(executor):
+    # The cache is keyed by canonical bracket; the response must still
+    # echo the query spec the *current* request used.
+    named, _ = executor.run({"query": "q1", "document": "small", "k": 3})
+    assert named["query"] == "q1" and named["cached"] is False
+    inline, _ = executor.run({"query": QUERY, "document": "small", "k": 3})
+    assert inline["cached"] is True  # same bracket, same key
+    assert inline["query"] == "<inline>"  # not "q1"
+    named_again, _ = executor.run({"query": "q1", "document": "small", "k": 3})
+    assert named_again["query"] == "q1"
+
+
+def test_executor_request_validation(executor):
+    with pytest.raises(ServeError):
+        executor.run([])
+    with pytest.raises(ServeError):
+        executor.run({"query": "q1", "document": "small", "k": 0})
+    with pytest.raises(ServeError) as excinfo:
+        executor.run({"query": "q1", "document": "missing", "k": 2})
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError):
+        executor.run({"query": "q1", "document": None, "k": 2})
+    with pytest.raises(ServeError):
+        executor.run_batch({"queries": [], "document": "small"})
+    with pytest.raises(ServeError):
+        TasmExecutor(executor.registry, executor.catalog, workers=0)
+
+
+# ----------------------------------------------------------------------
+# HTTP end to end
+# ----------------------------------------------------------------------
+def test_health_documents_and_queries_endpoints(server):
+    _, client = server
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["documents"] == 2 and health["queries"] == 2
+    names = [d["name"] for d in client.documents()]
+    assert names == ["large", "small"]
+    assert [q["name"] for q in client.queries()] == ["q1", "q2"]
+
+
+def test_tasm_endpoint_matches_reference_and_caches(server, corpus):
+    _, client = server
+    response = client.tasm("q1", "small", k=4)
+    assert response["matches"] == expected_matches(QUERY, corpus["small"], 4)
+    assert response["cached"] is False
+    assert client.tasm("q1", "small", k=4)["cached"] is True
+    batch = client.tasm_batch(["q1", "q2"], "small", k=2)
+    assert batch["results"][0]["matches"] == expected_matches(
+        QUERY, corpus["small"], 2
+    )
+    assert batch["results"][1]["matches"] == expected_matches(
+        "{a{b}}", corpus["small"], 2
+    )
+
+
+def test_put_query_and_document_registration(server, corpus):
+    _, client = server
+    registered = client.register_query("put.q", bracket="{e{a{b}{c}}}")
+    assert registered["nodes"] == 4
+    response = client.tasm("put.q", "small", k=2)
+    assert response["matches"] == expected_matches(
+        "{e{a{b}{c}}}", corpus["small"], 2
+    )
+    doc = client.register_document("extra", corpus["xml_path"])
+    assert doc["kind"] == "xml"
+    response = client.tasm("q1", "extra", k=2)
+    assert response["matches"] == expected_matches(QUERY, corpus["xml_doc"], 2)
+    # Re-registration bumps the version (cache invalidation handle).
+    assert client.register_document("extra", corpus["xml_path"])["version"] == 2
+    with pytest.raises(ServeError):
+        client.register_query("x", bracket="{a}", xml="<a/>")
+
+
+def test_http_error_mapping(server):
+    _, client = server
+    with pytest.raises(ServeHttpError) as excinfo:
+        client.tasm("q1", "missing", k=2)
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeHttpError) as excinfo:
+        client.tasm("q1", "small", k=0)
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeHttpError) as excinfo:
+        client.register_query("bad", bracket="{a{b}")
+    assert excinfo.value.status == 400
+    assert "kind" in excinfo.value.payload
+    with pytest.raises(ServeHttpError) as excinfo:
+        client.request("GET", "/nope")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeHttpError) as excinfo:
+        client.request("DELETE", "/healthz")
+    assert excinfo.value.status == 405
+    with pytest.raises(ServeHttpError) as excinfo:
+        client.request("POST", "/v1/tasm", {"query": "q1"})  # no document
+    assert excinfo.value.status == 400
+
+
+async def _raw_post(port: int, path: str, payload: dict):
+    """One HTTP POST over a raw asyncio connection."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = json.dumps(payload).encode("utf-8")
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        ).encode("latin-1")
+        + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, tail = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(tail)
+
+
+def test_concurrent_clients_share_one_document(server, corpus):
+    """≥8 parallel asyncio clients hammer one document concurrently."""
+    thread, _ = server
+    expected = {
+        "q1": expected_matches(QUERY, corpus["small"], 3),
+        "q2": expected_matches("{a{b}}", corpus["small"], 3),
+    }
+
+    async def drive():
+        requests = [
+            _raw_post(
+                thread.port,
+                "/v1/tasm",
+                {
+                    "query": "q1" if i % 2 == 0 else "q2",
+                    "document": "small",
+                    "k": 3,
+                },
+            )
+            for i in range(10)
+        ]
+        return await asyncio.gather(*requests)
+
+    results = asyncio.run(drive())
+    assert len(results) == 10
+    for i, (status, payload) in enumerate(results):
+        assert status == 200
+        assert payload["matches"] == expected["q1" if i % 2 == 0 else "q2"]
+
+
+def test_malformed_http_gets_400(server):
+    thread, _ = server
+
+    async def bad_json():
+        reader, writer = await asyncio.open_connection("127.0.0.1", thread.port)
+        body = b"{not json"
+        writer.write(
+            (
+                f"POST /v1/tasm HTTP/1.1\r\nHost: t\r\n"
+                f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        return int(raw.split()[1])
+
+    assert asyncio.run(bad_json()) == 400
+
+
+def test_metrics_endpoint_counts_served_requests(corpus):
+    # A private server so other tests' traffic cannot skew the counts.
+    config = ServerConfig(
+        store=corpus["db"], port=0, queries={"q1": QUERY}, cache_size=8
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        for _ in range(3):
+            client.tasm("q1", "small", k=3)
+        with pytest.raises(ServeHttpError):
+            client.tasm("q1", "missing", k=3)
+        metrics = client.metrics()
+    assert metrics["requests_by_route"]["POST /v1/tasm"] == 4
+    assert metrics["errors_total"] == 1
+    assert metrics["responses_by_status_class"]["4xx"] == 1
+    # 1 miss computed, 2 cache hits, 1 error.
+    assert metrics["engine_requests"]["stream"] == 1
+    assert metrics["engine_requests"]["cache"] == 2
+    latency = metrics["latency_by_route"]["POST /v1/tasm"]
+    assert latency["observations"] == 4
+    assert latency["p50_seconds"] <= latency["p95_seconds"]
+    bound = 3 + 2 * 3 - 1  # k + 2|Q| - 1
+    assert 0 < metrics["ring_peak_high_water"] <= bound
+
+
+def test_metrics_route_cardinality_is_bounded():
+    from repro.serve.server import TasmServer
+
+    route = TasmServer._metrics_route
+    assert route("GET", "/healthz") == "GET /healthz"
+    assert route("PUT", "/v1/queries/abc") == "PUT /v1/queries/{name}"
+    assert route("PUT", "/v1/documents/abc") == "PUT /v1/documents/{name}"
+    # Path-scanning traffic must collapse into one bucket, or every
+    # probed URL would grow a counter + latency reservoir forever.
+    assert route("GET", "/x1") == route("GET", "/x2") == "GET <unknown>"
+
+
+def test_sharded_routing_identical_to_stream(corpus):
+    config = ServerConfig(
+        store=corpus["db"],
+        port=0,
+        queries={"q1": QUERY},
+        workers=2,
+        shard_threshold=300,  # "large" (600 nodes) shards, "small" streams
+        cache_size=0,
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        large = client.tasm("q1", "large", k=5)
+        small = client.tasm("q1", "small", k=5)
+    assert large["engine"] == "sharded"
+    assert small["engine"] == "stream"
+    assert large["matches"] == expected_matches(QUERY, corpus["large"], 5)
+    assert small["matches"] == expected_matches(QUERY, corpus["small"], 5)
+
+
+def test_server_thread_reports_startup_failure(tmp_path):
+    config = ServerConfig(store=str(tmp_path / "missing.db"), port=0)
+    with pytest.raises(Exception):
+        ServerThread(config).start()
