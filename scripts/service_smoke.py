@@ -55,7 +55,13 @@ def build_store(tmp: str, dataset: str, nodes: int) -> str:
     return db_path
 
 
-def start_server(db_path: str, log_path: str, workers: int, threshold: int):
+def start_server(
+    db_path: str,
+    log_path: str,
+    workers: int,
+    threshold: int,
+    backend: str = "auto",
+):
     """Boot ``repro serve`` on an ephemeral port; return (proc, port)."""
     log = open(log_path, "w", encoding="utf-8")
     proc = subprocess.Popen(
@@ -72,6 +78,8 @@ def start_server(db_path: str, log_path: str, workers: int, threshold: int):
             str(workers),
             "--shard-threshold",
             str(threshold),
+            "--backend",
+            backend,
         ],
         stdout=subprocess.PIPE,
         stderr=log,
@@ -108,8 +116,8 @@ def start_server(db_path: str, log_path: str, workers: int, threshold: int):
     return proc, int(match.group(1))
 
 
-def cli_ranking_bytes(db_path: str, bracket: str, k: int) -> str:
-    """``repro tasm --json`` output for the same store/query/k."""
+def cli_ranking_bytes(db_path: str, bracket: str, k: int, backend: str) -> str:
+    """``repro tasm --json`` output for the same store/query/k/backend."""
     result = subprocess.run(
         [
             sys.executable,
@@ -121,6 +129,8 @@ def cli_ranking_bytes(db_path: str, bracket: str, k: int) -> str:
             "-k",
             str(k),
             "--json",
+            "--backend",
+            backend,
         ],
         capture_output=True,
         text=True,
@@ -144,6 +154,14 @@ def main() -> int:
         default=1000,
         help="kept below --nodes so the sharded path is exercised",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="kernel row engine for server AND comparison CLI (the "
+        "byte-identity contract is enforced per backend; 'numpy' also "
+        "asserts /healthz and /metrics report it)",
+    )
     args = parser.parse_args()
 
     failures = []
@@ -154,11 +172,23 @@ def main() -> int:
         proc = None
         try:
             proc, port = start_server(
-                db_path, log_path, args.workers, args.shard_threshold
+                db_path,
+                log_path,
+                args.workers,
+                args.shard_threshold,
+                args.backend,
             )
             client = ServeClient(port=port)
             health = client.wait_healthy(timeout=HEALTH_DEADLINE_SECONDS)
             print(f"healthy on port {port}: {health}")
+            if args.backend != "auto" and health.get("kernel_backend") != (
+                args.backend
+            ):
+                failures.append(
+                    f"/healthz reports kernel_backend="
+                    f"{health.get('kernel_backend')!r}, expected "
+                    f"{args.backend!r}"
+                )
 
             for name, bracket in DEFAULT_QUERIES.items():
                 registered = client.register_query(name, bracket=bracket)
@@ -167,7 +197,7 @@ def main() -> int:
             for name, bracket in DEFAULT_QUERIES.items():
                 response = client.tasm(name, args.dataset, k=args.k)
                 served = json.dumps(response["matches"], indent=2) + "\n"
-                cli = cli_ranking_bytes(db_path, bracket, args.k)
+                cli = cli_ranking_bytes(db_path, bracket, args.k, args.backend)
                 if served != cli:
                     failures.append(
                         f"ranking mismatch for {name}:\n"
@@ -182,6 +212,14 @@ def main() -> int:
 
             metrics = client.metrics()
             print(f"metrics: {json.dumps(metrics, indent=2)}")
+            if args.backend != "auto" and metrics.get("kernel_backend") != (
+                args.backend
+            ):
+                failures.append(
+                    f"/metrics reports kernel_backend="
+                    f"{metrics.get('kernel_backend')!r}, expected "
+                    f"{args.backend!r}"
+                )
             expected = len(DEFAULT_QUERIES)
             served_count = metrics["requests_by_route"].get("POST /v1/tasm", 0)
             if served_count != expected:

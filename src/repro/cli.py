@@ -201,6 +201,13 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="unit|REN,DEL,INS",
             help="cost model (default: unit)",
         )
+        p.add_argument(
+            "--backend",
+            choices=["auto", "python", "numpy"],
+            default="auto",
+            help="distance-kernel row engine (default: auto — numpy when "
+            "installed, pure Python otherwise)",
+        )
 
     dataset_p = sub.add_parser(
         "dataset", help="generate a synthetic XMark/DBLP/PSD-lookalike corpus"
@@ -287,13 +294,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-request k ceiling (default 10000; the ring buffer is "
         "preallocated at k + 2|Q| - 1 slots)",
     )
+    serve_p.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="distance-kernel row engine for every served query "
+        "(default: auto; 'numpy' fails at startup if numpy is missing; "
+        "reported in /healthz and /metrics)",
+    )
     return parser
 
 
 def _run_ted(args: argparse.Namespace) -> int:
     t1 = _load_tree(args.tree1, args.format)
     t2 = _load_tree(args.tree2, args.format)
-    distance = ted(t1, t2, args.cost)
+    distance = ted(t1, t2, args.cost, args.backend)
     print(int(distance) if distance == int(distance) else distance)
     return 0
 
@@ -331,6 +346,12 @@ def _run_tasm(args: argparse.Namespace) -> int:
     show_stats = args.stats or args.verbose
     if args.workers < 1:
         raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    # Resolve up front: --backend numpy without numpy dies here with a
+    # clean error instead of mid-stream, and --verbose reports the
+    # engine that actually ran.
+    from .distance import resolve_backend
+
+    backend = resolve_backend(args.backend)
     doc_fmt = _detect_format(args.document, args.format)
     sharded_stats = None
     if args.algorithm == "dynamic":
@@ -341,7 +362,8 @@ def _run_tasm(args: argparse.Namespace) -> int:
         else:
             document = _load_tree(args.document, args.format)
         rankings = [
-            tasm_dynamic(query, document, args.k, args.cost) for query in queries
+            tasm_dynamic(query, document, args.k, args.cost, backend)
+            for query in queries
         ]
         stats = None
     elif args.workers > 1:
@@ -364,6 +386,7 @@ def _run_tasm(args: argparse.Namespace) -> int:
             args.cost,
             workers=args.workers,
             stats=sharded_stats,
+            backend=backend,
         )
         stats = sharded_stats
         if sharded_stats.n_shards < args.workers:
@@ -384,7 +407,9 @@ def _run_tasm(args: argparse.Namespace) -> int:
     else:
         stats = PostorderStats()
         source = _document_queue(args.document, args.format, args.doc_name)
-        rankings = tasm_batch(queries, source, args.k, args.cost, stats=stats)
+        rankings = tasm_batch(
+            queries, source, args.k, args.cost, stats=stats, backend=backend
+        )
     if args.json:
         if batch:
             payload = [
@@ -424,11 +449,11 @@ def _run_tasm(args: argparse.Namespace) -> int:
         if sharded_stats is not None:
             print(
                 f"engine=sharded shards={sharded_stats.n_shards} "
-                f"workers={sharded_stats.workers}",
+                f"workers={sharded_stats.workers} backend={backend}",
                 file=sys.stderr,
             )
         else:
-            print(f"engine={args.algorithm}", file=sys.stderr)
+            print(f"engine={args.algorithm} backend={backend}", file=sys.stderr)
     return 0
 
 
@@ -472,6 +497,7 @@ def _serve_config(args: argparse.Namespace):
         cache_size=args.cache_size,
         request_threads=args.request_threads,
         max_k=args.max_k,
+        backend=args.backend,
     )
 
 

@@ -14,14 +14,25 @@ from .cost import (
     WeightedCostModel,
     validate_cost_model,
 )
-from .ted import PrefixDistanceKernel, prefix_distance, ted, ted_matrix
+from .ted import (
+    KERNEL_BACKENDS,
+    PrefixDistanceKernel,
+    numpy_backend_available,
+    prefix_distance,
+    resolve_backend,
+    ted,
+    ted_matrix,
+)
 
 __all__ = [
     "CostModel",
     "UnitCostModel",
     "WeightedCostModel",
     "validate_cost_model",
+    "KERNEL_BACKENDS",
     "PrefixDistanceKernel",
+    "numpy_backend_available",
+    "resolve_backend",
     "ted",
     "ted_matrix",
     "prefix_distance",

@@ -35,16 +35,127 @@ could supply.  What the rewrite eliminates is the per-keyroot-pair
 ``(m+1) x (n+1)`` nested-list allocation: each row buffer is written in
 place for every pair, and within one pair all rows below the current one
 are intact, which is exactly the prefix the recurrence reads from.
+
+Backends
+--------
+
+The kernel has two interchangeable row engines, selected at
+construction with ``backend="auto" | "python" | "numpy"``:
+
+* ``python`` — the scalar loops above; no dependencies.
+* ``numpy``  — the same dynamic program as whole-row array sweeps.  The
+  match case is a gather (``bnd[off2] + td[u, lj:j+1]``), the rename
+  diagonal an elementwise override at the complete-subtree positions,
+  the delete case a shifted row add, and the sequential insert chain
+  ``row[dj] = min(b[dj], row[dj-1] + ins[dj])`` becomes a prefix scan:
+  with ``S`` the insert-cost prefix sums (row 0 of the table),
+
+      ``row = minimum(b, S + minimum.accumulate(b - S)``  shifted by 1``)``
+
+  which is the classic min-plus scan with linear drift — for the
+  uniform-insert specialisation ``S`` is just ``insert_cost * arange``.
+  Keyroot pairs that are individually too narrow to amortise array
+  dispatch are batched *across pairs*: keyroot subtree intervals are
+  laminar, so grouping keyroots into nesting layers (leaves are layer
+  0, a keyroot's layer is one above the deepest keyroot it contains)
+  yields, within each layer, pairs whose reads and writes touch
+  disjoint columns — every equal-width group in a layer runs as one
+  3-D ``(pairs x rows x columns)`` sweep.  Leaf document keyroots
+  (typically half of all keyroots, one column each) get a dedicated
+  2-D sweep over all leaves at once.  Documents below
+  ``NUMPY_MIN_DOC`` nodes run the scalar engine unchanged — array
+  dispatch cannot beat the scalar loops on tiny tables, and TASM's
+  small-candidate evaluations stay at full scalar speed.
+* ``auto``   — ``numpy`` when importable, else ``python``.
+
+Both engines compute the same minimum over the same edit scripts.  The
+scan reassociates the insert/delete chain sums, so bit-identical
+results across backends are guaranteed when every cost is a dyadic
+rational (the unit model, the built-in weighted models, and the test
+strategies — all chosen as multiples of 1/4 for exactly this reason);
+arbitrary float costs may differ in the last ulp between backends.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..errors import BackendError
 from ..trees.tree import Tree
 from .cost import CostModel, UnitCostModel, validate_cost_model
 
-__all__ = ["PrefixDistanceKernel", "ted", "ted_matrix", "prefix_distance"]
+__all__ = [
+    "KERNEL_BACKENDS",
+    "PrefixDistanceKernel",
+    "numpy_backend_available",
+    "prefix_distance",
+    "resolve_backend",
+    "ted",
+    "ted_matrix",
+]
+
+#: Accepted ``backend=`` arguments, in documentation order.
+KERNEL_BACKENDS = ("auto", "python", "numpy")
+
+#: Row width at which the numpy engine runs a keyroot pair as its own
+#: per-pair row sweep; narrower pairs are batched across same-layer,
+#: same-width groups so array dispatch amortises over many pairs.
+VECTOR_MIN_COLS = 48
+
+#: Document size below which the numpy backend runs the scalar engine:
+#: tiny tables are dominated by array-dispatch overhead, and TASM's
+#: candidate evaluations (documents of ~``k + 2|Q| - 1`` nodes) must
+#: keep their scalar speed.
+NUMPY_MIN_DOC = 512
+
+#: Cap on ``rows x pairs x columns`` scratch elements per batched
+#: sweep; larger width groups are chunked so the per-sweep scratch
+#: allocation stays cache- and memory-friendly (a few MB) regardless
+#: of query or group size.
+_BATCH_MAX_ELEMENTS = 1 << 20
+
+_np_cache = None  # None = not probed yet; False = unavailable; module otherwise
+
+
+def _load_numpy():
+    """The numpy module, or ``None`` — probed once, then cached."""
+    global _np_cache
+    if _np_cache is None:
+        try:
+            import numpy
+
+            _np_cache = numpy
+        except ImportError:
+            _np_cache = False
+    return _np_cache or None
+
+
+def numpy_backend_available() -> bool:
+    """Whether the optional numpy row engine can be used."""
+    return _load_numpy() is not None
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Resolve a ``backend=`` argument to ``"python"`` or ``"numpy"``.
+
+    ``"auto"`` degrades to the pure-Python engine when numpy is not
+    installed; asking for ``"numpy"`` explicitly without numpy raises
+    :class:`~repro.errors.BackendError` with install guidance.
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise BackendError(
+            f"kernel backend must be one of {', '.join(KERNEL_BACKENDS)}, "
+            f"got {backend!r}"
+        )
+    if backend == "auto":
+        return "numpy" if numpy_backend_available() else "python"
+    if backend == "numpy" and not numpy_backend_available():
+        raise BackendError(
+            "backend='numpy' requires numpy, which is not installed; "
+            "install the fast extra (pip install 'repro-tasm[fast]') or "
+            "use backend='auto'/'python' for the pure-Python fallback"
+        )
+    return backend
 
 
 class PrefixDistanceKernel:
@@ -69,6 +180,7 @@ class PrefixDistanceKernel:
     __slots__ = (
         "query",
         "cost",
+        "backend",
         "_n1",
         "_lmls1",
         "_keyroots1",
@@ -85,12 +197,32 @@ class PrefixDistanceKernel:
         "_rows",
         "_cols",
         "_row0_scalar_cols",
+        "_vec_min_cols",
+        "_numpy_min_doc",
+        "_last_np",
+        "_plans_np",
+        "_td_np",
+        "_rows_np",
+        "_arange_np",
+        "_np_cols",
+        "_icost_np",
+        "_ren_np",
+        "_synced_labels",
     )
 
-    def __init__(self, query: Tree, cost: Optional[CostModel] = None):
+    def __init__(
+        self,
+        query: Tree,
+        cost: Optional[CostModel] = None,
+        backend: str = "auto",
+        *,
+        vector_min_cols: Optional[int] = None,
+        numpy_min_doc: Optional[int] = None,
+    ):
         if cost is None:
             cost = UnitCostModel()
         validate_cost_model(cost)
+        self.backend = resolve_backend(backend)
         self.query = query
         self.cost = cost
         n1 = len(query)
@@ -156,6 +288,57 @@ class PrefixDistanceKernel:
         # prefix sums are position-proportional while inserts are
         # uniform, so they are filled once, not once per keyroot).
         self._row0_scalar_cols = 0
+        self._last_np = False
+        if self.backend == "numpy":
+            self._init_numpy(vector_min_cols, numpy_min_doc)
+
+    def _init_numpy(
+        self,
+        vector_min_cols: Optional[int],
+        numpy_min_doc: Optional[int],
+    ) -> None:
+        """Array mirrors of the query-side state for the numpy engine.
+
+        The scalar lists above stay authoritative (the fallback paths
+        and :meth:`_encode_doc` keep using them); the mirrors are what
+        the vectorised sweeps gather from.
+        """
+        np = _load_numpy()
+        self._vec_min_cols = (
+            VECTOR_MIN_COLS if vector_min_cols is None else vector_min_cols
+        )
+        self._numpy_min_doc = (
+            NUMPY_MIN_DOC if numpy_min_doc is None else numpy_min_doc
+        )
+        plans_np = []
+        for c0, plan in self._plans:
+            c0_np = np.asarray(c0)
+            u_arr = np.asarray([row[0] for row in plan], dtype=np.intp)
+            off1_arr = np.asarray([row[1] for row in plan], dtype=np.intp)
+            i1_arr = np.asarray([row[2] for row in plan], dtype=np.intp)
+            # Left-path rows (i1 >= 0) are where the rename diagonal
+            # applies and tree distances get written back.
+            path_idx = np.nonzero(i1_arr >= 0)[0]
+            plans_np.append(
+                (
+                    c0_np,
+                    u_arr,
+                    off1_arr,
+                    i1_arr,
+                    path_idx,
+                    i1_arr[path_idx],
+                    u_arr[path_idx],
+                )
+            )
+        self._plans_np = plans_np
+        # Flat DP storage, (n1+1) x width, grown on demand; no values
+        # survive a width change because every cell read during one
+        # _compute was written earlier in that same _compute.
+        self._np_cols = 0
+        cap = 64
+        self._icost_np = np.zeros(cap)
+        self._ren_np = np.zeros((len(self._qlabels), cap))
+        self._synced_labels = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -163,21 +346,42 @@ class PrefixDistanceKernel:
     def distances(self, doc: Tree) -> List[float]:
         """Prefix array: ``dist[j] = ted(query, T_j)`` for every subtree.
 
-        ``dist[0]`` is padding.  The returned list is a fresh copy; the
-        kernel's internal buffers are reused by the next call.
+        ``dist[0]`` is padding.  The returned list is a fresh copy of
+        plain Python floats (whichever engine ran); the kernel's
+        internal buffers are reused by the next call.
         """
         self._compute(doc)
+        if self._last_np:
+            return self._td_np[self._n1, : len(doc) + 1].tolist()
         return self._td[self._n1][: len(doc) + 1]
 
     def matrix(self, doc: Tree) -> List[List[float]]:
         """All-pairs subtree distances ``td[i][j] = ted(Q_i, T_j)``."""
         self._compute(doc)
         width = len(doc) + 1
+        if self._last_np:
+            return self._td_np[:, :width].tolist()
         return [row[:width] for row in self._td]
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _compute(self, doc: Tree) -> None:
+        """Fill the tree-distance table for ``doc`` (all keyroot pairs).
+
+        The numpy engine only takes over at ``numpy_min_doc`` nodes:
+        below it the scalar engine is faster *and* the results are
+        trivially bit-identical across backends, which is what keeps
+        TASM's many small candidate evaluations at full scalar speed
+        under ``backend="numpy"``.
+        """
+        if self.backend == "numpy" and len(doc) >= self._numpy_min_doc:
+            self._compute_numpy(doc)
+            self._last_np = True
+        else:
+            self._compute_python(doc)
+            self._last_np = False
+
     def _ensure_width(self, need: int) -> None:
         if need <= self._cols:
             return
@@ -212,7 +416,7 @@ class PrefixDistanceKernel:
             ids2[v] = i2
         return ids2
 
-    def _compute(self, doc: Tree) -> None:
+    def _compute_python(self, doc: Tree) -> None:
         """Fill ``self._td`` for ``doc`` (all keyroot pairs)."""
         n2 = len(doc)
         if n2 + 1 > self._cols:
@@ -457,9 +661,226 @@ class PrefixDistanceKernel:
                                 acc = best
                     prev_row = row
 
+    # ------------------------------------------------------------------
+    # The numpy row engine
+    # ------------------------------------------------------------------
+    def _ensure_width_np(self, need: int) -> None:
+        if need <= self._np_cols:
+            return
+        np = _load_numpy()
+        width = max(need, 2 * self._np_cols, 64)
+        # Fresh zeroed storage, no copy: within one _compute every cell
+        # is written before it is read (the keyroot order argument in
+        # _compute_python), so nothing from the previous document may
+        # legitimately survive a growth.
+        self._td_np = np.zeros((self._n1 + 1, width))
+        self._rows_np = np.zeros((self._n1 + 1, width))
+        self._arange_np = np.arange(width, dtype=float)
+        self._np_cols = width
+
+    def _sync_cost_tables(self) -> None:
+        """Mirror newly interned document labels into the array tables."""
+        n = len(self._icost)
+        if n == self._synced_labels:
+            return
+        np = _load_numpy()
+        cap = self._icost_np.shape[0]
+        if n > cap:
+            newcap = max(n, 2 * cap)
+            icost_np = np.zeros(newcap)
+            icost_np[:cap] = self._icost_np
+            self._icost_np = icost_np
+            ren_np = np.zeros((len(self._qlabels), newcap))
+            ren_np[:, :cap] = self._ren_np
+            self._ren_np = ren_np
+        start = self._synced_labels
+        self._icost_np[start:n] = self._icost[start:]
+        for qi, ren_row in enumerate(self._ren):
+            self._ren_np[qi, start:n] = ren_row[start:]
+        self._synced_labels = n
+
+    def _compute_numpy(self, doc: Tree) -> None:
+        """Fill ``self._td_np`` for ``doc`` (all keyroot pairs).
+
+        Pairs run in ascending order of row width ``nj``, equal widths
+        batched together.  That schedule is dependency-correct: a pair
+        only reads tree distances owned by keyroots *strictly inside*
+        its document keyroot's subtree (the off-left-path match case;
+        an owner outside would be an ancestor of the keyroot, whose
+        leftmost leaf is too far left to own any in-range column) —
+        and a strictly contained keyroot subtree is strictly smaller,
+        i.e. already processed.  Equal-width keyroot subtrees can
+        never nest (laminar intervals of equal length are identical or
+        disjoint), so a width group's pairs touch pairwise disjoint
+        column ranges and run as one 3-D sweep: width-1 pairs — the
+        leaf document keyroots, typically half of all keyroots — in a
+        dedicated 2-D sweep, the rest via :meth:`_pair_batch`, and
+        pairs wide enough to amortise array dispatch alone as per-pair
+        row sweeps.
+        """
+        np = _load_numpy()
+        n2 = len(doc)
+        self._ensure_width_np(n2 + 1)
+        lmls2 = doc.lmls
+        ids2 = self._encode_doc(doc.labels, n2)
+        self._sync_cost_tables()
+        icc = self._ic_value if self._ic_uniform else None
+        ids2_np = np.asarray(ids2, dtype=np.intp)
+        lml_np = np.asarray(lmls2, dtype=np.intp)
+        groups: Dict[int, List[int]] = {}
+        for j in doc.keyroots():
+            groups.setdefault(j - lmls2[j] + 1, []).append(j)
+        for nj in sorted(groups):
+            js = groups[nj]
+            if nj == 1:
+                self._leaf_pairs_vector(np, js, ids2_np, icc)
+            elif nj >= self._vec_min_cols:
+                for j in js:
+                    self._pair_vector(np, j, lmls2[j], nj, ids2_np, lml_np, icc)
+            else:
+                chunk = max(
+                    1, _BATCH_MAX_ELEMENTS // ((nj + 1) * (self._n1 + 1))
+                )
+                for start in range(0, len(js), chunk):
+                    self._pair_batch(
+                        np, js[start : start + chunk], nj, ids2_np, lml_np, icc
+                    )
+
+    def _leaf_pairs_vector(self, np, leaves, ids2_np, icc) -> None:
+        """All leaf document keyroots against all query keyroots at once.
+
+        A leaf pair's forest table is a single column; running the
+        column recurrence for every leaf simultaneously turns the whole
+        leaf population into one ``(plan rows) x (leaves)`` sweep per
+        query keyroot.  The delete chain ``best_r = min(base_r,
+        best_{r-1} + dc_r)`` uses the same min-plus scan as the row
+        engine, with the delete prefix sums ``c0`` as the drift.
+        """
+        td = self._td_np
+        cols = np.asarray(leaves, dtype=np.intp)
+        i2 = ids2_np[cols]
+        if icc is None:
+            icv = self._icost_np[i2]
+        else:
+            icv = np.full(len(leaves), icc)
+        ren = self._ren_np
+        for c0, u_arr, off1_arr, _, path_idx, path_qids, path_u in self._plans_np:
+            # base_r: the match case (rename diagonal on left-path rows,
+            # known tree distance off it) already min'd with the insert
+            # candidate c0[r] + icv.
+            base = td[np.ix_(u_arr, cols)]
+            base += c0[off1_arr][:, None]
+            if len(path_idx):
+                base[path_idx] = ren[np.ix_(path_qids, i2)] + c0[path_idx][:, None]
+            b = np.minimum(base, c0[1:, None] + icv)
+            # Delete-chain scan with drift c0 (exact because c0 was
+            # accumulated with the same additions the scalar chain
+            # performs): g holds cummin(B_t - c0_t) with B_0 = icv.
+            g = np.empty((len(u_arr) + 1, len(leaves)))
+            g[0] = icv
+            np.subtract(b, c0[1:, None], out=g[1:])
+            np.minimum.accumulate(g, axis=0, out=g)
+            best = np.minimum(b, g[:-1] + c0[1:, None])
+            if len(path_idx):
+                td[np.ix_(path_u, cols)] = best[path_idx]
+
+    def _pair_batch(self, np, js, nj, ids2_np, lml_np, icc) -> None:
+        """One layer's equal-width keyroot pairs as a 3-D sweep.
+
+        Same recurrence as :meth:`_pair_vector`, with a leading *pair*
+        axis: all pairs in ``js`` share the width ``nj``, their column
+        ranges are disjoint (same layer), and the per-pair gathers
+        become 2-D ``take_along_axis``/fancy lookups.
+        """
+        G = len(js)
+        njp1 = nj + 1
+        js_np = np.asarray(js, dtype=np.intp)
+        ljs = js_np - nj + 1
+        col_idx = ljs[:, None] + np.arange(nj)  # (G, nj) global columns
+        off2 = lml_np[col_idx] - ljs[:, None]
+        id2 = ids2_np[col_idx]
+        zero_mask = off2 == 0
+        td = self._td_np
+        ren = self._ren_np
+        S = np.empty((G, njp1))
+        if icc is None:
+            S[:, 0] = 0.0
+            np.cumsum(self._icost_np[id2], axis=1, out=S[:, 1:])
+        else:
+            S[:] = self._arange_np[:njp1] * icc
+        rows = np.empty((self._n1 + 1, G, njp1))
+        rows[0] = S
+        for (c0_np, *_), (_, plan) in zip(self._plans_np, self._plans):
+            rows[1 : len(plan) + 1, :, 0] = c0_np[1:, None]
+            prev = rows[0]
+            r = 0
+            for u, off1, i1, dc in plan:
+                r += 1
+                row = rows[r]
+                b = np.take_along_axis(rows[off1], off2, axis=1)
+                b += td[u][col_idx]
+                if i1 >= 0:
+                    diag = prev[:, :nj] + ren[i1][id2]
+                    b[zero_mask] = diag[zero_mask]
+                np.minimum(b, prev[:, 1:njp1] + dc, out=b)
+                np.subtract(b, S[:, 1:], out=row[:, 1:])
+                np.minimum.accumulate(row, axis=1, out=row)
+                np.minimum(b, row[:, :nj] + S[:, 1:], out=row[:, 1:])
+                if i1 >= 0:
+                    td[u, col_idx[zero_mask]] = row[:, 1:][zero_mask]
+                prev = row
+
+    def _pair_vector(self, np, j, lj, nj, ids2_np, lml_np, icc) -> None:
+        """One wide keyroot pair group as whole-row sweeps."""
+        td = self._td_np
+        rows = self._rows_np
+        njp1 = nj + 1
+        off2 = lml_np[lj : j + 1] - lj
+        zero = np.nonzero(off2 == 0)[0]  # dj-1 of complete-subtree prefixes
+        zero_p1 = zero + 1
+        zero_cols = zero + lj
+        id2_zero = ids2_np[zero_cols]
+        # Row 0 doubles as the insert prefix sums S (the scan's drift).
+        S = rows[0, :njp1]
+        if icc is None:
+            S[0] = 0.0
+            np.cumsum(self._icost_np[ids2_np[lj : j + 1]], out=S[1:])
+        else:
+            np.multiply(self._arange_np[:njp1], icc, out=S)
+        ren = self._ren_np
+        for (c0_np, *_), (c0, plan) in zip(self._plans_np, self._plans):
+            rows[1 : len(plan) + 1, 0] = c0_np[1:]
+            prev = rows[0]
+            r = 0
+            for u, off1, i1, dc in plan:
+                r += 1
+                row = rows[r]
+                # Match case: forest boundary gather + known tree
+                # distances.  Complete-subtree positions read garbage
+                # here on left-path rows and are overridden by the
+                # rename diagonal before any arithmetic uses them.
+                b = rows[off1, off2]
+                b += td[u, lj : j + 1]
+                if i1 >= 0 and len(zero):
+                    b[zero] = prev[zero] + ren[i1, id2_zero]
+                np.minimum(b, prev[1:njp1] + dc, out=b)
+                # Insert scan: row[dj] = min(b[dj], S[dj] +
+                # cummin_{t<dj}(B_t - S_t)) with B_0 = c0[r] (already in
+                # row[0]).  Computed in place: the cummin runs over
+                # row[:njp1], then the final minimum reads the
+                # *exclusive* prefix row[:nj] while writing row[1:].
+                np.subtract(b, S[1:njp1], out=row[1:njp1])
+                np.minimum.accumulate(row[:njp1], out=row[:njp1])
+                np.minimum(b, row[:nj] + S[1:njp1], out=row[1:njp1])
+                if i1 >= 0 and len(zero):
+                    td[u, zero_cols] = row[zero_p1]
+                prev = row
 
 def ted_matrix(
-    t1: Tree, t2: Tree, cost: Optional[CostModel] = None
+    t1: Tree,
+    t2: Tree,
+    cost: Optional[CostModel] = None,
+    backend: str = "auto",
 ) -> List[List[float]]:
     """All-pairs subtree distances ``td[i][j] = ted(T1_i, T2_j)``.
 
@@ -468,18 +889,24 @@ def ted_matrix(
     is covered because each node belongs to exactly one keyroot's
     relevant subtree with the same leftmost leaf.
     """
-    return PrefixDistanceKernel(t1, cost).matrix(t2)
+    return PrefixDistanceKernel(t1, cost, backend).matrix(t2)
 
 
-def ted(t1: Tree, t2: Tree, cost: Optional[CostModel] = None) -> float:
+def ted(
+    t1: Tree,
+    t2: Tree,
+    cost: Optional[CostModel] = None,
+    backend: str = "auto",
+) -> float:
     """Tree edit distance between ``t1`` and ``t2``."""
-    kernel = PrefixDistanceKernel(t1, cost)
-    kernel._compute(t2)
-    return kernel._td[len(t1)][len(t2)]
+    return PrefixDistanceKernel(t1, cost, backend).distances(t2)[len(t2)]
 
 
 def prefix_distance(
-    query: Tree, tree: Tree, cost: Optional[CostModel] = None
+    query: Tree,
+    tree: Tree,
+    cost: Optional[CostModel] = None,
+    backend: str = "auto",
 ) -> List[float]:
     """Distances between ``query`` and **every** subtree of ``tree``.
 
@@ -488,4 +915,4 @@ def prefix_distance(
     the paper's prefix-array byproduct: one Zhang–Shasha run instead of
     ``|tree|`` independent distance computations.
     """
-    return PrefixDistanceKernel(query, cost).distances(tree)
+    return PrefixDistanceKernel(query, cost, backend).distances(tree)

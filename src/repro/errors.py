@@ -38,6 +38,10 @@ class CostModelError(ReproError, ValueError):
     """A cost model violates the paper's requirements (``cst(x) >= 1``)."""
 
 
+class BackendError(ReproError, ValueError):
+    """A kernel backend was unknown or its dependency is missing."""
+
+
 class RankingError(ReproError):
     """A top-k ranking request was invalid (e.g. ``k <= 0``)."""
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
+from ..distance.ted import resolve_backend
 from ..errors import RankingError
 from ..postorder.queue import PostorderQueue
 from ..tasm.heap import Match
@@ -85,6 +86,8 @@ class ShardedStats:
 
     workers: int = 0
     plan: Optional[ShardPlan] = None
+    #: The resolved kernel row engine every shard ran with.
+    kernel_backend: str = ""
     shard_stats: List[PostorderStats] = field(default_factory=list)
     #: Per-shard worker-side CPU time, in shard order.  The maximum is
     #: the run's critical path (the wall-clock lower bound once the
@@ -194,6 +197,7 @@ def tasm_sharded_batch(
     shards: Optional[int] = None,
     stats: Optional[ShardedStats] = None,
     pool=None,
+    backend: str = "auto",
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query via sharded (parallel) passes.
 
@@ -209,6 +213,10 @@ def tasm_sharded_batch(
     executor amortises worker start-up across requests this way;
     ``Pool.map`` is thread-safe, so several request threads may share
     one pool.
+
+    ``backend`` is the kernel row engine; it is resolved *here* (so a
+    missing numpy fails fast in the coordinator, not inside a worker)
+    and shipped to every shard task.
     """
     query_list: Sequence[Tree] = list(queries)
     if not query_list:
@@ -223,6 +231,7 @@ def tasm_sharded_batch(
     if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
         raise RankingError(f"k must be a positive integer, got {k!r}")
 
+    backend = resolve_backend(backend)
     tau = max(prune_threshold(k, len(query), cost) for query in query_list)
     total, planning_pairs, payload = _normalise_source(source)
     plan = plan_shards(planning_pairs, total, tau, shards)
@@ -235,6 +244,7 @@ def tasm_sharded_batch(
             queries=tuple(query_list),
             k=k,
             cost=cost,
+            backend=backend,
         )
         for shard in plan.shards
     ]
@@ -242,6 +252,7 @@ def tasm_sharded_batch(
     if stats is not None:
         stats.workers = min(workers, len(tasks))
         stats.plan = plan
+        stats.kernel_backend = backend
         ordered = sorted(results, key=lambda r: r.index)
         stats.shard_stats = [r.stats for r in ordered]
         stats.shard_cpu_seconds = [r.cpu_seconds for r in ordered]
@@ -270,6 +281,7 @@ def tasm_sharded(
     shards: Optional[int] = None,
     stats: Optional[ShardedStats] = None,
     pool=None,
+    backend: str = "auto",
 ) -> List[Match]:
     """Single-query convenience wrapper around :func:`tasm_sharded_batch`."""
     return tasm_sharded_batch(
@@ -281,4 +293,5 @@ def tasm_sharded(
         shards=shards,
         stats=stats,
         pool=pool,
+        backend=backend,
     )[0]

@@ -60,6 +60,9 @@ class ShardTask:
     queries: Tuple[Tree, ...]
     k: int
     cost: object
+    #: Kernel row engine, resolved by the coordinator so every worker
+    #: runs the same engine the caller asked for (and reported).
+    backend: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -124,7 +127,12 @@ def run_shard(task: ShardTask) -> ShardResult:
     t0 = time.process_time()
     stats = PostorderStats()
     rankings = tasm_batch(
-        task.queries, _shard_pairs(task), task.k, task.cost, stats=stats
+        task.queries,
+        _shard_pairs(task),
+        task.k,
+        task.cost,
+        stats=stats,
+        backend=task.backend,
     )
     elapsed = time.process_time() - t0
     offset = task.start - 1

@@ -210,6 +210,7 @@ class TasmExecutor:
                 workers=self.workers,
                 stats=stats,
                 pool=self._pool,
+                backend=self.registry.backend,
             )
             return rankings, "sharded", stats
         stats = PostorderStats()
@@ -241,6 +242,7 @@ class TasmExecutor:
         return {
             "workers": self.workers,
             "shard_threshold": self.shard_threshold,
+            "kernel_backend": self.registry.backend,
             "pool_running": self._pool is not None,
             "cache": self.cache.payload(),
         }

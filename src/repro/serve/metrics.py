@@ -33,9 +33,15 @@ def _quantile(sorted_values, q: float) -> float:
 
 
 class ServeMetrics:
-    """Thread-safe counters behind ``GET /metrics``."""
+    """Thread-safe counters behind ``GET /metrics``.
 
-    def __init__(self):
+    ``kernel_backend`` names the distance-kernel row engine the server
+    resolved at startup ("python" or "numpy") — operators reading
+    latency numbers need to know which engine produced them.
+    """
+
+    def __init__(self, kernel_backend: str = "python"):
+        self.kernel_backend = kernel_backend
         self._lock = threading.Lock()
         self.requests_total = 0
         self.errors_total = 0
@@ -89,6 +95,7 @@ class ServeMetrics:
                     "max_seconds": round(values[-1], 6),
                 }
             return {
+                "kernel_backend": self.kernel_backend,
                 "requests_total": self.requests_total,
                 "errors_total": self.errors_total,
                 "requests_by_route": dict(sorted(self._by_route.items())),

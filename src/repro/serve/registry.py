@@ -28,7 +28,7 @@ import threading
 from typing import Dict, List, Optional
 
 from ..distance.cost import CostModel, validate_cost_model
-from ..distance.ted import PrefixDistanceKernel
+from ..distance.ted import PrefixDistanceKernel, resolve_backend
 from ..errors import ServeError
 from ..tasm.postorder import prune_threshold
 from ..trees.tree import Tree
@@ -42,14 +42,26 @@ _NAME_RE = re.compile(r"^[A-Za-z0-9_.-]{1,128}$")
 class RegisteredQuery:
     """One validated query plus its per-cost-model kernels."""
 
-    __slots__ = ("name", "tree", "bracket", "version", "lock", "_kernels")
+    __slots__ = (
+        "name",
+        "tree",
+        "bracket",
+        "version",
+        "backend",
+        "lock",
+        "_kernels",
+    )
 
-    def __init__(self, name: str, tree: Tree, version: int = 1):
+    def __init__(
+        self, name: str, tree: Tree, version: int = 1, backend: str = "auto"
+    ):
         self.name = name
         self.tree = tree
         #: Canonical bracket form — the identity used in cache keys.
         self.bracket = tree.to_bracket()
         self.version = version
+        #: Resolved kernel row engine every kernel of this query uses.
+        self.backend = resolve_backend(backend)
         #: Held by the executor while this query's kernel is streaming.
         self.lock = threading.Lock()
         self._kernels: Dict[str, PrefixDistanceKernel] = {}
@@ -62,7 +74,7 @@ class RegisteredQuery:
         key = cost_key(cost)
         kernel = self._kernels.get(key)
         if kernel is None:
-            kernel = PrefixDistanceKernel(self.tree, cost)
+            kernel = PrefixDistanceKernel(self.tree, cost, self.backend)
             self._kernels[key] = kernel
         return kernel
 
@@ -83,9 +95,16 @@ class RegisteredQuery:
 
 
 class QueryRegistry:
-    """Named, validated queries with pre-built distance kernels."""
+    """Named, validated queries with pre-built distance kernels.
 
-    def __init__(self):
+    ``backend`` picks the kernel row engine for every query registered
+    here; it is resolved at construction, so a server asked for the
+    numpy engine on a host without numpy fails at startup with a clear
+    error instead of on the first request.
+    """
+
+    def __init__(self, backend: str = "auto"):
+        self.backend = resolve_backend(backend)
         self._queries: Dict[str, RegisteredQuery] = {}
         self._lock = threading.Lock()
 
@@ -128,7 +147,7 @@ class QueryRegistry:
         with self._lock:
             previous = self._queries.get(name)
             version = previous.version + 1 if previous is not None else 1
-            entry = RegisteredQuery(name, tree, version)
+            entry = RegisteredQuery(name, tree, version, self.backend)
             self._queries[name] = entry
         return entry
 
@@ -148,7 +167,9 @@ class QueryRegistry:
         if not isinstance(spec, str) or not spec:
             raise ServeError(f"query must be a name or bracket tree, got {spec!r}")
         if spec.lstrip().startswith("{"):
-            return RegisteredQuery("<inline>", Tree.from_bracket(spec), 0)
+            return RegisteredQuery(
+                "<inline>", Tree.from_bracket(spec), 0, self.backend
+            )
         return self.get(spec)
 
     def validate_k(self, k) -> int:

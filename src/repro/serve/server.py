@@ -63,6 +63,7 @@ class ServerConfig:
     cache_size: int = 256  # LRU entries; 0 disables caching
     request_threads: int = 8  # concurrent blocking rankings
     max_k: int = 10_000  # per-request k ceiling (ring is O(k)-allocated)
+    backend: str = "auto"  # kernel row engine ("auto"/"python"/"numpy")
 
 
 def _log(message: str) -> None:
@@ -78,10 +79,13 @@ class TasmServer:
 
     def __init__(self, config: ServerConfig):
         self.config = config
-        self.registry = QueryRegistry()
+        # Backend resolution happens here: a server explicitly asked to
+        # run the numpy engine on a host without numpy dies at startup
+        # with BackendError, before it can accept a single request.
+        self.registry = QueryRegistry(config.backend)
         self.catalog = DocumentCatalog(config.store)
         self.cache = ResultCache(config.cache_size)
-        self.metrics = ServeMetrics()
+        self.metrics = ServeMetrics(kernel_backend=self.registry.backend)
         self.executor = TasmExecutor(
             self.registry,
             self.catalog,
@@ -318,6 +322,7 @@ class TasmServer:
             "queries": len(self.registry),
             "workers": self.config.workers,
             "shard_threshold": self.config.shard_threshold,
+            "kernel_backend": self.registry.backend,
             "cache": self.cache.payload(),
         }
 

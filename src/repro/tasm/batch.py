@@ -37,6 +37,7 @@ def tasm_batch(
     stats: Optional[PostorderStats] = None,
     workers: int = 1,
     kernels=None,
+    backend: str = "auto",
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query in one document pass.
 
@@ -58,6 +59,10 @@ def tasm_batch(
     :class:`repro.serve.registry.QueryRegistry` hold them for the
     process lifetime).  Worker processes build their own kernels, so
     ``kernels`` cannot be combined with ``workers > 1``.
+
+    ``backend`` selects the kernel row engine for kernels built here
+    (including by shard workers); pre-built ``kernels`` carry their
+    own.
     """
     query_list = list(queries)
     if not query_list:
@@ -72,7 +77,13 @@ def tasm_batch(
 
         sharded_stats = ShardedStats() if stats is not None else None
         rankings = tasm_sharded_batch(
-            query_list, queue, k, cost, workers=workers, stats=sharded_stats
+            query_list,
+            queue,
+            k,
+            cost,
+            workers=workers,
+            stats=sharded_stats,
+            backend=backend,
         )
         if stats is not None:
             for name in (
@@ -83,7 +94,10 @@ def tasm_batch(
                 "subtrees_scored",
                 "pruned_large",
                 "pruned_buffered",
+                "kernel_backend",
             ):
                 setattr(stats, name, getattr(sharded_stats, name))
         return rankings
-    return _stream_topk(query_list, queue, k, cost, stats, kernels=kernels)
+    return _stream_topk(
+        query_list, queue, k, cost, stats, kernels=kernels, backend=backend
+    )

@@ -25,17 +25,19 @@ def tasm_dynamic(
     document: Tree,
     k: int,
     cost: Optional[CostModel] = None,
+    backend: str = "auto",
 ) -> List[Match]:
     """Top-``k`` approximate subtree matches of ``query`` in ``document``.
 
     Returns the ranking best-first.  Fewer than ``k`` matches are
     returned only when the document has fewer than ``k`` subtrees.
+    ``backend`` selects the distance kernel's row engine.
     """
     if cost is None:
         cost = UnitCostModel()
     validate_cost_model(cost)
     heap = TopKHeap(k)
-    distances = prefix_distance(query, document, cost)
+    distances = prefix_distance(query, document, cost, backend)
     # Fast-reject scan: most subtrees lose against the current worst
     # ranked distance, so that comparison runs on a cached float and
     # the heap is only consulted for actual entries.

@@ -75,6 +75,8 @@ class PostorderStats:
     subtrees_scored: int = 0
     pruned_large: int = 0
     pruned_buffered: int = 0
+    #: Which kernel row engine scored the candidates ("python"/"numpy").
+    kernel_backend: str = ""
 
 
 QueueLike = Union[PostorderQueue, Tree, Iterable]
@@ -97,6 +99,7 @@ def _stream_topk(
     cost: CostModel,
     stats: Optional[PostorderStats],
     kernels: Optional[Sequence[PrefixDistanceKernel]] = None,
+    backend: str = "auto",
 ) -> List[List[Match]]:
     """One postorder pass ranking every query; the core of Algorithms 2/3.
 
@@ -113,11 +116,15 @@ def _stream_topk(
     q = _as_queue(source)
     heaps = [TopKHeap(k) for _ in queries]  # validates k
     if kernels is None:
-        kernels = [PrefixDistanceKernel(query, cost) for query in queries]
+        kernels = [
+            PrefixDistanceKernel(query, cost, backend) for query in queries
+        ]
     elif len(kernels) != len(queries):
         raise RankingError(
             f"got {len(kernels)} pre-built kernels for {len(queries)} queries"
         )
+    if stats is not None and kernels:
+        stats.kernel_backend = kernels[0].backend
     q_sizes = [len(query) for query in queries]
     statics = [prune_threshold(k, q_size, cost) for q_size in q_sizes]
     min_indel = cost.min_indel
@@ -283,6 +290,7 @@ def tasm_postorder(
     k: int,
     cost: Optional[CostModel] = None,
     stats: Optional[PostorderStats] = None,
+    backend: str = "auto",
 ) -> List[Match]:
     """Top-``k`` approximate subtree matches from a postorder stream.
 
@@ -290,8 +298,10 @@ def tasm_postorder(
     or an :meth:`IntervalStore.postorder_queue` scan), a :class:`Tree`,
     or a plain iterable of ``(label, size)`` pairs.  Returns the ranking
     best-first — the same distance multiset as :func:`tasm_dynamic`.
+    ``backend`` selects the distance kernel's row engine
+    (:func:`~repro.distance.ted.resolve_backend`).
     """
     if cost is None:
         cost = UnitCostModel()
     validate_cost_model(cost)
-    return _stream_topk([query], queue, k, cost, stats)[0]
+    return _stream_topk([query], queue, k, cost, stats, backend=backend)[0]

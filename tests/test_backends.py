@@ -1,0 +1,305 @@
+"""The kernel backend abstraction: resolution, fallback, equality.
+
+The numpy row engine must be *invisible* except for speed: every
+distance, every ranking, every wire byte identical to the pure-Python
+engine (the Hypothesis property lives in test_differential.py next to
+the other engine-equivalence checks).  This module covers the
+machinery around it — backend resolution and degradation, the forced
+vector/batch/scalar routing paths, state reuse across calls, and the
+places the active backend is surfaced (CLI ``--verbose``, serve
+``/healthz`` + ``/metrics``).
+"""
+
+import importlib
+import random
+
+import pytest
+
+from repro.cli import main
+
+# `repro.distance.ted` the *module* — the package re-exports a function
+# of the same name, so plain attribute imports would shadow it.
+ted_module = importlib.import_module("repro.distance.ted")
+from repro.distance import (
+    KERNEL_BACKENDS,
+    PrefixDistanceKernel,
+    UnitCostModel,
+    WeightedCostModel,
+    numpy_backend_available,
+    prefix_distance,
+    resolve_backend,
+    ted,
+    ted_matrix,
+)
+from repro.errors import BackendError
+from repro.trees import Tree, caterpillar, random_tree, star
+
+HAVE_NUMPY = numpy_backend_available()
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+#: Kernel configurations that force every numpy routing decision on
+#: small inputs: the default cutoffs, engine-on-everything, batch-heavy
+#: (tiny per-pair threshold), and per-pair-sweep-heavy.
+FORCED_CONFIGS = (
+    {},
+    {"numpy_min_doc": 0},
+    {"numpy_min_doc": 0, "vector_min_cols": 2},
+    {"numpy_min_doc": 0, "vector_min_cols": 10**9},
+)
+
+
+def assert_backends_agree(query, docs, cost=None, **kw):
+    kp = PrefixDistanceKernel(query, cost, backend="python")
+    kn = PrefixDistanceKernel(query, cost, backend="numpy", **kw)
+    for doc in docs:
+        expected = kp.distances(doc)
+        got = kn.distances(doc)
+        assert got == expected
+        assert all(type(x) is float for x in got)
+
+
+# ----------------------------------------------------------------------
+# Resolution and degradation
+# ----------------------------------------------------------------------
+def test_resolve_backend_names():
+    assert resolve_backend("python") == "python"
+    assert resolve_backend("auto") in ("python", "numpy")
+    assert set(KERNEL_BACKENDS) == {"auto", "python", "numpy"}
+    with pytest.raises(BackendError):
+        resolve_backend("cupy")
+    with pytest.raises(BackendError):
+        PrefixDistanceKernel(Tree.from_bracket("{a}"), backend="cython")
+
+
+@needs_numpy
+def test_auto_prefers_numpy_when_installed():
+    assert resolve_backend("auto") == "numpy"
+    assert PrefixDistanceKernel(Tree.from_bracket("{a}")).backend == "numpy"
+
+
+def test_missing_numpy_degrades_auto_and_rejects_explicit(monkeypatch):
+    # Simulate an environment without numpy: the probe cache reads
+    # "unavailable", exactly what the no-numpy CI leg sees for real.
+    monkeypatch.setattr(ted_module, "_np_cache", False)
+    assert not numpy_backend_available()
+    assert resolve_backend("auto") == "python"
+    kernel = PrefixDistanceKernel(Tree.from_bracket("{a{b}}"), backend="auto")
+    assert kernel.backend == "python"
+    assert kernel.distances(Tree.from_bracket("{a{b}}")) == [0.0, 1.0, 0.0]
+    with pytest.raises(BackendError, match="numpy"):
+        resolve_backend("numpy")
+    with pytest.raises(BackendError, match=r"\[fast\]|fast extra"):
+        PrefixDistanceKernel(Tree.from_bracket("{a}"), backend="numpy")
+
+
+def test_missing_numpy_cli_error_is_clean(monkeypatch, capsys):
+    monkeypatch.setattr(ted_module, "_np_cache", False)
+    assert main(["tasm", "{a}", "{a{b}}", "--backend", "numpy"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("repro: error:") and "numpy" in err
+    # auto still works, on the fallback engine.
+    assert main(["tasm", "{a}", "{a{b}}", "--backend", "auto", "-v"]) == 0
+    assert "backend=python" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Engine equality on targeted shapes (the broad Hypothesis property is
+# in test_differential.py)
+# ----------------------------------------------------------------------
+@needs_numpy
+@pytest.mark.parametrize("kw", FORCED_CONFIGS)
+def test_numpy_matches_python_across_shapes(kw):
+    rng = random.Random(7)
+    for query_size in (1, 4, 8):
+        query = random_tree(query_size, seed=query_size, labels="abc")
+        docs = [
+            random_tree(n, seed=rng.randrange(10**6), labels="abc", max_fanout=5)
+            for n in (1, 2, 3, 9, 33, 150, 700)
+        ]
+        docs += [
+            star(90),
+            caterpillar(25, 4),
+            random_tree(130, seed=3, max_fanout=2),  # deep, chain-heavy
+        ]
+        assert_backends_agree(query, docs, **kw)
+        assert_backends_agree(query, docs, WeightedCostModel(0.5, 1.5, 2.0), **kw)
+
+
+@needs_numpy
+@pytest.mark.parametrize("kw", FORCED_CONFIGS)
+def test_numpy_matches_python_per_label_costs(kw):
+    class PerLabelCost:
+        min_indel = 1.0
+        max_cost = 3.0
+
+        def rename(self, a, b):
+            return 0.0 if a == b else 2.0
+
+        def delete(self, label):
+            return 1.5 if label == "a" else 1.0
+
+        def insert(self, label):
+            return 3.0 if label == "b" else 1.0
+
+    query = random_tree(7, seed=70, labels="ab")
+    docs = [random_tree(n, seed=900 + n, labels="ab") for n in (1, 6, 14, 90, 600)]
+    assert_backends_agree(query, docs, PerLabelCost(), **kw)
+
+
+@needs_numpy
+def test_numpy_uniformity_flip_mid_lifetime():
+    # The uniform-insert specialisation must self-correct on the numpy
+    # engine too when a later document breaks insert-cost uniformity.
+    class FlipCost:
+        min_indel = 1.0
+        max_cost = 2.0
+
+        def rename(self, a, b):
+            return 0.0 if a == b else 1.0
+
+        def delete(self, label):
+            return 1.0
+
+        def insert(self, label):
+            return 2.0 if label == "z" else 1.0
+
+    cost = FlipCost()
+    query = Tree.from_bracket("{a{b}}")
+    kernel = PrefixDistanceKernel(query, cost, backend="numpy", numpy_min_doc=0)
+    plain = random_tree(40, seed=4, labels="abc")
+    flipper = Tree.from_postorder([("z", 1)] + [("a", i) for i in range(2, 40)])
+    for doc in (plain, flipper, plain):
+        assert kernel.distances(doc) == prefix_distance(
+            query, doc, cost, backend="python"
+        )
+
+
+@needs_numpy
+def test_numpy_kernel_reuse_and_label_growth():
+    # One kernel, documents of wildly varying size and fresh labels:
+    # the td/rows banks grow and shrink logically, and the cost-table
+    # mirrors pick up labels interned by earlier calls.
+    query = random_tree(6, seed=50)
+    kernel = PrefixDistanceKernel(query, backend="numpy", numpy_min_doc=0)
+    for i, n in enumerate((40, 7, 600, 1, 25, 600, 90)):
+        labels = "abcdefghij"[i : i + 4]
+        doc = random_tree(n, seed=500 + n, labels=labels)
+        assert kernel.distances(doc) == prefix_distance(
+            query, doc, backend="python"
+        )
+
+
+@needs_numpy
+def test_numpy_matrix_and_module_functions():
+    t1 = random_tree(8, seed=61)
+    t2 = random_tree(640, seed=62)
+    assert ted_matrix(t1, t2, backend="numpy") == ted_matrix(
+        t1, t2, backend="python"
+    )
+    assert ted(t1, t2, backend="numpy") == ted(t1, t2, backend="python")
+    assert type(ted(t1, t2, backend="numpy")) is float
+    # matrix() returns copies on the numpy engine too.
+    kernel = PrefixDistanceKernel(t1, backend="numpy")
+    m = kernel.matrix(t2)
+    m[len(t1)][len(t2)] = -99.0
+    assert kernel.matrix(t2)[len(t1)][len(t2)] != -99.0
+
+
+@needs_numpy
+def test_mixed_engine_dispatch_within_one_kernel():
+    # Below numpy_min_doc the kernel runs the scalar engine, above it
+    # the array engine; interleaving the two must read back from the
+    # right table every time.
+    query = random_tree(5, seed=9)
+    kernel = PrefixDistanceKernel(query, backend="numpy", numpy_min_doc=100)
+    small = random_tree(30, seed=10)
+    large = random_tree(400, seed=11)
+    for doc in (small, large, small, large):
+        assert kernel.distances(doc) == prefix_distance(
+            query, doc, backend="python"
+        )
+
+
+# ----------------------------------------------------------------------
+# Surfacing: CLI, stats, serve
+# ----------------------------------------------------------------------
+def test_cli_verbose_reports_backend(capsys):
+    args = ["tasm", "{a}", "{a{a}{b}}", "-k", "2", "-v", "--backend", "python"]
+    assert main(args) == 0
+    assert "backend=python" in capsys.readouterr().err
+    assert main(["tasm", "{a}", "{a{a}{b}}", "-k", "2", "-v", "--algorithm",
+                 "dynamic", "--backend", "python"]) == 0
+    assert "engine=dynamic backend=python" in capsys.readouterr().err
+
+
+@needs_numpy
+def test_cli_backends_produce_identical_output(capsys):
+    args = ["tasm", "{a{b}{c}}", "{x{a{b}{c}}{a{b}{d}}}", "-k", "3", "--json"]
+    assert main(args + ["--backend", "python"]) == 0
+    py_out = capsys.readouterr().out
+    assert main(args + ["--backend", "numpy"]) == 0
+    assert capsys.readouterr().out == py_out
+    assert main(["ted", "{f{d{a}{c{b}}}{e}}", "{f{c{d{a}{b}}}{e}}",
+                 "--backend", "numpy"]) == 0
+    assert capsys.readouterr().out.strip() == "2"
+
+
+def test_stats_record_kernel_backend():
+    from repro.postorder.queue import PostorderQueue
+    from repro.tasm import PostorderStats, tasm_postorder
+
+    doc = random_tree(60, seed=21)
+    query = random_tree(4, seed=22)
+    stats = PostorderStats()
+    tasm_postorder(query, PostorderQueue.from_tree(doc), 3, stats=stats,
+                   backend="python")
+    assert stats.kernel_backend == "python"
+    stats = PostorderStats()
+    tasm_postorder(query, PostorderQueue.from_tree(doc), 3, stats=stats)
+    assert stats.kernel_backend == resolve_backend("auto")
+
+
+def test_sharded_stats_record_kernel_backend():
+    from repro.parallel import ShardedStats, tasm_sharded
+
+    doc = random_tree(80, seed=31)
+    query = random_tree(4, seed=32)
+    stats = ShardedStats()
+    tasm_sharded(query, doc, 3, workers=1, shards=2, stats=stats,
+                 backend="python")
+    assert stats.kernel_backend == "python"
+
+
+def test_serve_surfaces_backend_in_health_and_metrics():
+    from repro.serve import ServeMetrics, ServerConfig, TasmServer
+
+    server = TasmServer(ServerConfig(backend="python"))
+    assert server._health_payload()["kernel_backend"] == "python"
+    assert server.metrics.payload()["kernel_backend"] == "python"
+    assert server.executor.payload()["kernel_backend"] == "python"
+    assert ServeMetrics(kernel_backend="numpy").payload()["kernel_backend"] == (
+        "numpy"
+    )
+
+
+def test_serve_registry_resolves_backend_for_queries():
+    from repro.serve import QueryRegistry
+
+    registry = QueryRegistry(backend="python")
+    assert registry.backend == "python"
+    entry = registry.register("q", "{a{b}}")
+    assert entry.backend == "python"
+    assert entry.kernel(UnitCostModel()).backend == "python"
+    inline = registry.resolve("{a}")
+    assert inline.backend == "python"
+
+
+def test_serve_registry_rejects_numpy_without_numpy(monkeypatch):
+    from repro.serve import QueryRegistry, ServerConfig, TasmServer
+
+    monkeypatch.setattr(ted_module, "_np_cache", False)
+    with pytest.raises(BackendError):
+        QueryRegistry(backend="numpy")
+    # The server dies at construction — before any socket exists.
+    with pytest.raises(BackendError):
+        TasmServer(ServerConfig(backend="numpy"))

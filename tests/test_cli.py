@@ -271,10 +271,12 @@ def test_serve_config_construction():
         cache_size=7,
         request_threads=5,
         max_k=99,
+        backend="python",
     )
     config = _serve_config(args)
     assert config.port == 9000 and config.workers == 3
     assert config.max_k == 99
+    assert config.backend == "python"
     assert config.xml_documents == {"extra": "extra.xml"}
     assert config.queries["q1"] == "{a{b}}"
     for name, bracket in DEFAULT_QUERIES.items():

@@ -15,15 +15,24 @@ All engines break distance ties by document postorder position (the
 streaming heaps prefer the earliest push; the merger sorts by
 ``(distance, root)``), so full rankings — not just distance multisets
 — are comparable byte for byte.
+
+The kernel's numpy row engine joins the matrix as a fifth differential
+axis: on the same generated cases, distances and rankings must be
+*bit-identical* to the pure-Python engine for every generated cost
+model (the strategies draw costs that are multiples of 1/4, so every
+edit-script total — under either engine's summation order — is exact
+in binary floating point).
 """
 
 import os
 import tempfile
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from conftest import cost_models, ks, ranking_triples, small_trees, trees
+from repro.distance import PrefixDistanceKernel, numpy_backend_available
 from repro.parallel import ShardedStats, tasm_sharded
 from repro.postorder import IntervalStore, PostorderQueue
 from repro.tasm import tasm_batch, tasm_dynamic, tasm_postorder
@@ -102,3 +111,36 @@ def test_sharded_equals_postorder_exactly(query, doc, k, cost, shards):
     assert stats.dequeued == len(doc)
     for shard_stat in stats.shard_stats:
         assert shard_stat.peak_buffered <= stats.plan.tau
+
+
+@pytest.mark.skipif(not numpy_backend_available(), reason="numpy not installed")
+@given(query=small_trees, doc=trees, k=ks, cost=cost_models)
+def test_numpy_backend_bit_identical_to_python(query, doc, k, cost):
+    # Force the array engine onto every generated document (they are
+    # all far below the production NUMPY_MIN_DOC cutoff) and exercise
+    # both routing variants: pairs batched across keyroots, and
+    # per-pair row sweeps (vector_min_cols=2 routes every non-leaf
+    # pair through the standalone sweep).
+    python_kernel = PrefixDistanceKernel(query, cost, backend="python")
+    expected = python_kernel.distances(doc)
+    for vector_min_cols in (None, 2):
+        kernel = PrefixDistanceKernel(
+            query,
+            cost,
+            backend="numpy",
+            numpy_min_doc=0,
+            vector_min_cols=vector_min_cols,
+        )
+        assert kernel.distances(doc) == expected
+    # And end to end: the streamed ranking (distances, roots, subtrees,
+    # tie order) is identical under either backend.
+    base = ranking_triples(
+        tasm_postorder(
+            query, PostorderQueue.from_tree(doc), k, cost, backend="python"
+        )
+    )
+    assert ranking_triples(
+        tasm_postorder(
+            query, PostorderQueue.from_tree(doc), k, cost, backend="numpy"
+        )
+    ) == base
