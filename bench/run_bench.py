@@ -26,6 +26,11 @@ wall-clock win over the single pass is gated too, but only when
 ``cpu_count >= 2`` — a single-core host cannot show one, and skipping
 silently there would mask regressions on real runners).
 
+An observability-overhead section re-runs the streamed corpus ranking
+bare, with the ``NULL_SPAN`` null recorder, and with full stats+span
+instrumentation; ``--fail-obs-overhead`` gates the null-recorder cost
+(the "disabled instrumentation is free" promise of :mod:`repro.obs`).
+
 A serving section (``--serve-concurrency 1,8,32``) boots the
 :mod:`repro.serve` HTTP server over the corpus store and measures
 requests/second at increasing client concurrency, with the result
@@ -236,6 +241,15 @@ def bench_dataset(name: str, target_nodes: int, k: int, seed: int) -> dict:
             "ring_capacity": stats.ring_capacity,
             "candidates_evaluated": stats.candidates_evaluated,
             "pruned_large": stats.pruned_large,
+            "pruned_static": stats.pruned_static,
+            "pruned_dynamic": stats.pruned_dynamic,
+            "kernel_invocations": stats.kernel_invocations,
+            "kernel_rows": stats.kernel_rows,
+            "ring_occupancy": list(stats.ring_occupancy),
+            # Where the streamed pass spends its time: scan (dequeue +
+            # ring maintenance) vs candidate evaluation, with the
+            # kernel's share of the latter broken out.
+            "stage_seconds": stats.payload()["stage_seconds"],
         },
         "dynamic_materialised": {
             "parse_seconds": round(parse_elapsed, 3),
@@ -373,6 +387,10 @@ def bench_serve(
             cache_size=0,
             request_threads=max([8, *concurrencies]),
             backend="auto",
+            # Every uncached 100k-corpus ranking exceeds the default
+            # 1 s slow-request threshold; logging them would bury the
+            # bench output (the slow-log path has its own tests).
+            slow_request_seconds=None,
         )
         series = []
         all_identical = True
@@ -425,8 +443,94 @@ def bench_serve(
         ),
         "ring_peak_high_water": metrics["ring_peak_high_water"],
         "latency": metrics["latency_by_route"].get("POST /v1/tasm"),
+        "engine_stage_seconds": metrics["stage_seconds"],
+        "engine_totals": metrics["engine_totals"],
         "rankings_identical_to_tasm_batch": all_identical,
         "series": series,
+    }
+
+
+def bench_obs_overhead(
+    name: str, target_nodes: int, k: int, seed: int, repeats: int = 5
+) -> dict:
+    """Cost of the observability layer on the streamed ranking.
+
+    The instrumentation promise is that it is no-op-cheap when
+    *disabled*: passing the null recorder (``NULL_SPAN``, what callers
+    hold when tracing is off) must cost the same as passing nothing,
+    because the engine collapses it to ``None`` up front and every
+    later touch sits behind an identity check.  Three interleaved,
+    min-of-repeats timings of the same streamed ranking:
+
+    * **bare** — ``stats=None``, ``span=None`` (the free path),
+    * **null recorder** — ``span=NULL_SPAN``; its overhead over bare is
+      what ``--fail-obs-overhead`` gates,
+    * **enabled** — a :class:`PostorderStats` plus a live
+      :class:`~repro.obs.Span`; its overhead is recorded for context
+      (timing every candidate batch has a real, acceptable cost).
+    """
+    from repro.obs.trace import NULL_SPAN, Span
+
+    query = Tree.from_bracket(DEFAULT_QUERIES[name])
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, f"{name}.xml")
+        nodes = generate(name, path, target_nodes=target_nodes, seed=seed)
+        # Materialise the postorder pairs once so the timed paths
+        # measure the engine alone, not XML parsing.
+        pairs = list(PostorderQueue.from_xml_file(path))
+    import gc
+
+    bare, null_rec, enabled = [], [], []
+    rankings_agree = True
+    # One untimed pass warms allocator pools and interned labels so the
+    # first timed variant is not penalised.
+    baseline = [m.distance for m in tasm_postorder(query, pairs, k)]
+    gc_was_enabled = gc.isenabled()
+    gc.disable()  # a collection landing inside one variant skews min()
+    try:
+        for _ in range(repeats):
+            # Interleave the variants so drift (thermal, cache, a noisy
+            # neighbour) hits all of them evenly.
+            t0 = time.perf_counter()
+            off = tasm_postorder(query, pairs, k)
+            bare.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            nul = tasm_postorder(query, pairs, k, span=NULL_SPAN)
+            null_rec.append(time.perf_counter() - t0)
+            stats = PostorderStats()
+            span = Span("bench_obs")
+            t0 = time.perf_counter()
+            on = tasm_postorder(query, pairs, k, stats=stats, span=span)
+            enabled.append(time.perf_counter() - t0)
+            span.finish()
+            rankings_agree &= (
+                baseline == [m.distance for m in off]
+                == [m.distance for m in nul]
+                == [m.distance for m in on]
+            )
+            gc.collect()  # reclaim between repeats, outside the clocks
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    b_min, n_min, e_min = min(bare), min(null_rec), min(enabled)
+    return {
+        "dataset": name,
+        "doc_nodes": nodes,
+        "k": k,
+        "repeats": repeats,
+        "bare_seconds": round(b_min, 6),
+        "null_recorder_seconds": round(n_min, 6),
+        "enabled_seconds": round(e_min, 6),
+        "null_recorder_overhead": (
+            round(n_min / b_min - 1.0, 4) if b_min else 0.0
+        ),
+        "enabled_overhead": round(e_min / b_min - 1.0, 4) if b_min else 0.0,
+        "rankings_agree": rankings_agree,
+        "note": (
+            "min-of-repeats, interleaved; null_recorder_overhead is the "
+            "gated disabled-instrumentation cost, enabled_overhead the "
+            "informational cost of full stats+span collection"
+        ),
     }
 
 
@@ -503,6 +607,16 @@ def main(argv=None) -> int:
         "(a single-core host cannot show a wall-clock win)",
     )
     parser.add_argument(
+        "--fail-obs-overhead",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 if disabled instrumentation (the NULL_SPAN null "
+        "recorder) slows the streamed corpus ranking by more than the "
+        "fraction X (e.g. 0.05 = 5%%) over the bare run; recorded as "
+        "skipped when --dataset none",
+    )
+    parser.add_argument(
         "--fail-kernel-numpy-speedup",
         type=float,
         default=None,
@@ -573,6 +687,18 @@ def main(argv=None) -> int:
                 f"identical={entry['ranking_identical_to_single_pass']}  "
                 f"peaks<=bound={entry['worker_peaks_within_bound']}"
             )
+
+    obs_row = None
+    if dataset != "none":
+        obs_row = bench_obs_overhead(dataset, dataset_nodes, k, args.seed)
+        print(
+            f"obs overhead: bare {obs_row['bare_seconds']}s  "
+            f"null-recorder {obs_row['null_recorder_seconds']}s "
+            f"({obs_row['null_recorder_overhead'] * 100:+.2f}%)  "
+            f"enabled {obs_row['enabled_seconds']}s "
+            f"({obs_row['enabled_overhead'] * 100:+.2f}%)  "
+            f"agree={obs_row['rankings_agree']}"
+        )
 
     serve_row = None
     if dataset != "none" and serve_concurrency:
@@ -659,6 +785,43 @@ def main(argv=None) -> int:
                 "parallel wall-clock gate skipped: no multi-worker series"
             )
 
+    if obs_row is not None and not obs_row["rankings_agree"]:
+        print(
+            "FAIL: instrumented and bare rankings diverged in the obs "
+            "overhead series",
+            file=sys.stderr,
+        )
+        ok = False
+    if args.fail_obs_overhead is not None:
+        threshold = args.fail_obs_overhead
+        if obs_row is None:
+            obs_row = {
+                "gate": {
+                    "threshold": threshold,
+                    "enforced": False,
+                    "reason": "--dataset none (no corpus to time)",
+                }
+            }
+            print("obs overhead gate skipped: --dataset none")
+        else:
+            overhead = obs_row["null_recorder_overhead"]
+            passed = overhead <= threshold
+            obs_row["gate"] = {
+                "threshold": threshold,
+                "enforced": True,
+                "null_recorder_overhead": overhead,
+                "passed": passed,
+            }
+            if not passed:
+                print(
+                    f"FAIL: disabled-instrumentation (null recorder) "
+                    f"overhead {overhead * 100:.2f}% > "
+                    f"{threshold * 100:.2f}% on the "
+                    f"{obs_row['doc_nodes']}-node corpus",
+                    file=sys.stderr,
+                )
+                ok = False
+
     kernel_numpy_gate = None
     if args.fail_kernel_numpy_speedup is not None and results:
         threshold = args.fail_kernel_numpy_speedup
@@ -703,6 +866,7 @@ def main(argv=None) -> int:
         "results": results,
         "dataset": dataset_row,
         "parallel": parallel_row,
+        "obs_overhead": obs_row,
         "serve": serve_row,
     }
     with open(args.out, "w", encoding="utf-8") as fh:

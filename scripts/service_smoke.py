@@ -11,8 +11,12 @@ What the ``service-smoke`` CI job runs on every push.  The contract:
     identical to ``repro tasm --json`` run against the same store
     file, query, and ``k`` (the CLI and the server share one payload
     builder; this guards that contract end to end, across processes).
-4.  **Observability** — ``/metrics`` counted the traffic, and the ring
-    high-water mark respects the paper's bound.
+4.  **Observability** — ``/metrics`` counted the traffic;
+    ``/metrics?format=prometheus`` is valid text exposition (parsed by
+    the strict :func:`repro.obs.prom.parse_prometheus`) whose counters
+    are monotone across two scrapes bracketing the ranking traffic;
+    ``X-Request-Id`` round-trips (a caller-supplied id is echoed, a
+    missing one is assigned).
 
 The server runs with a shard pool (``--workers 2``) and a shard
 threshold below the corpus size, so the smoke also covers the
@@ -39,6 +43,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
 from repro.datasets import DEFAULT_QUERIES, generate  # noqa: E402
+from repro.obs.prom import parse_prometheus  # noqa: E402
 from repro.postorder.interval import IntervalStore  # noqa: E402
 from repro.serve.client import ServeClient  # noqa: E402
 from repro.xmlio import tree_from_xml_file  # noqa: E402
@@ -190,9 +195,37 @@ def main() -> int:
                     f"{args.backend!r}"
                 )
 
+            # X-Request-Id contract: a supplied id is echoed verbatim
+            # in the response headers (never the body — the ranking
+            # bodies stay byte-identical to the CLI), and a request
+            # without one gets an id assigned.
+            _, echo_headers, _ = client.raw(
+                "GET", "/healthz", headers={"X-Request-Id": "smoke-rid-1"}
+            )
+            if echo_headers.get("x-request-id") != "smoke-rid-1":
+                failures.append(
+                    f"X-Request-Id not echoed: got "
+                    f"{echo_headers.get('x-request-id')!r}"
+                )
+            _, fresh_headers, _ = client.raw("GET", "/healthz")
+            if not fresh_headers.get("x-request-id"):
+                failures.append(
+                    "no X-Request-Id assigned to a request without one"
+                )
+            if not failures:
+                print("X-Request-Id round-trip OK")
+
             for name, bracket in DEFAULT_QUERIES.items():
                 registered = client.register_query(name, bracket=bracket)
                 print(f"registered query {name}: {registered}")
+
+            # First Prometheus scrape before the ranking traffic; the
+            # strict parser raises on any exposition-format drift.
+            prom_before = parse_prometheus(client.metrics_prometheus())
+            print(
+                f"prometheus exposition parses: "
+                f"{len(prom_before)} families before traffic"
+            )
 
             for name, bracket in DEFAULT_QUERIES.items():
                 response = client.tasm(name, args.dataset, k=args.k)
@@ -209,6 +242,48 @@ def main() -> int:
                         f"(engine={response['engine']}, "
                         f"{len(response['matches'])} matches)"
                     )
+
+            # Second scrape after the traffic: still parses, and every
+            # counter sample present in the first scrape is monotone
+            # non-decreasing (the Prometheus counter contract).
+            prom_after = parse_prometheus(client.metrics_prometheus())
+            for family, data in prom_before.items():
+                if data["type"] != "counter":
+                    continue
+                after = prom_after.get(family)
+                if after is None:
+                    failures.append(
+                        f"counter family {family} vanished between scrapes"
+                    )
+                    continue
+                for key, value in data["samples"].items():
+                    if after["samples"].get(key, -1.0) < value:
+                        failures.append(
+                            f"counter went backwards between scrapes: "
+                            f"{key} {value} -> "
+                            f"{after['samples'].get(key)}"
+                        )
+            tasm_sample = (
+                'repro_requests_total{route="POST /v1/tasm"}'
+            )
+            tasm_count = prom_after.get("repro_requests_total", {}).get(
+                "samples", {}
+            ).get(tasm_sample, 0)
+            if tasm_count != len(DEFAULT_QUERIES):
+                failures.append(
+                    f"prometheus counted {tasm_count} POST /v1/tasm "
+                    f"requests, expected {len(DEFAULT_QUERIES)}"
+                )
+            if "repro_request_seconds" not in prom_after:
+                failures.append(
+                    "no repro_request_seconds latency histogram after "
+                    "traffic"
+                )
+            if not failures:
+                print(
+                    f"prometheus counters monotone across scrapes "
+                    f"({len(prom_after)} families after traffic)"
+                )
 
             metrics = client.metrics()
             print(f"metrics: {json.dumps(metrics, indent=2)}")

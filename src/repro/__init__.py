@@ -59,7 +59,7 @@ from .tasm import (
 )
 from .trees import Node, Tree
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "__version__",

@@ -172,6 +172,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print run statistics to stderr"
     )
     tasm_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage profile (scan / candidate-eval / kernel "
+        "seconds, pruning breakdown, ring occupancy) and the span tree "
+        "to stderr (postorder algorithm only)",
+    )
+    tasm_p.add_argument(
         "-v",
         "--verbose",
         action="store_true",
@@ -302,6 +309,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: auto; 'numpy' fails at startup if numpy is missing; "
         "reported in /healthz and /metrics)",
     )
+    serve_p.add_argument(
+        "--slow-request-seconds",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="requests slower than S seconds emit one structured JSON "
+        "log line with the per-stage breakdown (default 1.0; a "
+        "negative value disables slow-request logging)",
+    )
+    serve_p.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable per-request span collection (stage breakdowns "
+        "vanish from slow-request logs; shaves the last slivers of "
+        "per-request overhead)",
+    )
     return parser
 
 
@@ -354,6 +377,11 @@ def _run_tasm(args: argparse.Namespace) -> int:
     backend = resolve_backend(args.backend)
     doc_fmt = _detect_format(args.document, args.format)
     sharded_stats = None
+    span = None
+    if args.profile and args.algorithm == "postorder":
+        from .obs.trace import Span
+
+        span = Span("tasm", {"k": args.k, "workers": args.workers})
     if args.algorithm == "dynamic":
         if args.workers > 1:
             raise ReproError("--workers requires --algorithm postorder")
@@ -387,6 +415,7 @@ def _run_tasm(args: argparse.Namespace) -> int:
             workers=args.workers,
             stats=sharded_stats,
             backend=backend,
+            span=span,
         )
         stats = sharded_stats
         if sharded_stats.n_shards < args.workers:
@@ -408,7 +437,13 @@ def _run_tasm(args: argparse.Namespace) -> int:
         stats = PostorderStats()
         source = _document_queue(args.document, args.format, args.doc_name)
         rankings = tasm_batch(
-            queries, source, args.k, args.cost, stats=stats, backend=backend
+            queries,
+            source,
+            args.k,
+            args.cost,
+            stats=stats,
+            backend=backend,
+            span=span,
         )
     if args.json:
         if batch:
@@ -454,7 +489,66 @@ def _run_tasm(args: argparse.Namespace) -> int:
             )
         else:
             print(f"engine={args.algorithm} backend={backend}", file=sys.stderr)
+    if args.profile:
+        if stats is None:
+            print(
+                "repro: note: --profile only applies to --algorithm "
+                "postorder",
+                file=sys.stderr,
+            )
+        else:
+            if span is not None:
+                span.finish()
+            _print_profile(stats, span)
     return 0
+
+
+def _print_profile(stats, span) -> None:
+    """The ``--profile`` report: per-stage seconds, engine counters,
+    and the span tree — the CLI face of the same payload ``/metrics``
+    serves (stderr, so ``--json`` output stays clean)."""
+    from .obs.trace import render_span_tree
+
+    payload = stats.payload()
+    stages = payload["stage_seconds"]
+    out = sys.stderr
+    print("profile: stage seconds", file=out)
+    for key in ("total", "scan", "candidate_eval", "kernel"):
+        print(f"  {key:<15}{stages[key]:>12.6f}s", file=out)
+    sharded = payload.get("sharded")
+    if sharded:
+        print(
+            "profile: coordinator wall clock (stage seconds above are "
+            "summed across shards)",
+            file=out,
+        )
+        for key in ("plan_seconds", "execute_seconds", "merge_seconds"):
+            print(f"  {key:<15}{sharded[key]:>12.6f}s", file=out)
+    print(
+        f"profile: candidates evaluated={payload['candidates_evaluated']} "
+        f"subtrees scored={payload['subtrees_scored']} "
+        f"pruned static={payload['pruned_static']} "
+        f"dynamic={payload['pruned_dynamic']}",
+        file=out,
+    )
+    print(
+        f"profile: kernel backend={payload['kernel_backend']} "
+        f"invocations={payload['kernel_invocations']} "
+        f"(numpy {payload['kernel_invocations_numpy']}) "
+        f"rows={payload['kernel_rows']} "
+        f"(numpy {payload['kernel_rows_numpy']})",
+        file=out,
+    )
+    print(
+        f"profile: ring peak={payload['peak_buffered']}"
+        f"/{payload['ring_capacity']} "
+        f"occupancy octiles={payload['ring_occupancy']}",
+        file=out,
+    )
+    if span is not None:
+        print("profile: span tree", file=out)
+        for line in render_span_tree(span):
+            print(f"  {line}", file=out)
 
 
 def _run_dataset(args: argparse.Namespace) -> int:
@@ -498,6 +592,12 @@ def _serve_config(args: argparse.Namespace):
         request_threads=args.request_threads,
         max_k=args.max_k,
         backend=args.backend,
+        slow_request_seconds=(
+            None
+            if args.slow_request_seconds < 0
+            else args.slow_request_seconds
+        ),
+        trace=not args.no_trace,
     )
 
 

@@ -181,6 +181,11 @@ class PrefixDistanceKernel:
         "query",
         "cost",
         "backend",
+        "calls",
+        "calls_numpy",
+        "rows_computed",
+        "rows_computed_numpy",
+        "_plan_rows",
         "_n1",
         "_lmls1",
         "_keyroots1",
@@ -269,6 +274,15 @@ class PrefixDistanceKernel:
                 )
             plans.append((c0, plan))
         self._plans = plans
+        # Lifetime counters (read by PostorderStats as before/after
+        # deltas): distance computations and DP rows filled, per row
+        # engine.  One document keyroot costs one row per query plan
+        # row, so rows per call = |doc keyroots| * _plan_rows.
+        self.calls = 0
+        self.calls_numpy = 0
+        self.rows_computed = 0
+        self.rows_computed_numpy = 0
+        self._plan_rows = sum(len(plan) for _, plan in plans)
         # Document-side dictionary; grows across calls so repeated
         # labels (the common case in XML) never re-enter the cost model.
         self._doc_ids: Dict = {}
@@ -375,12 +389,18 @@ class PrefixDistanceKernel:
         TASM's many small candidate evaluations at full scalar speed
         under ``backend="numpy"``.
         """
+        self.calls += 1
         if self.backend == "numpy" and len(doc) >= self._numpy_min_doc:
             self._compute_numpy(doc)
             self._last_np = True
+            self.calls_numpy += 1
+            rows = len(doc.keyroots()) * self._plan_rows
+            self.rows_computed += rows
+            self.rows_computed_numpy += rows
         else:
             self._compute_python(doc)
             self._last_np = False
+            self.rows_computed += len(doc.keyroots()) * self._plan_rows
 
     def _ensure_width(self, need: int) -> None:
         if need <= self._cols:

@@ -1,0 +1,53 @@
+"""Observability: spans, engine counters exposition, structured logs.
+
+The paper's claims — candidate pruning under ``tau = k + 2|Q| - 1`` and
+memory independent of document size — are invariants worth *watching*,
+not just testing.  This package is the zero-dependency layer that makes
+them visible at runtime:
+
+* :mod:`~repro.obs.trace` — nested :class:`Span` timers with request
+  ids, a falsy :data:`NULL_SPAN` null recorder, and dict serialisation
+  that survives the multiprocessing shard boundary.
+* :mod:`~repro.obs.prom`  — Prometheus text exposition (render *and*
+  strict parse, so CI can verify its own output).
+* :mod:`~repro.obs.log`   — one-line structured JSON events (slow
+  request reports).
+
+The engine itself stays import-free of this package: ``PostorderStats``
+carries the counters, and spans are passed in as plain optional
+arguments — ``repro.obs`` only defines the vocabulary.
+"""
+
+from .log import jsonlog
+from .prom import (
+    MetricFamily,
+    format_value,
+    histogram_family,
+    parse_prometheus,
+    render_families,
+)
+from .trace import (
+    MAX_CHILDREN,
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    new_request_id,
+    render_span_tree,
+)
+
+__all__ = [
+    "MAX_CHILDREN",
+    "MetricFamily",
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "Tracer",
+    "format_value",
+    "histogram_family",
+    "jsonlog",
+    "new_request_id",
+    "parse_prometheus",
+    "render_families",
+    "render_span_tree",
+]

@@ -1,0 +1,41 @@
+"""Structured JSON log lines.
+
+One event = one JSON object on one line, written to a stream (stderr by
+default).  The serving layer uses this for slow-request reports: a
+single line carrying the request id, route, status, total latency, and
+the per-stage span breakdown, greppable by request id and parseable by
+any log pipeline without a logging framework dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["jsonlog"]
+
+
+def jsonlog(
+    event: str,
+    stream: Optional[TextIO] = None,
+    **fields,
+) -> str:
+    """Emit (and return) one structured log line.
+
+    ``event`` names the line (e.g. ``slow_request``); ``fields`` are
+    arbitrary JSON-serialisable values.  A wall-clock ``ts`` (epoch
+    seconds) is stamped here — the only place the observability stack
+    uses wall time, since spans carry durations only.  Non-serialisable
+    values are degraded to ``repr`` rather than losing the line.
+    """
+    record = {"event": event, "ts": round(time.time(), 3)}
+    record.update(fields)
+    try:
+        line = json.dumps(record, sort_keys=True, default=repr)
+    except (TypeError, ValueError):  # pragma: no cover - default=repr covers
+        line = json.dumps({"event": event, "error": "unserialisable record"})
+    out = stream if stream is not None else sys.stderr
+    print(line, file=out, flush=True)
+    return line

@@ -1,0 +1,238 @@
+"""Prometheus text exposition — rendering and a strict parser.
+
+The serving layer's ``GET /metrics?format=prometheus`` renders counter,
+gauge, and histogram families in the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4).  Rendering is a pure function over plain Python
+numbers so :class:`repro.serve.metrics.ServeMetrics` stays the single
+source of truth; nothing here keeps state.
+
+:func:`parse_prometheus` is the strict inverse used by the CI smoke
+script and the tests: it validates line shapes, label syntax, and
+``# TYPE`` declarations, and returns samples keyed by
+``name{labels}`` so counter monotonicity can be asserted across two
+scrapes.  Keeping parser and renderer in one module means a format
+drift fails CI instead of silently producing unscrapable output.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricFamily",
+    "format_value",
+    "histogram_family",
+    "parse_prometheus",
+    "render_families",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# The labels group matches whole key="value" pairs (with escapes), not
+# [^}]* — a label value may legally contain "}" (e.g. a route template
+# like /v1/queries/{name}).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>(?:\s*[a-zA-Z_][a-zA-Z0-9_]*\s*=\s*"
+    r'"(?:[^"\\]|\\.)*"\s*,?)*)\})?'
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_value(value) -> str:
+    """Render a sample value; integers stay integral, infinities are ``+Inf``."""
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricFamily:
+    """One ``# TYPE`` block: a named metric plus its labelled samples."""
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help: str = ""):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"invalid metric kind: {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        #: (suffix, labels, value) — suffix is "" or "_bucket"/"_sum"/"_count".
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def add(self, value, labels: Optional[Dict[str, str]] = None, suffix: str = ""):
+        for key in labels or ():
+            if not _LABEL_RE.match(key):
+                raise ValueError(f"invalid label name: {key!r}")
+        self.samples.append((suffix, dict(labels or {}), value))
+        return self
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for suffix, labels, value in self.samples:
+            label_str = ""
+            if labels:
+                inner = ",".join(
+                    f'{k}="{_escape_label(v)}"' for k, v in labels.items()
+                )
+                label_str = "{" + inner + "}"
+            lines.append(
+                f"{self.name}{suffix}{label_str} {format_value(value)}"
+            )
+        return lines
+
+
+def histogram_family(
+    name: str,
+    buckets: Sequence[Tuple[float, int]],
+    total_sum: float,
+    help: str = "",
+    labels: Optional[Dict[str, str]] = None,
+) -> MetricFamily:
+    """Build a histogram family from ``(upper_bound, cumulative_count)`` buckets.
+
+    Bounds must be increasing and counts cumulative (non-decreasing);
+    a final ``+Inf`` bucket equal to the total count is appended if the
+    caller did not include one.
+    """
+    family = MetricFamily(name, "histogram", help)
+    base = dict(labels or {})
+    prev_bound = -math.inf
+    prev_count = 0
+    total = 0
+    for bound, count in buckets:
+        if bound <= prev_bound:
+            raise ValueError(f"histogram buckets not increasing at {bound}")
+        if count < prev_count:
+            raise ValueError(f"histogram counts not cumulative at {bound}")
+        prev_bound, prev_count, total = bound, count, count
+        family.add(
+            count,
+            {**base, "le": format_value(bound)},
+            suffix="_bucket",
+        )
+    if not buckets or not math.isinf(prev_bound):
+        family.add(total, {**base, "le": "+Inf"}, suffix="_bucket")
+    family.add(total_sum, base or None, suffix="_sum")
+    family.add(total, base or None, suffix="_count")
+    return family
+
+
+def render_families(families: Iterable[MetricFamily]) -> str:
+    """The full exposition body; ends with a newline as scrapers expect."""
+    lines: List[str] = []
+    for family in families:
+        lines.extend(family.render())
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict]:
+    """Strictly parse a text exposition body.
+
+    Returns ``{family_name: {"type": ..., "samples": {sample_key: value}}}``
+    where ``sample_key`` is ``name`` or ``name{k="v",...}`` with labels
+    sorted — stable across scrapes, so monotonicity checks can compare
+    two parses sample by sample.  Raises ``ValueError`` on any malformed
+    line, on samples preceding their ``# TYPE``, or on a histogram
+    missing its ``_sum``/``_count``/``+Inf`` bucket.
+    """
+    families: Dict[str, Dict] = {}
+    current: Optional[str] = None
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"malformed TYPE line: {line!r}")
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name in TYPE line: {line!r}")
+            if name in families:
+                raise ValueError(f"duplicate TYPE for {name}")
+            families[name] = {"type": parts[3], "samples": {}}
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"malformed sample line: {line!r}")
+        sample_name = match.group("name")
+        family_name = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and families.get(base, {}).get("type") == "histogram":
+                family_name = base
+                break
+        if family_name not in families:
+            raise ValueError(f"sample before TYPE declaration: {line!r}")
+        if current != family_name:
+            raise ValueError(f"sample outside its TYPE block: {line!r}")
+        labels_text = match.group("labels")
+        labels: Dict[str, str] = {}
+        if labels_text:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(labels_text):
+                labels[pair.group("key")] = pair.group("value")
+                consumed = pair.end()
+            leftover = labels_text[consumed:].strip().strip(",")
+            if leftover:
+                raise ValueError(f"malformed labels in: {line!r}")
+        key = sample_name
+        if labels:
+            inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+            key = f"{sample_name}{{{inner}}}"
+        samples = families[family_name]["samples"]
+        if key in samples:
+            raise ValueError(f"duplicate sample: {key}")
+        samples[key] = _parse_value(match.group("value"))
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        keys = family["samples"].keys()
+        if not any(k.startswith(f"{name}_sum") for k in keys):
+            raise ValueError(f"histogram {name} missing _sum")
+        if not any(k.startswith(f"{name}_count") for k in keys):
+            raise ValueError(f"histogram {name} missing _count")
+        if not any('le="+Inf"' in k for k in keys if k.startswith(f"{name}_bucket")):
+            raise ValueError(f"histogram {name} missing +Inf bucket")
+    return families

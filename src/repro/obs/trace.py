@@ -1,0 +1,218 @@
+"""Lightweight spans and request ids — the tracing half of ``repro.obs``.
+
+A :class:`Span` is a named timer with attributes and children; trees of
+spans describe where one request's time went (cache lookup, stream
+scan, candidate evaluation batches, shard dispatch, merge).  The design
+is shaped by two constraints:
+
+* **Zero cost when disabled.**  Every instrumented call site takes an
+  optional span and does nothing when it is ``None`` (or the falsy
+  :data:`NULL_SPAN`); the hot loops of the streaming core contain no
+  tracing calls at all, only ``if span is not None`` guards at batch
+  boundaries.  The bench enforces this with an overhead gate.
+* **Process boundaries.**  The sharded engine runs in worker processes
+  whose clocks are not comparable to the coordinator's.  Spans
+  therefore carry *durations*, not absolute timestamps, and serialise
+  to plain dicts (:meth:`Span.to_dict`) that travel through the
+  picklable ``ShardResult`` path and are grafted back into the
+  coordinator's tree with :meth:`Span.graft`.
+
+There is no background collector and no sampling: a span tree lives
+exactly as long as the request that created it, and is rendered either
+into a structured slow-request log line or the CLI ``--profile``
+report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "Tracer",
+    "new_request_id",
+    "render_span_tree",
+]
+
+#: Children recorded per span before further children are only counted
+#: (``attrs["dropped_children"]``) — a request evaluating tens of
+#: thousands of candidate batches must not build a span per batch.
+MAX_CHILDREN = 64
+
+_id_counter = itertools.count(1)
+
+
+def new_request_id() -> str:
+    """A process-unique request id: ``<pid hex>-<random>-<counter>``.
+
+    Not globally unique like a UUID, but cheap, short enough to read in
+    a log line, and unique per process lifetime — which is what request
+    correlation needs.  Callers that already have an id (the
+    ``X-Request-Id`` header) keep theirs.
+    """
+    return (
+        f"{os.getpid():x}-{os.urandom(4).hex()}-{next(_id_counter):x}"
+    )
+
+
+class Span:
+    """One named, nestable timer with attributes.
+
+    Usable as a context manager (``with span.child("scan"):``) or via
+    explicit :meth:`finish`.  ``seconds`` is 0.0 until finished.
+    """
+
+    __slots__ = ("name", "attrs", "children", "seconds", "_t0")
+
+    def __init__(self, name: str, attrs: Optional[Dict] = None):
+        self.name = name
+        self.attrs: Dict = attrs if attrs is not None else {}
+        self.children: List["Span"] = []
+        self.seconds = 0.0
+        self._t0 = time.perf_counter()
+
+    def child(self, name: str, **attrs) -> "Span":
+        """Start a child span (capped at :data:`MAX_CHILDREN` per span)."""
+        if len(self.children) >= MAX_CHILDREN:
+            self.attrs["dropped_children"] = (
+                self.attrs.get("dropped_children", 0) + 1
+            )
+            return NULL_SPAN
+        span = Span(name, attrs or None)
+        if span.attrs is None:  # pragma: no cover - attrs=None normalised
+            span.attrs = {}
+        self.children.append(span)
+        return span
+
+    def finish(self) -> "Span":
+        """Stop the timer (idempotent: the first call wins)."""
+        if self.seconds == 0.0:
+            self.seconds = time.perf_counter() - self._t0
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    # ------------------------------------------------------------------
+    # Serialisation across the multiprocessing boundary
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A plain-dict form: picklable, JSON-ready, clock-free."""
+        row: dict = {"name": self.name, "seconds": round(self.seconds, 6)}
+        if self.attrs:
+            row["attrs"] = self.attrs
+        if self.children:
+            row["children"] = [c.to_dict() for c in self.children]
+        return row
+
+    def graft(self, payload: dict) -> "Span":
+        """Attach a serialised span tree (from another process) as a child."""
+        span = Span(payload.get("name", "<span>"), dict(payload.get("attrs", {})))
+        span.seconds = float(payload.get("seconds", 0.0))
+        self.children.append(span)
+        for child in payload.get("children", ()):
+            span.graft(child)
+        return span
+
+
+class NullSpan:
+    """The disabled recorder: every operation is a no-op, truthiness False.
+
+    Call sites can hold a ``NULL_SPAN`` and use the full span API
+    without branching; hot paths that want literally zero work test
+    ``if span:`` (or ``is not None`` after normalising) instead.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def child(self, name: str, **attrs) -> "NullSpan":
+        return self
+
+    def finish(self) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def to_dict(self) -> dict:
+        return {"name": "<null>", "seconds": 0.0}
+
+    def graft(self, payload: dict) -> "NullSpan":
+        return self
+
+    @property
+    def name(self) -> str:
+        return "<null>"
+
+    @property
+    def seconds(self) -> float:
+        return 0.0
+
+    @property
+    def attrs(self) -> dict:
+        return {}
+
+    @property
+    def children(self) -> list:
+        return []
+
+
+#: The shared no-op span; safe to pass anywhere a span is accepted.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Span factory with one switch.
+
+    ``tracer.span(name)`` returns a live :class:`Span` when enabled and
+    :data:`NULL_SPAN` otherwise, so the calling code never branches on
+    configuration — only on the (falsy) span it got back.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def span(self, name: str, **attrs):
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, attrs or None)
+
+
+def render_span_tree(span, indent: str = "  ") -> List[str]:
+    """Human-readable lines for a span tree (the ``--profile`` report).
+
+    Accepts a :class:`Span` or a :meth:`Span.to_dict` payload.
+    """
+    if isinstance(span, Span):
+        span = span.to_dict()
+    lines: List[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        attrs = node.get("attrs") or {}
+        extras = " ".join(f"{k}={v}" for k, v in attrs.items())
+        lines.append(
+            f"{indent * depth}{node.get('name')}"
+            f"  {node.get('seconds', 0.0):.6f}s"
+            + (f"  {extras}" if extras else "")
+        )
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    walk(span, 0)
+    return lines

@@ -30,6 +30,7 @@ each worker's ring peak stays within its ``k + 2|Q| - 1`` bound.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
@@ -37,7 +38,11 @@ from ..distance.ted import resolve_backend
 from ..errors import RankingError
 from ..postorder.queue import PostorderQueue
 from ..tasm.heap import Match
-from ..tasm.postorder import PostorderStats, prune_threshold
+from ..tasm.postorder import (
+    RING_OCCUPANCY_BUCKETS,
+    PostorderStats,
+    prune_threshold,
+)
 from ..trees.tree import Tree
 from .merge import merge_rankings
 from .plan import ShardPlan, plan_shards
@@ -93,6 +98,11 @@ class ShardedStats:
     #: the run's critical path (the wall-clock lower bound once the
     #: host has >= `workers` cores).
     shard_cpu_seconds: List[float] = field(default_factory=list)
+    #: Coordinator-side stage wall times: safe-cut planning, shard
+    #: execution (dispatch + the slowest worker), and ranking merge.
+    plan_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    merge_seconds: float = 0.0
 
     @property
     def dequeued(self) -> int:
@@ -121,6 +131,107 @@ class ShardedStats:
     @property
     def pruned_buffered(self) -> int:
         return sum(s.pruned_buffered for s in self.shard_stats)
+
+    @property
+    def pruned_static(self) -> int:
+        return sum(s.pruned_static for s in self.shard_stats)
+
+    @property
+    def pruned_dynamic(self) -> int:
+        return sum(s.pruned_dynamic for s in self.shard_stats)
+
+    @property
+    def head_flushes(self) -> int:
+        return sum(s.head_flushes for s in self.shard_stats)
+
+    @property
+    def wholesale_flushes(self) -> int:
+        return sum(s.wholesale_flushes for s in self.shard_stats)
+
+    @property
+    def kernel_invocations(self) -> int:
+        return sum(s.kernel_invocations for s in self.shard_stats)
+
+    @property
+    def kernel_invocations_numpy(self) -> int:
+        return sum(s.kernel_invocations_numpy for s in self.shard_stats)
+
+    @property
+    def kernel_rows(self) -> int:
+        return sum(s.kernel_rows for s in self.shard_stats)
+
+    @property
+    def kernel_rows_numpy(self) -> int:
+        return sum(s.kernel_rows_numpy for s in self.shard_stats)
+
+    #: Engine stage times are *summed* across shards — with parallel
+    #: workers they exceed wall clock, but the scan/eval/kernel split
+    #: they describe is the same work-attribution callers want from a
+    #: single pass.  Wall-clock stages live in plan/execute/merge.
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.total_seconds for s in self.shard_stats)
+
+    @property
+    def candidate_eval_seconds(self) -> float:
+        return sum(s.candidate_eval_seconds for s in self.shard_stats)
+
+    @property
+    def kernel_seconds(self) -> float:
+        return sum(s.kernel_seconds for s in self.shard_stats)
+
+    @property
+    def scan_seconds(self) -> float:
+        return max(0.0, self.total_seconds - self.candidate_eval_seconds)
+
+    @property
+    def ring_occupancy(self) -> List[int]:
+        agg = [0] * RING_OCCUPANCY_BUCKETS
+        for s in self.shard_stats:
+            for i, v in enumerate(s.ring_occupancy):
+                agg[i] += v
+        return agg
+
+    def payload(self) -> dict:
+        """JSON-ready form, key-compatible with
+        :meth:`~repro.tasm.postorder.PostorderStats.payload` plus a
+        ``sharded`` block of coordinator-side detail."""
+        data = {
+            "dequeued": self.dequeued,
+            "ring_capacity": self.ring_capacity,
+            "peak_buffered": self.peak_buffered,
+            "candidates_evaluated": self.candidates_evaluated,
+            "subtrees_scored": self.subtrees_scored,
+            "pruned_large": self.pruned_large,
+            "pruned_buffered": self.pruned_buffered,
+            "pruned_static": self.pruned_static,
+            "pruned_dynamic": self.pruned_dynamic,
+            "head_flushes": self.head_flushes,
+            "wholesale_flushes": self.wholesale_flushes,
+            "kernel_backend": self.kernel_backend,
+            "kernel_invocations": self.kernel_invocations,
+            "kernel_invocations_numpy": self.kernel_invocations_numpy,
+            "kernel_rows": self.kernel_rows,
+            "kernel_rows_numpy": self.kernel_rows_numpy,
+            "ring_occupancy": self.ring_occupancy,
+            "stage_seconds": {
+                "total": round(self.total_seconds, 6),
+                "scan": round(self.scan_seconds, 6),
+                "candidate_eval": round(self.candidate_eval_seconds, 6),
+                "kernel": round(self.kernel_seconds, 6),
+            },
+        }
+        data["sharded"] = {
+            "workers": self.workers,
+            "n_shards": self.n_shards,
+            "plan_seconds": round(self.plan_seconds, 6),
+            "execute_seconds": round(self.execute_seconds, 6),
+            "merge_seconds": round(self.merge_seconds, 6),
+            "shard_cpu_seconds": [
+                round(s, 6) for s in self.shard_cpu_seconds
+            ],
+        }
+        return data
 
     @property
     def n_shards(self) -> int:
@@ -198,6 +309,7 @@ def tasm_sharded_batch(
     stats: Optional[ShardedStats] = None,
     pool=None,
     backend: str = "auto",
+    span=None,
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query via sharded (parallel) passes.
 
@@ -217,6 +329,12 @@ def tasm_sharded_batch(
     ``backend`` is the kernel row engine; it is resolved *here* (so a
     missing numpy fails fast in the coordinator, not inside a worker)
     and shipped to every shard task.
+
+    ``span``, if given (a :class:`repro.obs.Span`), receives
+    ``shard_plan`` / ``shard_dispatch`` / ``merge`` children; each
+    worker records its own shard span, serialised through the picklable
+    :class:`~repro.parallel.worker.ShardResult` and grafted back under
+    ``shard_dispatch``.
     """
     query_list: Sequence[Tree] = list(queries)
     if not query_list:
@@ -231,10 +349,20 @@ def tasm_sharded_batch(
     if not isinstance(k, int) or isinstance(k, bool) or k <= 0:
         raise RankingError(f"k must be a positive integer, got {k!r}")
 
+    if span is not None and not span:
+        span = None  # NULL_SPAN: collapse to the no-op path up front
     backend = resolve_backend(backend)
     tau = max(prune_threshold(k, len(query), cost) for query in query_list)
+    timing = stats is not None
+    t0 = perf_counter() if timing else 0.0
+    plan_span = span.child("shard_plan") if span is not None else None
     total, planning_pairs, payload = _normalise_source(source)
     plan = plan_shards(planning_pairs, total, tau, shards)
+    if plan_span is not None:
+        plan_span.attrs["shards"] = len(plan.shards)
+        plan_span.finish()
+    if timing:
+        stats.plan_seconds = perf_counter() - t0
     tasks = [
         ShardTask(
             index=shard.index,
@@ -245,18 +373,38 @@ def tasm_sharded_batch(
             k=k,
             cost=cost,
             backend=backend,
+            trace=span is not None,
         )
         for shard in plan.shards
     ]
+    t0 = perf_counter() if timing else 0.0
+    dispatch_span = (
+        span.child("shard_dispatch", tasks=len(tasks))
+        if span is not None
+        else None
+    )
     results = _execute(tasks, min(workers, len(tasks)), pool)
-    if stats is not None:
+    if dispatch_span is not None:
+        for result in sorted(results, key=lambda r: r.index):
+            if result.span is not None:
+                dispatch_span.graft(result.span)
+        dispatch_span.finish()
+    if timing:
+        stats.execute_seconds = perf_counter() - t0
         stats.workers = min(workers, len(tasks))
         stats.plan = plan
         stats.kernel_backend = backend
         ordered = sorted(results, key=lambda r: r.index)
         stats.shard_stats = [r.stats for r in ordered]
         stats.shard_cpu_seconds = [r.cpu_seconds for r in ordered]
-    return merge_rankings(results, len(query_list), k)
+    t0 = perf_counter() if timing else 0.0
+    merge_span = span.child("merge") if span is not None else None
+    merged = merge_rankings(results, len(query_list), k)
+    if merge_span is not None:
+        merge_span.finish()
+    if timing:
+        stats.merge_seconds = perf_counter() - t0
+    return merged
 
 
 def _execute(
@@ -282,6 +430,7 @@ def tasm_sharded(
     stats: Optional[ShardedStats] = None,
     pool=None,
     backend: str = "auto",
+    span=None,
 ) -> List[Match]:
     """Single-query convenience wrapper around :func:`tasm_sharded_batch`."""
     return tasm_sharded_batch(
@@ -294,4 +443,5 @@ def tasm_sharded(
         stats=stats,
         pool=pool,
         backend=backend,
+        span=span,
     )[0]

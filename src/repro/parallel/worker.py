@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..errors import RankingError
 from ..tasm.batch import tasm_batch
@@ -63,6 +63,9 @@ class ShardTask:
     #: Kernel row engine, resolved by the coordinator so every worker
     #: runs the same engine the caller asked for (and reported).
     backend: str = "auto"
+    #: When True the worker records a span tree for its shard and ships
+    #: it back (serialised) in :attr:`ShardResult.span`.
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -80,6 +83,10 @@ class ShardResult:
     rankings: Tuple[Tuple[ShardMatch, ...], ...]
     stats: PostorderStats
     cpu_seconds: float = 0.0
+    #: Serialised worker span tree (:meth:`repro.obs.Span.to_dict`) when
+    #: the task asked for tracing — durations only, since worker clocks
+    #: are not comparable to the coordinator's.
+    span: Optional[dict] = None
 
 
 def _shard_pairs(task: ShardTask) -> Iterable[Tuple[object, int]]:
@@ -126,6 +133,14 @@ def run_shard(task: ShardTask) -> ShardResult:
     """
     t0 = time.process_time()
     stats = PostorderStats()
+    span = None
+    if task.trace:
+        from ..obs.trace import Span
+
+        span = Span(
+            "shard",
+            {"index": task.index, "start": task.start, "end": task.end},
+        )
     rankings = tasm_batch(
         task.queries,
         _shard_pairs(task),
@@ -133,7 +148,10 @@ def run_shard(task: ShardTask) -> ShardResult:
         task.cost,
         stats=stats,
         backend=task.backend,
+        span=span,
     )
+    if span is not None:
+        span.finish()
     elapsed = time.process_time() - t0
     offset = task.start - 1
     wire: List[Tuple[ShardMatch, ...]] = []
@@ -145,5 +163,9 @@ def run_shard(task: ShardTask) -> ShardResult:
             )
         )
     return ShardResult(
-        index=task.index, rankings=tuple(wire), stats=stats, cpu_seconds=elapsed
+        index=task.index,
+        rankings=tuple(wire),
+        stats=stats,
+        cpu_seconds=elapsed,
+        span=span.to_dict() if span is not None else None,
     )

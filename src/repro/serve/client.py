@@ -48,28 +48,43 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def request(self, method: str, path: str, payload=None):
-        """One round trip; returns the decoded JSON response body."""
+    def raw(self, method: str, path: str, payload=None, headers=None):
+        """One round trip; returns ``(status, headers dict, body bytes)``.
+
+        No status checking or JSON decoding — what the smoke script
+        needs to assert on response *headers* (``X-Request-Id``) and
+        non-JSON bodies (Prometheus exposition).  Header names are
+        lowercased; ``headers`` adds request headers.
+        """
         body = None
-        headers = {}
+        send_headers = dict(headers or {})
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            send_headers["Content-Type"] = "application/json"
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
-            conn.request(method, path, body=body, headers=headers)
+            conn.request(method, path, body=body, headers=send_headers)
             response = conn.getresponse()
             raw = response.read()
         finally:
             conn.close()
+        return (
+            response.status,
+            {name.lower(): value for name, value in response.getheaders()},
+            raw,
+        )
+
+    def request(self, method: str, path: str, payload=None):
+        """One round trip; returns the decoded JSON response body."""
+        status, _, raw = self.raw(method, path, payload)
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else None
         except ValueError:
             decoded = {"error": raw.decode("utf-8", "replace")}
-        if not 200 <= response.status < 300:
-            raise ServeHttpError(response.status, decoded)
+        if not 200 <= status < 300:
+            raise ServeHttpError(status, decoded)
         return decoded
 
     # ------------------------------------------------------------------
@@ -99,6 +114,13 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self.request("GET", "/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of ``/metrics``."""
+        status, _, body = self.raw("GET", "/metrics?format=prometheus")
+        if status != 200:
+            raise ServeHttpError(status, body.decode("utf-8", "replace"))
+        return body.decode("utf-8")
 
     def documents(self) -> List[dict]:
         return self.request("GET", "/v1/documents")["documents"]

@@ -84,11 +84,12 @@ class TasmExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, request: dict) -> Tuple[dict, dict]:
+    def run(self, request: dict, span=None) -> Tuple[dict, dict]:
         """Execute one ``/v1/tasm`` request body.
 
         Returns ``(response_payload, info)`` where ``info`` carries the
-        engine/ring instrumentation the front end feeds into metrics.
+        engine/ring/stats instrumentation the front end feeds into
+        metrics.  ``span``, if given, collects per-stage child spans.
         """
         if not isinstance(request, dict):
             raise ServeError("request body must be a JSON object")
@@ -98,10 +99,11 @@ class TasmExecutor:
             request.get("document"),
             request.get("k", 5),
             request.get("cost"),
+            span=span,
         )
         return results[0], info
 
-    def run_batch(self, request: dict) -> Tuple[dict, dict]:
+    def run_batch(self, request: dict, span=None) -> Tuple[dict, dict]:
         """Execute one ``/v1/tasm/batch`` request body.
 
         Uncached queries share a single document pass (the
@@ -119,6 +121,7 @@ class TasmExecutor:
             request.get("document"),
             request.get("k", 5),
             request.get("cost"),
+            span=span,
         )
         return {"document": request.get("document"), "results": results}, info
 
@@ -128,6 +131,7 @@ class TasmExecutor:
         doc_name,
         k,
         cost_spec,
+        span=None,
     ) -> Tuple[List[dict], dict]:
         if not isinstance(doc_name, str) or not doc_name:
             raise ServeError(f"document must be a document name, got {doc_name!r}")
@@ -149,8 +153,15 @@ class TasmExecutor:
             result_key(document.name, doc_version, query.bracket, k, ckey)
             for query in queries
         ]
+        if span is not None and not span:
+            span = None  # NULL_SPAN: collapse to the no-op path
         results: List[Optional[dict]] = [None] * len(queries)
         misses: List[int] = []
+        lookup_span = (
+            span.child("cache_lookup", queries=len(queries))
+            if span is not None
+            else None
+        )
         for i, query in enumerate(queries):
             cached = self.cache.get(keys[i])
             if cached is not None:
@@ -159,6 +170,9 @@ class TasmExecutor:
                 results[i] = dict(cached, query=query.name, cached=True)
             else:
                 misses.append(i)
+        if lookup_span is not None:
+            lookup_span.attrs["misses"] = len(misses)
+            lookup_span.finish()
 
         info = {
             "engine": "cache",
@@ -169,13 +183,18 @@ class TasmExecutor:
         }
         if misses:
             miss_queries = [queries[i] for i in misses]
+            rank_span = span.child("rank") if span is not None else None
             rankings, engine, stats = self._rank(
-                miss_queries, document, k, cost
+                miss_queries, document, k, cost, span=rank_span
             )
+            if rank_span is not None:
+                rank_span.attrs["engine"] = engine
+                rank_span.finish()
             info["engine"] = engine
             if stats is not None:
                 info["ring_peak"] = stats.peak_buffered
                 info["ring_capacity"] = stats.ring_capacity
+                info["stats"] = stats.payload()
             for i, query, ranking in zip(misses, miss_queries, rankings):
                 payload = {
                     "bracket": query.bracket,
@@ -196,6 +215,7 @@ class TasmExecutor:
         document: CatalogDocument,
         k: int,
         cost: CostModel,
+        span=None,
     ):
         """One engine pass over ``document`` for ``queries``."""
         if self._pool is not None and document.n_nodes >= self.shard_threshold:
@@ -211,6 +231,7 @@ class TasmExecutor:
                 stats=stats,
                 pool=self._pool,
                 backend=self.registry.backend,
+                span=span,
             )
             return rankings, "sharded", stats
         stats = PostorderStats()
@@ -232,6 +253,7 @@ class TasmExecutor:
                 cost,
                 stats=stats,
                 kernels=kernels,
+                span=span,
             )
         return rankings, "stream", stats
 

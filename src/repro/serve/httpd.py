@@ -17,8 +17,16 @@ from __future__ import annotations
 import asyncio
 import json
 from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl
 
-__all__ = ["HttpError", "Request", "read_request", "write_response"]
+__all__ = [
+    "HttpError",
+    "Request",
+    "TextResponse",
+    "query_params",
+    "read_request",
+    "write_response",
+]
 
 _MAX_HEAD_BYTES = 16 * 1024
 _MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -39,6 +47,23 @@ class HttpError(Exception):
     def __init__(self, status: int, message: str):
         self.status = status
         super().__init__(message)
+
+
+class TextResponse:
+    """A plain-text response body (e.g. Prometheus exposition).
+
+    Route handlers normally return JSON-serialisable payloads; wrapping
+    a string in this class makes :func:`encode_response` send it
+    verbatim with the given content type instead.
+    """
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(
+        self, text: str, content_type: str = "text/plain; charset=utf-8"
+    ):
+        self.text = text
+        self.content_type = content_type
 
 
 class Request:
@@ -115,16 +140,34 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
 
 
 def encode_response(
-    status: int, payload: object, keep_alive: bool = True
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
-    """A full JSON response (status line, headers, body) as bytes."""
-    body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    """A full response (status line, headers, body) as bytes.
+
+    ``payload`` is JSON-encoded — byte-identical to what it always was,
+    since ``headers`` only adds head lines — unless it is a
+    :class:`TextResponse`, which is sent verbatim.  ``headers`` adds
+    extra response headers (e.g. ``X-Request-Id``).
+    """
+    if isinstance(payload, TextResponse):
+        body = payload.text.encode("utf-8")
+        content_type = payload.content_type
+    else:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
+    extra = ""
+    if headers:
+        extra = "".join(f"{name}: {value}\r\n" for name, value in headers.items())
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         f"\r\n"
     )
     return head.encode("latin-1") + body
@@ -135,8 +178,9 @@ async def write_response(
     status: int,
     payload: object,
     keep_alive: bool = True,
+    headers: Optional[Dict[str, str]] = None,
 ) -> None:
-    writer.write(encode_response(status, payload, keep_alive))
+    writer.write(encode_response(status, payload, keep_alive, headers))
     await writer.drain()
 
 
@@ -144,3 +188,11 @@ def route_key(method: str, path: str) -> Tuple[str, str]:
     """Normalise a request target for routing (drop the query string)."""
     path = path.split("?", 1)[0]
     return method.upper(), path
+
+
+def query_params(path: str) -> Dict[str, str]:
+    """The query-string parameters of a request target (last value wins)."""
+    _, sep, query = path.partition("?")
+    if not sep:
+        return {}
+    return dict(parse_qsl(query, keep_blank_values=True))

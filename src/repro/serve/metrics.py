@@ -1,29 +1,67 @@
-"""Service metrics: request counts, latency quantiles, ring high-water.
+"""Service metrics: request counts, latency, and engine telemetry.
 
-``GET /metrics`` answers with a JSON snapshot of these counters.  Three
-groups:
+``GET /metrics`` answers with a JSON snapshot of these counters, and
+``GET /metrics?format=prometheus`` with the same data in Prometheus
+text exposition (rendered by :mod:`repro.obs.prom`).  Four groups:
 
-* **requests** — total / per-route counts and error counts (by status
-  class), so traffic and failure mix are visible at a glance;
+* **requests** — total / per-route counts and error counts, with 4xx
+  (client) and 5xx (server) failures broken out — they are different
+  signals — and ``errors_total`` kept for compatibility;
 * **latency** — p50/p95 (and max) over a bounded reservoir of the most
-  recent observations, per route; bounded so a long-lived server's
-  memory stays flat, recent so the quantiles track current behaviour;
+  recent observations per route, plus fixed-bucket histograms suitable
+  for Prometheus quantile queries; bounded so a long-lived server's
+  memory stays flat;
 * **engine** — the ring-buffer peak high-water mark and capacity
   observed across all streamed requests (the paper's ``k + 2|Q| - 1``
-  memory guarantee, continuously monitored in production), plus how
-  many requests took the in-process stream vs the sharded pool path.
+  memory guarantee, continuously monitored in production), how many
+  requests took the stream / sharded / cache path, and the running
+  totals of every :class:`~repro.tasm.postorder.PostorderStats`
+  counter — candidates vs static/dynamic prunes, kernel invocations
+  and rows per backend, stage seconds, ring occupancy;
+* **process** — ``started_at`` / ``uptime_seconds`` / package version,
+  so operators can tell how long the counters have accumulated.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter, deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, List, Optional
 
-__all__ = ["ServeMetrics"]
+from .. import __version__
+from ..obs.prom import MetricFamily, format_value, render_families
+from ..tasm.postorder import RING_OCCUPANCY_BUCKETS
+
+__all__ = ["LATENCY_BUCKETS", "ServeMetrics"]
 
 #: Latency observations kept per route (a deque, oldest dropped first).
 _RESERVOIR = 512
+
+#: Histogram bucket upper bounds (seconds) for request latency — spans
+#: cache hits (sub-ms) through 100k-corpus scans (~10 s).
+LATENCY_BUCKETS = (
+    0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: PostorderStats payload keys accumulated into the engine totals.
+_ENGINE_COUNTER_KEYS = (
+    "dequeued",
+    "candidates_evaluated",
+    "subtrees_scored",
+    "pruned_large",
+    "pruned_buffered",
+    "pruned_static",
+    "pruned_dynamic",
+    "head_flushes",
+    "wholesale_flushes",
+    "kernel_invocations",
+    "kernel_invocations_numpy",
+    "kernel_rows",
+    "kernel_rows_numpy",
+)
+
+_STAGE_KEYS = ("total", "scan", "candidate_eval", "kernel")
 
 
 def _quantile(sorted_values, q: float) -> float:
@@ -43,14 +81,28 @@ class ServeMetrics:
     def __init__(self, kernel_backend: str = "python"):
         self.kernel_backend = kernel_backend
         self._lock = threading.Lock()
+        self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self.requests_total = 0
         self.errors_total = 0
+        self.errors_4xx = 0
+        self.errors_5xx = 0
         self._by_route: Counter = Counter()
         self._by_status: Counter = Counter()
         self._latency: Dict[str, Deque[float]] = {}
+        #: Per route: per-bucket counts (len(LATENCY_BUCKETS) + 1, the
+        #: last slot is the +Inf overflow), running sum, running count.
+        self._hist: Dict[str, List[int]] = {}
+        self._hist_sum: Counter = Counter()
         self._engine: Counter = Counter()
+        self._engine_totals: Counter = Counter()
+        self._stage_seconds: Dict[str, float] = dict.fromkeys(_STAGE_KEYS, 0.0)
+        self._ring_occupancy = [0] * RING_OCCUPANCY_BUCKETS
         self.ring_peak_high_water = 0
         self.ring_capacity_high_water = 0
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_monotonic
 
     def observe(
         self,
@@ -60,18 +112,38 @@ class ServeMetrics:
         engine: Optional[str] = None,
         ring_peak: Optional[int] = None,
         ring_capacity: Optional[int] = None,
+        stats: Optional[dict] = None,
     ) -> None:
-        """Record one finished request."""
+        """Record one finished request.
+
+        ``stats``, when the request ran the matching engine, is a
+        :meth:`~repro.tasm.postorder.PostorderStats.payload` dict; its
+        counters accumulate into the server-lifetime engine totals.
+        """
         with self._lock:
             self.requests_total += 1
             self._by_route[route] += 1
             self._by_status[f"{status // 100}xx"] += 1
             if status >= 400:
                 self.errors_total += 1
+                if status >= 500:
+                    self.errors_5xx += 1
+                else:
+                    self.errors_4xx += 1
             reservoir = self._latency.get(route)
             if reservoir is None:
                 reservoir = self._latency[route] = deque(maxlen=_RESERVOIR)
             reservoir.append(seconds)
+            hist = self._hist.get(route)
+            if hist is None:
+                hist = self._hist[route] = [0] * (len(LATENCY_BUCKETS) + 1)
+            for i, bound in enumerate(LATENCY_BUCKETS):
+                if seconds <= bound:
+                    hist[i] += 1
+                    break
+            else:
+                hist[-1] += 1
+            self._hist_sum[route] += seconds
             if engine is not None:
                 self._engine[engine] += 1
             if ring_peak is not None and ring_peak > self.ring_peak_high_water:
@@ -81,6 +153,18 @@ class ServeMetrics:
                 and ring_capacity > self.ring_capacity_high_water
             ):
                 self.ring_capacity_high_water = ring_capacity
+            if stats is not None:
+                for key in _ENGINE_COUNTER_KEYS:
+                    value = stats.get(key)
+                    if value:
+                        self._engine_totals[key] += value
+                stages = stats.get("stage_seconds") or {}
+                for key in _STAGE_KEYS:
+                    self._stage_seconds[key] += stages.get(key, 0.0)
+                occupancy = stats.get("ring_occupancy")
+                if occupancy:
+                    for i, v in enumerate(occupancy[:RING_OCCUPANCY_BUCKETS]):
+                        self._ring_occupancy[i] += v
 
     def payload(self) -> dict:
         """A JSON-ready snapshot of every counter."""
@@ -96,14 +180,137 @@ class ServeMetrics:
                 }
             return {
                 "kernel_backend": self.kernel_backend,
+                "version": __version__,
+                "started_at": round(self.started_at, 3),
+                "uptime_seconds": round(self.uptime_seconds(), 3),
                 "requests_total": self.requests_total,
                 "errors_total": self.errors_total,
+                "errors_4xx": self.errors_4xx,
+                "errors_5xx": self.errors_5xx,
                 "requests_by_route": dict(sorted(self._by_route.items())),
                 "responses_by_status_class": dict(
                     sorted(self._by_status.items())
                 ),
                 "latency_by_route": latency,
                 "engine_requests": dict(sorted(self._engine.items())),
+                "engine_totals": {
+                    key: self._engine_totals.get(key, 0)
+                    for key in _ENGINE_COUNTER_KEYS
+                },
+                "stage_seconds": {
+                    key: round(self._stage_seconds[key], 6)
+                    for key in _STAGE_KEYS
+                },
+                "ring_occupancy": list(self._ring_occupancy),
                 "ring_peak_high_water": self.ring_peak_high_water,
                 "ring_capacity_high_water": self.ring_capacity_high_water,
             }
+
+    def prometheus(self) -> str:
+        """The same counters as Prometheus text exposition."""
+        with self._lock:
+            families = [
+                MetricFamily(
+                    "repro_build_info", "gauge",
+                    "Constant 1 labelled with version and kernel backend",
+                ).add(
+                    1,
+                    {
+                        "version": __version__,
+                        "kernel_backend": self.kernel_backend,
+                    },
+                ),
+                MetricFamily(
+                    "repro_uptime_seconds", "gauge",
+                    "Seconds since server start",
+                ).add(self.uptime_seconds()),
+                MetricFamily(
+                    "repro_requests_total", "counter", "Requests by route"
+                ),
+                MetricFamily(
+                    "repro_errors_total", "counter",
+                    "Error responses by status class",
+                )
+                .add(self.errors_4xx, {"class": "4xx"})
+                .add(self.errors_5xx, {"class": "5xx"}),
+                MetricFamily(
+                    "repro_responses_total", "counter",
+                    "Responses by status class",
+                ),
+                MetricFamily(
+                    "repro_engine_requests_total", "counter",
+                    "Requests by execution path (stream/sharded/cache)",
+                ),
+            ]
+            requests = families[2]
+            for route, count in sorted(self._by_route.items()):
+                requests.add(count, {"route": route})
+            responses = families[4]
+            for klass, count in sorted(self._by_status.items()):
+                responses.add(count, {"class": klass})
+            engines = families[5]
+            for engine, count in sorted(self._engine.items()):
+                engines.add(count, {"engine": engine})
+            # One histogram family holding every route's buckets — the
+            # exposition format wants all samples of a family under a
+            # single # TYPE block.
+            latency_hist = MetricFamily(
+                "repro_request_seconds", "histogram",
+                "Request latency by route",
+            )
+            for route in sorted(self._hist):
+                hist = self._hist[route]
+                running = 0
+                for bound, count in zip(LATENCY_BUCKETS, hist):
+                    running += count
+                    latency_hist.add(
+                        running,
+                        {"route": route, "le": format_value(bound)},
+                        suffix="_bucket",
+                    )
+                total = running + hist[-1]
+                latency_hist.add(
+                    total, {"route": route, "le": "+Inf"}, suffix="_bucket"
+                )
+                latency_hist.add(
+                    self._hist_sum[route], {"route": route}, suffix="_sum"
+                )
+                latency_hist.add(total, {"route": route}, suffix="_count")
+            if latency_hist.samples:
+                # An empty histogram family would fail the parser's
+                # completeness check (no _sum/_count yet).
+                families.append(latency_hist)
+            totals = MetricFamily(
+                "repro_engine_events_total", "counter",
+                "Streaming-engine counters (PostorderStats totals)",
+            )
+            for key in _ENGINE_COUNTER_KEYS:
+                totals.add(self._engine_totals.get(key, 0), {"counter": key})
+            families.append(totals)
+            stages = MetricFamily(
+                "repro_engine_stage_seconds_total", "counter",
+                "Engine time by stage across all ranked requests",
+            )
+            for key in _STAGE_KEYS:
+                stages.add(self._stage_seconds[key], {"stage": key})
+            families.append(stages)
+            occupancy = MetricFamily(
+                "repro_ring_occupancy_flushes_total", "counter",
+                "Flush events by ring occupancy octile (1 = emptiest)",
+            )
+            for i, count in enumerate(self._ring_occupancy):
+                occupancy.add(count, {"octile": str(i + 1)})
+            families.append(occupancy)
+            families.append(
+                MetricFamily(
+                    "repro_ring_peak_high_water", "gauge",
+                    "Largest ring occupancy peak across streamed requests",
+                ).add(self.ring_peak_high_water)
+            )
+            families.append(
+                MetricFamily(
+                    "repro_ring_capacity_high_water", "gauge",
+                    "Largest ring capacity across streamed requests",
+                ).add(self.ring_capacity_high_water)
+            )
+            return render_families(families)

@@ -39,10 +39,20 @@ from typing import Dict, Optional, Tuple
 
 from .. import __version__
 from ..errors import ReproError, ServeError
+from ..obs.log import jsonlog
+from ..obs.trace import Span, new_request_id
 from .cache import ResultCache
 from .catalog import DocumentCatalog
 from .executor import TasmExecutor
-from .httpd import HttpError, Request, read_request, route_key, write_response
+from .httpd import (
+    HttpError,
+    Request,
+    TextResponse,
+    query_params,
+    read_request,
+    route_key,
+    write_response,
+)
 from .metrics import ServeMetrics
 from .registry import QueryRegistry
 
@@ -64,6 +74,12 @@ class ServerConfig:
     request_threads: int = 8  # concurrent blocking rankings
     max_k: int = 10_000  # per-request k ceiling (ring is O(k)-allocated)
     backend: str = "auto"  # kernel row engine ("auto"/"python"/"numpy")
+    #: Requests slower than this emit one structured JSON log line with
+    #: the per-stage span breakdown; None disables slow-request logging.
+    slow_request_seconds: Optional[float] = 1.0
+    #: Record a span tree per request (cheap: a handful of timers per
+    #: request, bounded children).  Off, only counters are collected.
+    trace: bool = True
 
 
 def _log(message: str) -> None:
@@ -167,9 +183,21 @@ class TasmServer:
                     break
                 if request is None:
                     break
-                status, payload, info = await self._dispatch(request)
+                # Propagate the caller's request id or assign one; it is
+                # echoed in the response headers (never in the body, so
+                # the byte-identity contract with the CLI JSON holds).
+                request_id = (
+                    request.headers.get("x-request-id") or new_request_id()
+                )
+                status, payload, info = await self._dispatch(
+                    request, request_id
+                )
                 await write_response(
-                    writer, status, payload, keep_alive=request.keep_alive
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=request.keep_alive,
+                    headers={"X-Request-Id": request_id},
                 )
                 if not request.keep_alive:
                     break
@@ -182,13 +210,22 @@ class TasmServer:
             except ConnectionError:
                 pass
 
-    async def _dispatch(self, request: Request) -> Tuple[int, object, dict]:
+    async def _dispatch(
+        self, request: Request, request_id: str = ""
+    ) -> Tuple[int, object, dict]:
         method, path = route_key(request.method, request.path)
         route = f"{method} {path}"
         started = time.perf_counter()
+        span = (
+            Span(route, {"request_id": request_id})
+            if self.config.trace
+            else None
+        )
         info: dict = {}
         try:
-            status, payload, info = await self._route(method, path, request)
+            status, payload, info = await self._route(
+                method, path, request, span
+            )
         except ServeError as exc:
             status, payload = exc.status, {"error": str(exc)}
         except HttpError as exc:
@@ -201,6 +238,8 @@ class TasmServer:
         except Exception as exc:  # noqa: BLE001 - the 500 boundary
             _log(f"internal error on {route}: {exc}\n{traceback.format_exc()}")
             status, payload = 500, {"error": f"internal error: {exc}"}
+        if span is not None:
+            span.finish()
         elapsed = time.perf_counter() - started
         self.metrics.observe(
             self._metrics_route(method, path),
@@ -209,7 +248,20 @@ class TasmServer:
             engine=info.get("engine"),
             ring_peak=info.get("ring_peak"),
             ring_capacity=info.get("ring_capacity"),
+            stats=info.get("stats"),
         )
+        slow = self.config.slow_request_seconds
+        if slow is not None and elapsed >= slow:
+            jsonlog(
+                "slow_request",
+                request_id=request_id,
+                route=route,
+                status=status,
+                seconds=round(elapsed, 6),
+                engine=info.get("engine"),
+                stages=span.to_dict() if span is not None else None,
+                stats=info.get("stats"),
+            )
         if status >= 400:
             _log(f"{route} -> {status} ({payload.get('error', '')})")
         return status, payload, info
@@ -233,7 +285,7 @@ class TasmServer:
         return f"{method} {path}"
 
     async def _route(
-        self, method: str, path: str, request: Request
+        self, method: str, path: str, request: Request, span=None
     ) -> Tuple[int, object, dict]:
         if path == "/healthz":
             if method != "GET":
@@ -242,6 +294,16 @@ class TasmServer:
         if path == "/metrics":
             if method != "GET":
                 raise HttpError(405, f"{method} not allowed on {path}")
+            fmt = query_params(request.path).get("format", "json")
+            if fmt == "prometheus":
+                return 200, TextResponse(
+                    self.metrics.prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                ), {}
+            if fmt != "json":
+                raise HttpError(
+                    400, f"unknown metrics format {fmt!r} (json|prometheus)"
+                )
             return 200, self.metrics.payload(), {}
         if path == "/v1/queries":
             if method != "GET":
@@ -259,14 +321,14 @@ class TasmServer:
             if method != "POST":
                 raise HttpError(405, f"{method} not allowed on {path}")
             payload, info = await self._blocking(
-                self.executor.run, request.json()
+                self.executor.run, request.json(), span
             )
             return 200, payload, info
         if path == "/v1/tasm/batch":
             if method != "POST":
                 raise HttpError(405, f"{method} not allowed on {path}")
             payload, info = await self._blocking(
-                self.executor.run_batch, request.json()
+                self.executor.run_batch, request.json(), span
             )
             return 200, payload, info
         raise HttpError(404, f"no route for {method} {path}")
@@ -318,6 +380,8 @@ class TasmServer:
         return {
             "status": "ok",
             "version": __version__,
+            "started_at": round(self.metrics.started_at, 3),
+            "uptime_seconds": round(self.metrics.uptime_seconds(), 3),
             "documents": len(self.catalog),
             "queries": len(self.registry),
             "workers": self.config.workers,

@@ -38,6 +38,7 @@ def tasm_batch(
     workers: int = 1,
     kernels=None,
     backend: str = "auto",
+    span=None,
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query in one document pass.
 
@@ -63,6 +64,11 @@ def tasm_batch(
     ``backend`` selects the kernel row engine for kernels built here
     (including by shard workers); pre-built ``kernels`` carry their
     own.
+
+    ``span``, if given (a :class:`repro.obs.Span`), collects child
+    spans for the pass — candidate evaluation batches in the
+    single-pass path, shard plan/dispatch/merge (with per-worker spans
+    grafted back across the process boundary) in the sharded path.
     """
     query_list = list(queries)
     if not query_list:
@@ -84,6 +90,7 @@ def tasm_batch(
             workers=workers,
             stats=sharded_stats,
             backend=backend,
+            span=span,
         )
         if stats is not None:
             for name in (
@@ -94,10 +101,29 @@ def tasm_batch(
                 "subtrees_scored",
                 "pruned_large",
                 "pruned_buffered",
+                "pruned_static",
+                "pruned_dynamic",
+                "head_flushes",
+                "wholesale_flushes",
                 "kernel_backend",
+                "kernel_invocations",
+                "kernel_invocations_numpy",
+                "kernel_rows",
+                "kernel_rows_numpy",
+                "total_seconds",
+                "candidate_eval_seconds",
+                "kernel_seconds",
+                "ring_occupancy",
             ):
                 setattr(stats, name, getattr(sharded_stats, name))
         return rankings
     return _stream_topk(
-        query_list, queue, k, cost, stats, kernels=kernels, backend=backend
+        query_list,
+        queue,
+        k,
+        cost,
+        stats,
+        kernels=kernels,
+        backend=backend,
+        span=span,
     )

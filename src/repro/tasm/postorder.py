@@ -38,8 +38,9 @@ The same streaming core ranks several queries in one pass; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from math import ceil
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Union
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
@@ -50,7 +51,18 @@ from ..trees.tree import Tree
 from .heap import Match, TopKHeap
 from .ring import PrefixRingBuffer
 
-__all__ = ["PostorderStats", "prune_threshold", "tasm_postorder"]
+__all__ = [
+    "PostorderStats",
+    "RING_OCCUPANCY_BUCKETS",
+    "prune_threshold",
+    "tasm_postorder",
+]
+
+#: Buckets of the ring-occupancy histogram: bucket ``b`` counts flush
+#: events observed with ``occupancy/capacity`` in ``[b/8, (b+1)/8)``
+#: (the last bucket includes a full ring).  Eight relative buckets keep
+#: histograms comparable across runs with different capacities.
+RING_OCCUPANCY_BUCKETS = 8
 
 
 def prune_threshold(k: int, query_size: int, cost: CostModel) -> int:
@@ -66,7 +78,19 @@ def prune_threshold(k: int, query_size: int, cost: CostModel) -> int:
 
 @dataclass
 class PostorderStats:
-    """Instrumentation of one TASM-postorder run."""
+    """Instrumentation of one TASM-postorder run.
+
+    Counting invariants (asserted by the test suite): every document
+    node is scored or pruned exactly once, so ``subtrees_scored +
+    pruned_large + pruned_buffered == dequeued``; the static/dynamic
+    split partitions the same prunes, so ``pruned_static +
+    pruned_dynamic == pruned_large + pruned_buffered``.  A prune is
+    *static* when the subtree exceeds the ring capacity — no heap state
+    could ever admit it — and *dynamic* when only the heap-tightened
+    threshold rejects it (including every buffered-entry prune: entries
+    enter the ring within the then-current limit, so a later rejection
+    means the limit shrank underneath them).
+    """
 
     dequeued: int = 0
     ring_capacity: int = 0
@@ -75,8 +99,67 @@ class PostorderStats:
     subtrees_scored: int = 0
     pruned_large: int = 0
     pruned_buffered: int = 0
+    #: ``pruned_large + pruned_buffered`` split by pruning rule.
+    pruned_static: int = 0
+    pruned_dynamic: int = 0
+    #: Flush events: single-head retirements (ring full) vs wholesale
+    #: buffer retirements (oversized arrival or end of stream).
+    head_flushes: int = 0
+    wholesale_flushes: int = 0
     #: Which kernel row engine scored the candidates ("python"/"numpy").
     kernel_backend: str = ""
+    #: Kernel work attributed to this run (deltas over the per-query
+    #: kernels, which may be long-lived): distance computations and DP
+    #: rows filled, with the numpy-engine share broken out.
+    kernel_invocations: int = 0
+    kernel_invocations_numpy: int = 0
+    kernel_rows: int = 0
+    kernel_rows_numpy: int = 0
+    #: Stage timings.  ``total_seconds`` covers the whole pass;
+    #: ``candidate_eval_seconds`` the batched candidate evaluations
+    #: within it; ``kernel_seconds`` the distance computations within
+    #: those.  The remainder is the scan itself (:attr:`scan_seconds`).
+    total_seconds: float = 0.0
+    candidate_eval_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    #: Ring occupancy at flush events, in :data:`RING_OCCUPANCY_BUCKETS`
+    #: relative buckets — the paper's memory bound as a histogram.
+    ring_occupancy: List[int] = field(
+        default_factory=lambda: [0] * RING_OCCUPANCY_BUCKETS
+    )
+
+    @property
+    def scan_seconds(self) -> float:
+        """Time spent streaming/pruning outside candidate evaluation."""
+        return max(0.0, self.total_seconds - self.candidate_eval_seconds)
+
+    def payload(self) -> dict:
+        """JSON-ready form for ``/metrics``, ``--profile``, and bench."""
+        return {
+            "dequeued": self.dequeued,
+            "ring_capacity": self.ring_capacity,
+            "peak_buffered": self.peak_buffered,
+            "candidates_evaluated": self.candidates_evaluated,
+            "subtrees_scored": self.subtrees_scored,
+            "pruned_large": self.pruned_large,
+            "pruned_buffered": self.pruned_buffered,
+            "pruned_static": self.pruned_static,
+            "pruned_dynamic": self.pruned_dynamic,
+            "head_flushes": self.head_flushes,
+            "wholesale_flushes": self.wholesale_flushes,
+            "kernel_backend": self.kernel_backend,
+            "kernel_invocations": self.kernel_invocations,
+            "kernel_invocations_numpy": self.kernel_invocations_numpy,
+            "kernel_rows": self.kernel_rows,
+            "kernel_rows_numpy": self.kernel_rows_numpy,
+            "ring_occupancy": list(self.ring_occupancy),
+            "stage_seconds": {
+                "total": round(self.total_seconds, 6),
+                "scan": round(self.scan_seconds, 6),
+                "candidate_eval": round(self.candidate_eval_seconds, 6),
+                "kernel": round(self.kernel_seconds, 6),
+            },
+        }
 
 
 QueueLike = Union[PostorderQueue, Tree, Iterable]
@@ -100,6 +183,7 @@ def _stream_topk(
     stats: Optional[PostorderStats],
     kernels: Optional[Sequence[PrefixDistanceKernel]] = None,
     backend: str = "auto",
+    span=None,
 ) -> List[List[Match]]:
     """One postorder pass ranking every query; the core of Algorithms 2/3.
 
@@ -112,7 +196,17 @@ def _stream_topk(
     kernels (the serving layer's query registry) pass them in via
     ``kernels`` — one per query, built for the same query/cost pair —
     instead of paying the per-call construction.
+
+    ``span``, if given (a :class:`repro.obs.Span`), receives one child
+    per candidate evaluation batch (capped by the span's child limit)
+    plus summary attributes.  Both ``stats`` and ``span`` default to
+    off, and the per-node scan loop does no instrumentation work when
+    they are — only flush and evaluation events pay for timing, which
+    is what keeps the disabled overhead within the bench gate.
     """
+    t_start = perf_counter() if stats is not None else 0.0
+    if span is not None and not span:
+        span = None  # NULL_SPAN: collapse to the no-op path up front
     q = _as_queue(source)
     heaps = [TopKHeap(k) for _ in queries]  # validates k
     if kernels is None:
@@ -125,6 +219,18 @@ def _stream_topk(
         )
     if stats is not None and kernels:
         stats.kernel_backend = kernels[0].backend
+    if stats is not None:
+        # Kernels may be long-lived (the serving registry); attribute
+        # only this run's work to the stats via before/after deltas.
+        kernel_base = [
+            (
+                kern.calls,
+                kern.calls_numpy,
+                kern.rows_computed,
+                kern.rows_computed_numpy,
+            )
+            for kern in kernels
+        ]
     q_sizes = [len(query) for query in queries]
     statics = [prune_threshold(k, q_size, cost) for q_size in q_sizes]
     min_indel = cost.min_indel
@@ -167,6 +273,12 @@ def _stream_topk(
         # real label keeps synthetic values away from user cost models
         # and label tables.
         nonlocal limit
+        t0 = perf_counter() if stats is not None else 0.0
+        batch_span = (
+            span.child("candidate_eval", groups=len(groups))
+            if span is not None
+            else None
+        )
         pairs: List = []
         positions: List[int] = [0]  # local id -> global postorder position
         for entries in groups:
@@ -180,7 +292,12 @@ def _stream_topk(
             stats.candidates_evaluated += len(groups)
             stats.subtrees_scored += total
         for kernel, heap in zip(kernels, heaps):
-            distances = kernel.distances(candidate)
+            if stats is not None:
+                tk = perf_counter()
+                distances = kernel.distances(candidate)
+                stats.kernel_seconds += perf_counter() - tk
+            else:
+                distances = kernel.distances(candidate)
             # Fast-reject against a cached worst ranked distance; the
             # heap is only consulted for actual entries.  The virtual
             # root (local id total + 1) is never offered.
@@ -200,6 +317,11 @@ def _stream_topk(
                 if heap.full:
                     worst = heap.max_distance
         limit = threshold()
+        if stats is not None:
+            stats.candidate_eval_seconds += perf_counter() - t0
+        if batch_span is not None:
+            batch_span.attrs["subtrees"] = total
+            batch_span.finish()
 
     def pop_head_candidate() -> Optional[List]:
         # Pop the maximal candidate subtree containing the oldest
@@ -232,10 +354,28 @@ def _stream_topk(
         buffer.popleft()
         if stats is not None:
             stats.pruned_buffered += 1
+            # Buffered entries arrived within the then-current limit;
+            # only dynamic tightening can have outgrown them since.
+            stats.pruned_dynamic += 1
         return None
+
+    def sample_occupancy() -> None:
+        # One histogram observation per flush event — the retirement
+        # points are where occupancy is about to change, and sampling
+        # there keeps the scan loop itself instrumentation-free.
+        occ = len(buffer)
+        stats.ring_occupancy[
+            min(
+                RING_OCCUPANCY_BUCKETS - 1,
+                occ * RING_OCCUPANCY_BUCKETS // capacity,
+            )
+        ] += 1
 
     def flush_head() -> None:
         # Retire the head's maximal candidate to free one ring slot.
+        if stats is not None:
+            stats.head_flushes += 1
+            sample_occupancy()
         group = pop_head_candidate()
         if group is not None:
             evaluate_groups([group])
@@ -249,6 +389,9 @@ def _stream_topk(
         # whose lower bound already ties the worst ranked distance —
         # the strict heap test rejects them, so the ranking is the
         # same as sequential flushing.
+        if stats is not None and len(buffer):
+            stats.wholesale_flushes += 1
+            sample_occupancy()
         groups: List[List] = []
         while len(buffer):
             group = pop_head_candidate()
@@ -267,6 +410,12 @@ def _stream_topk(
             # the whole buffer can be retired now.
             if stats is not None:
                 stats.pruned_large += 1
+                if size > capacity:
+                    stats.pruned_static += 1
+                else:
+                    # Within the static bound but over the current
+                    # limit: only the heap-tightened threshold prunes.
+                    stats.pruned_dynamic += 1
             flush_all()
             continue
         buffer.append((position, label, size))
@@ -281,6 +430,16 @@ def _stream_topk(
     if stats is not None:
         stats.dequeued = q.dequeued
         stats.peak_buffered = buffer.peak
+        for kern, (c, cn, r, rn) in zip(kernels, kernel_base):
+            stats.kernel_invocations += kern.calls - c
+            stats.kernel_invocations_numpy += kern.calls_numpy - cn
+            stats.kernel_rows += kern.rows_computed - r
+            stats.kernel_rows_numpy += kern.rows_computed_numpy - rn
+        stats.total_seconds += perf_counter() - t_start
+    if span is not None:
+        span.attrs.update(
+            queries=len(queries), k=k, ring_capacity=capacity
+        )
     return [heap.ranking() for heap in heaps]
 
 
@@ -291,6 +450,7 @@ def tasm_postorder(
     cost: Optional[CostModel] = None,
     stats: Optional[PostorderStats] = None,
     backend: str = "auto",
+    span=None,
 ) -> List[Match]:
     """Top-``k`` approximate subtree matches from a postorder stream.
 
@@ -299,9 +459,12 @@ def tasm_postorder(
     or a plain iterable of ``(label, size)`` pairs.  Returns the ranking
     best-first — the same distance multiset as :func:`tasm_dynamic`.
     ``backend`` selects the distance kernel's row engine
-    (:func:`~repro.distance.ted.resolve_backend`).
+    (:func:`~repro.distance.ted.resolve_backend`); ``stats`` and
+    ``span`` opt into counters and tracing (see :func:`_stream_topk`).
     """
     if cost is None:
         cost = UnitCostModel()
     validate_cost_model(cost)
-    return _stream_topk([query], queue, k, cost, stats, backend=backend)[0]
+    return _stream_topk(
+        [query], queue, k, cost, stats, backend=backend, span=span
+    )[0]

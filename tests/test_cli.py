@@ -272,9 +272,12 @@ def test_serve_config_construction():
         request_threads=5,
         max_k=99,
         backend="python",
+        slow_request_seconds=2.5,
+        no_trace=False,
     )
     config = _serve_config(args)
     assert config.port == 9000 and config.workers == 3
+    assert config.slow_request_seconds == 2.5 and config.trace is True
     assert config.max_k == 99
     assert config.backend == "python"
     assert config.xml_documents == {"extra": "extra.xml"}
@@ -287,3 +290,81 @@ def test_serve_config_construction():
 def test_serve_config_rejects_malformed_pairs(capsys):
     assert main(["serve", "--xml", "nameonly", "--port", "0"]) == 1
     assert "NAME=VALUE" in capsys.readouterr().err
+
+
+def test_serve_config_slow_request_and_trace_flags():
+    import argparse
+
+    from repro.cli import _serve_config
+
+    args = argparse.Namespace(
+        host="127.0.0.1",
+        port=0,
+        store=None,
+        xml=[],
+        query=[],
+        default_queries=False,
+        workers=1,
+        shard_threshold=50_000,
+        cache_size=0,
+        request_threads=1,
+        max_k=10,
+        backend="auto",
+        slow_request_seconds=-1.0,  # negative disables slow logging
+        no_trace=True,
+    )
+    config = _serve_config(args)
+    assert config.slow_request_seconds is None
+    assert config.trace is False
+
+
+def test_tasm_profile_prints_stage_report(capsys):
+    assert (
+        main(
+            ["tasm", "{a{b}{c}}", "{x{a{b}{c}}{a{b}{d}}{y{z}}}",
+             "-k", "2", "--profile"]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert captured.out.strip()  # the ranking still lands on stdout
+    err = captured.err
+    assert "profile: stage seconds" in err
+    for stage in ("total", "scan", "candidate_eval", "kernel"):
+        assert stage in err
+    assert "pruned static=" in err and "dynamic=" in err
+    assert "profile: span tree" in err
+    assert "candidate_eval" in err
+
+
+def test_tasm_profile_sharded_includes_worker_spans(capsys, tmp_path):
+    from repro.trees import random_tree
+    from repro.xmlio import write_xml
+
+    path = str(tmp_path / "doc.xml")
+    write_xml(random_tree(400, seed=3, labels="abcd", max_fanout=4), path)
+    assert (
+        main(
+            ["tasm", "{a{b}}", path, "-k", "2", "--workers", "2",
+             "--profile", "--json"]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # --json output unpolluted by the report
+    err = captured.err
+    assert "coordinator wall clock" in err
+    assert "plan_seconds" in err and "merge_seconds" in err
+    # Worker spans crossed the process boundary into the tree.
+    assert "shard_dispatch" in err and "shard  " in err
+
+
+def test_tasm_profile_dynamic_prints_note(capsys):
+    assert (
+        main(
+            ["tasm", "{a{b}}", "{r{a{b}}}", "-k", "1",
+             "--algorithm", "dynamic", "--profile"]
+        )
+        == 0
+    )
+    assert "--profile only applies" in capsys.readouterr().err

@@ -1,0 +1,428 @@
+"""The observability layer: spans, Prometheus exposition, engine telemetry.
+
+Covers the :mod:`repro.obs` primitives in isolation, their threading
+through the streaming engine (stage seconds, the static/dynamic prune
+split, ring-occupancy sampling, kernel counters), span propagation
+across the multiprocessing shard boundary, and the thread-safety of
+:class:`~repro.serve.metrics.ServeMetrics` under concurrent observers.
+"""
+
+import io
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    MAX_CHILDREN,
+    NULL_SPAN,
+    MetricFamily,
+    NullSpan,
+    Span,
+    Tracer,
+    format_value,
+    histogram_family,
+    jsonlog,
+    new_request_id,
+    parse_prometheus,
+    render_families,
+    render_span_tree,
+)
+from repro.parallel import ShardedStats, tasm_sharded_batch
+from repro.serve import ServeMetrics
+from repro.tasm import PostorderStats, tasm_postorder
+from repro.tasm.postorder import RING_OCCUPANCY_BUCKETS
+from repro.trees import Tree, random_tree
+
+QUERY = Tree.from_bracket("{a{b}{c}}")
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def test_span_nesting_and_serialization():
+    root = Span("request", {"request_id": "r-1"})
+    child = root.child("rank", engine="stream")
+    grandchild = child.child("candidate_eval")
+    grandchild.finish()
+    child.finish()
+    root.finish()
+    assert root.seconds >= child.seconds >= grandchild.seconds >= 0.0
+
+    payload = root.to_dict()
+    assert payload["name"] == "request"
+    assert payload["attrs"] == {"request_id": "r-1"}
+    rank = payload["children"][0]
+    assert rank["name"] == "rank" and rank["attrs"] == {"engine": "stream"}
+    assert rank["children"][0]["name"] == "candidate_eval"
+    # Round-trips through JSON (what the slow-request log emits).
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_span_finish_is_idempotent():
+    span = Span("once")
+    span.finish()
+    first = span.seconds
+    span.finish()
+    assert span.seconds == first
+
+
+def test_span_child_cap_counts_drops():
+    span = Span("busy")
+    children = [span.child("c") for _ in range(MAX_CHILDREN + 5)]
+    assert len(span.children) == MAX_CHILDREN
+    # Past the cap the span hands out the null span and counts drops.
+    assert all(not c for c in children[MAX_CHILDREN:])
+    assert span.attrs["dropped_children"] == 5
+
+
+def test_null_span_is_falsy_and_inert():
+    assert not NULL_SPAN
+    assert isinstance(NULL_SPAN, NullSpan)
+    child = NULL_SPAN.child("anything", k=1)
+    assert child is NULL_SPAN
+    NULL_SPAN.finish()  # no-op, no error
+    assert NULL_SPAN.to_dict() == {"name": "<null>", "seconds": 0.0}
+    assert NULL_SPAN.attrs == {} and NULL_SPAN.children == []
+    span = Span("real")
+    assert span and not isinstance(span, NullSpan)
+
+
+def test_span_graft_attaches_serialized_subtree():
+    worker = Span("shard", {"index": 0})
+    worker.child("candidate_eval").finish()
+    worker.finish()
+    parent = Span("dispatch")
+    parent.graft(worker.to_dict())
+    parent.finish()
+    grafted = parent.children[0]
+    assert grafted.name == "shard" and grafted.attrs == {"index": 0}
+    assert grafted.seconds == worker.to_dict()["seconds"]
+    assert grafted.children[0].name == "candidate_eval"
+
+
+def test_tracer_enabled_and_disabled():
+    assert isinstance(Tracer(enabled=True).span("x"), Span)
+    assert Tracer(enabled=False).span("x") is NULL_SPAN
+
+
+def test_new_request_id_unique_and_short():
+    ids = {new_request_id() for _ in range(100)}
+    assert len(ids) == 100
+    assert all(0 < len(i) < 64 and "\n" not in i for i in ids)
+
+
+def test_render_span_tree_lines():
+    root = Span("request", {"id": "r"})
+    root.child("rank").finish()
+    root.finish()
+    lines = render_span_tree(root)
+    assert lines[0].startswith("request") and "id=r" in lines[0]
+    assert lines[1].lstrip().startswith("rank")
+    assert len(lines) == 2
+
+
+# ----------------------------------------------------------------------
+# Structured logs
+# ----------------------------------------------------------------------
+def test_jsonlog_emits_one_sorted_json_line():
+    stream = io.StringIO()
+    line = jsonlog("slow_request", stream=stream, route="GET /x", seconds=1.5)
+    parsed = json.loads(stream.getvalue())
+    assert parsed == json.loads(line)
+    assert parsed["event"] == "slow_request"
+    assert parsed["route"] == "GET /x" and parsed["seconds"] == 1.5
+    assert parsed["ts"] > 0
+    assert stream.getvalue().count("\n") == 1
+
+
+def test_jsonlog_survives_unserializable_values():
+    stream = io.StringIO()
+    jsonlog("odd", stream=stream, obj=object())
+    assert "object" in json.loads(stream.getvalue())["obj"]
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition
+# ----------------------------------------------------------------------
+def test_format_value_edge_cases():
+    assert format_value(3) == "3"
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+    assert format_value(math.inf) == "+Inf"
+    assert format_value(-math.inf) == "-Inf"
+    assert format_value(None) == "NaN"
+
+
+def test_render_parse_round_trip():
+    counter = MetricFamily("jobs_total", "counter", "Jobs by kind")
+    counter.add(3, {"kind": "a"}).add(0, {"kind": "b"})
+    gauge = MetricFamily("temperature", "gauge").add(21.5)
+    hist = histogram_family(
+        "latency_seconds", [(0.1, 2), (1.0, 5)], 1.75, labels={"route": "/x"}
+    )
+    text = render_families([counter, gauge, hist])
+    assert text.endswith("\n")
+    parsed = parse_prometheus(text)
+    assert parsed["jobs_total"]["type"] == "counter"
+    assert parsed["jobs_total"]["samples"]['jobs_total{kind="a"}'] == 3
+    assert parsed["temperature"]["samples"]["temperature"] == 21.5
+    samples = parsed["latency_seconds"]["samples"]
+    assert samples['latency_seconds_bucket{le="+Inf",route="/x"}'] == 5
+    assert samples['latency_seconds_sum{route="/x"}'] == 1.75
+
+
+def test_parse_allows_braces_inside_label_values():
+    text = (
+        "# TYPE requests_total counter\n"
+        'requests_total{route="PUT /v1/queries/{name}"} 4\n'
+    )
+    samples = parse_prometheus(text)["requests_total"]["samples"]
+    assert samples['requests_total{route="PUT /v1/queries/{name}"}'] == 4
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "not a metric line\n",
+        "# TYPE broken unknown_kind\n",
+        "orphan_sample 1\n",  # sample before any TYPE
+        "# TYPE a counter\n# TYPE a counter\n",  # duplicate TYPE
+        '# TYPE a counter\na{bad-label="x"} 1\n',
+        "# TYPE a counter\n# TYPE b counter\na 1\n",  # outside its block
+        "# TYPE a counter\na 1\na 2\n",  # duplicate sample
+        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",  # no _sum
+    ],
+)
+def test_parse_rejects_malformed_expositions(text):
+    with pytest.raises(ValueError):
+        parse_prometheus(text)
+
+
+def test_histogram_family_validates_buckets():
+    with pytest.raises(ValueError):
+        histogram_family("h", [(1.0, 2), (0.5, 3)], 1.0)  # bounds not rising
+    with pytest.raises(ValueError):
+        histogram_family("h", [(0.5, 3), (1.0, 2)], 1.0)  # counts shrink
+
+
+# ----------------------------------------------------------------------
+# Engine telemetry
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def streamed():
+    document = random_tree(800, seed=9, labels="abcde", max_fanout=5)
+    stats = PostorderStats()
+    span = Span("tasm")
+    ranking = tasm_postorder(QUERY, document, 4, stats=stats, span=span)
+    span.finish()
+    return document, stats, span, ranking
+
+
+def test_prune_split_partitions_the_pruned_population(streamed):
+    document, stats, _, _ = streamed
+    # Every dequeued node is scored or pruned (the pre-existing
+    # invariant), and the new static/dynamic split partitions the
+    # pruned population exactly.
+    assert (
+        stats.subtrees_scored + stats.pruned_large + stats.pruned_buffered
+        == stats.dequeued
+        == len(document)
+    )
+    assert (
+        stats.pruned_static + stats.pruned_dynamic
+        == stats.pruned_large + stats.pruned_buffered
+    )
+
+
+def test_stage_seconds_decompose(streamed):
+    _, stats, _, _ = streamed
+    assert stats.total_seconds > 0
+    assert 0 <= stats.kernel_seconds <= stats.candidate_eval_seconds
+    assert stats.candidate_eval_seconds <= stats.total_seconds
+    assert stats.scan_seconds == pytest.approx(
+        stats.total_seconds - stats.candidate_eval_seconds
+    )
+    payload = stats.payload()
+    assert set(payload["stage_seconds"]) == {
+        "total", "scan", "candidate_eval", "kernel",
+    }
+
+
+def test_ring_occupancy_samples_every_flush(streamed):
+    _, stats, _, _ = streamed
+    assert len(stats.ring_occupancy) == RING_OCCUPANCY_BUCKETS
+    # One histogram observation per flush event, of either kind.
+    assert (
+        sum(stats.ring_occupancy)
+        == stats.head_flushes + stats.wholesale_flushes
+    )
+    assert sum(stats.ring_occupancy) > 0
+
+
+def test_kernel_counters_attributed(streamed):
+    _, stats, _, _ = streamed
+    # One kernel invocation per (evaluation batch, query); batches may
+    # retire several candidate subtrees at once, so invocations can
+    # only be fewer than candidates.
+    assert 0 < stats.kernel_invocations <= stats.candidates_evaluated
+    assert stats.kernel_rows > 0
+    assert stats.kernel_invocations_numpy <= stats.kernel_invocations
+    assert stats.kernel_rows_numpy <= stats.kernel_rows
+
+
+def test_span_tree_covers_candidate_evaluation(streamed):
+    _, stats, span, _ = streamed
+    assert span.attrs["queries"] == 1 and span.attrs["k"] == 4
+    assert span.attrs["ring_capacity"] == stats.ring_capacity
+    names = {child.name for child in span.children}
+    assert names == {"candidate_eval"}
+    # One candidate_eval child per evaluation batch — with one query,
+    # that is exactly one per kernel invocation (the cap converts the
+    # overflow into dropped_children rather than losing count).
+    dropped = span.attrs.get("dropped_children", 0)
+    assert len(span.children) + dropped == stats.kernel_invocations
+
+
+def test_instrumented_ranking_identical_to_bare(streamed):
+    document, _, _, ranking = streamed
+    bare = tasm_postorder(QUERY, document, 4)
+    assert [
+        (m.distance, m.root) for m in bare
+    ] == [(m.distance, m.root) for m in ranking]
+    # The null recorder takes the same path as span=None.
+    nulled = tasm_postorder(QUERY, document, 4, span=NULL_SPAN)
+    assert [
+        (m.distance, m.root) for m in nulled
+    ] == [(m.distance, m.root) for m in ranking]
+
+
+def test_span_propagates_across_shard_processes():
+    document = random_tree(900, seed=10, labels="abcd", max_fanout=4)
+    pairs = list(document.postorder())
+    stats = ShardedStats()
+    span = Span("sharded")
+    rankings = tasm_sharded_batch(
+        [QUERY], pairs, 3, workers=2, stats=stats, span=span
+    )
+    span.finish()
+    by_name = {child.name: child for child in span.children}
+    assert set(by_name) == {"shard_plan", "shard_dispatch", "merge"}
+    shards = [
+        c for c in by_name["shard_dispatch"].children if c.name == "shard"
+    ]
+    # One grafted worker span per shard, each with its own index and
+    # its own candidate_eval children recorded in the worker process.
+    assert len(shards) == stats.n_shards > 1
+    assert sorted(s.attrs["index"] for s in shards) == list(
+        range(len(shards))
+    )
+    assert all(
+        any(c.name == "candidate_eval" for c in s.children) for s in shards
+    )
+    # The sharded run with full instrumentation still ranks identically.
+    bare = tasm_sharded_batch([QUERY], pairs, 3, workers=2)
+    assert [
+        (m.distance, m.root) for m in rankings[0]
+    ] == [(m.distance, m.root) for m in bare[0]]
+
+
+def test_sharded_stats_aggregate_and_payload():
+    document = random_tree(700, seed=11, labels="abc", max_fanout=4)
+    stats = ShardedStats()
+    tasm_sharded_batch([QUERY], list(document.postorder()), 3,
+                       workers=2, stats=stats)
+    per_shard = stats.shard_stats
+    assert len(per_shard) == stats.n_shards
+    for field in (
+        "pruned_static", "pruned_dynamic", "head_flushes",
+        "wholesale_flushes", "kernel_invocations", "kernel_rows",
+    ):
+        assert getattr(stats, field) == sum(
+            getattr(s, field) for s in per_shard
+        )
+    assert stats.ring_occupancy == [
+        sum(s.ring_occupancy[i] for s in per_shard)
+        for i in range(RING_OCCUPANCY_BUCKETS)
+    ]
+    payload = stats.payload()
+    assert payload["sharded"]["n_shards"] == stats.n_shards
+    assert payload["sharded"]["plan_seconds"] >= 0
+    assert len(payload["sharded"]["shard_cpu_seconds"]) == stats.n_shards
+    # Key-compatible with the single-pass payload.
+    single = PostorderStats().payload()
+    assert set(single).issubset(set(payload))
+
+
+# ----------------------------------------------------------------------
+# ServeMetrics under concurrency
+# ----------------------------------------------------------------------
+def test_serve_metrics_observe_is_thread_safe():
+    metrics = ServeMetrics()
+    threads, per_thread = 8, 200
+    stats_payload = PostorderStats().payload()
+    stats_payload["dequeued"] = 10
+    stats_payload["ring_occupancy"] = [1] + [0] * (
+        RING_OCCUPANCY_BUCKETS - 1
+    )
+    stats_payload["stage_seconds"] = {
+        "total": 0.004, "scan": 0.003, "candidate_eval": 0.001,
+        "kernel": 0.0005,
+    }
+
+    def hammer():
+        for i in range(per_thread):
+            metrics.observe(
+                "POST /v1/tasm",
+                500 if i % 50 == 0 else (404 if i % 10 == 0 else 200),
+                0.002,
+                engine="stream",
+                ring_peak=7,
+                ring_capacity=10,
+                stats=stats_payload,
+            )
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+
+    total = threads * per_thread
+    snapshot = metrics.payload()
+    assert snapshot["requests_total"] == total
+    # 4 of every 200 are 5xx, 16 more are 4xx-only (i % 10 with the
+    # %50 overlap removed).
+    assert snapshot["errors_5xx"] == threads * 4
+    assert snapshot["errors_4xx"] == threads * 16
+    assert snapshot["errors_total"] == threads * 20
+    assert snapshot["engine_totals"]["dequeued"] == total * 10
+    assert snapshot["ring_occupancy"][0] == total
+    assert snapshot["stage_seconds"]["total"] == pytest.approx(total * 0.004)
+    prom = parse_prometheus(metrics.prometheus())
+    samples = prom["repro_request_seconds"]["samples"]
+    route = 'le="+Inf",route="POST /v1/tasm"'
+    assert samples[f"repro_request_seconds_bucket{{{route}}}"] == total
+    assert (
+        prom["repro_engine_events_total"]["samples"][
+            'repro_engine_events_total{counter="dequeued"}'
+        ]
+        == total * 10
+    )
+
+
+def test_serve_metrics_process_fields_and_empty_prometheus():
+    metrics = ServeMetrics(kernel_backend="numpy")
+    payload = metrics.payload()
+    assert payload["started_at"] > 0
+    assert payload["uptime_seconds"] >= 0
+    assert payload["version"]
+    # No traffic yet: exposition still parses (histogram family is
+    # omitted rather than rendered incomplete).
+    prom = parse_prometheus(metrics.prometheus())
+    assert "repro_request_seconds" not in prom
+    build = prom["repro_build_info"]["samples"]
+    key = next(iter(build))
+    assert 'kernel_backend="numpy"' in key
+    assert prom["repro_uptime_seconds"]["samples"]["repro_uptime_seconds"] >= 0

@@ -556,3 +556,156 @@ def test_server_thread_reports_startup_failure(tmp_path):
     config = ServerConfig(store=str(tmp_path / "missing.db"), port=0)
     with pytest.raises(Exception):
         ServerThread(config).start()
+
+
+# ----------------------------------------------------------------------
+# Observability: request ids, Prometheus exposition, slow-request logs
+# ----------------------------------------------------------------------
+def test_request_id_echoed_and_assigned(server):
+    _, client = server
+    status, headers, _ = client.raw(
+        "GET", "/healthz", headers={"X-Request-Id": "rid-42"}
+    )
+    assert status == 200 and headers["x-request-id"] == "rid-42"
+    _, headers2, _ = client.raw("GET", "/healthz")
+    assert headers2["x-request-id"] and headers2["x-request-id"] != "rid-42"
+
+
+def test_request_id_never_reaches_the_body(server):
+    _, client = server
+    body = {"query": "q1", "document": "small", "k": 3}
+    client.raw("POST", "/v1/tasm", body)  # warm the cache
+    _, _, first = client.raw(
+        "POST", "/v1/tasm", body, headers={"X-Request-Id": "one"}
+    )
+    _, _, second = client.raw(
+        "POST", "/v1/tasm", body, headers={"X-Request-Id": "two"}
+    )
+    # Different request ids, byte-identical cached bodies: the id lives
+    # in the headers only, so the CLI/server byte-identity contract
+    # holds for traced requests too.
+    assert first == second
+    assert b"one" not in first and b"rid" not in first
+
+
+def test_healthz_reports_process_fields(server):
+    _, client = server
+    health = client.health()
+    assert health["version"]
+    assert health["started_at"] > 0
+    assert health["uptime_seconds"] >= 0
+
+
+def test_prometheus_exposition_endpoint(server):
+    from repro.obs import parse_prometheus
+
+    _, client = server
+    client.tasm("q1", "small", k=3)
+    parsed = parse_prometheus(client.metrics_prometheus())
+    assert parsed["repro_requests_total"]["type"] == "counter"
+    route_key = 'repro_requests_total{route="POST /v1/tasm"}'
+    assert parsed["repro_requests_total"]["samples"][route_key] >= 1
+    assert "repro_request_seconds" in parsed
+    assert "repro_engine_events_total" in parsed
+    build = parsed["repro_build_info"]["samples"]
+    assert any("version=" in key for key in build)
+    # An unknown format is a client error, not a silent JSON fallback.
+    status, _, _ = client.raw("GET", "/metrics?format=xml")
+    assert status == 400
+
+
+def test_metrics_split_4xx_errors(server):
+    _, client = server
+    before = client.metrics()
+    with pytest.raises(ServeHttpError):
+        client.request("GET", "/no/such/route")
+    after = client.metrics()
+    assert after["errors_4xx"] == before["errors_4xx"] + 1
+    assert after["errors_5xx"] == before["errors_5xx"]
+    assert after["errors_total"] == before["errors_total"] + 1
+
+
+def test_metrics_json_carries_engine_telemetry(corpus):
+    config = ServerConfig(
+        store=corpus["db"], port=0, queries={"q1": QUERY}, cache_size=0
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        client.tasm("q1", "small", k=3)
+        metrics = client.metrics()
+    totals = metrics["engine_totals"]
+    assert totals["dequeued"] == 120  # the whole small document scanned
+    assert (
+        totals["pruned_static"] + totals["pruned_dynamic"]
+        == totals["pruned_large"] + totals["pruned_buffered"]
+    )
+    assert totals["kernel_invocations"] > 0
+    assert metrics["stage_seconds"]["total"] > 0
+    assert sum(metrics["ring_occupancy"]) > 0
+
+
+def test_slow_request_log_carries_stage_breakdown(corpus, capfd):
+    config = ServerConfig(
+        store=corpus["db"],
+        port=0,
+        queries={"q1": QUERY},
+        cache_size=0,
+        slow_request_seconds=0.0,  # every request is "slow"
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        _, headers, _ = client.raw(
+            "POST",
+            "/v1/tasm",
+            {"query": "q1", "document": "small", "k": 3},
+            headers={"X-Request-Id": "slow-rid"},
+        )
+    err = capfd.readouterr().err
+    lines = [
+        json.loads(line)
+        for line in err.splitlines()
+        if '"slow_request"' in line
+    ]
+    entry = next(e for e in lines if e["route"] == "POST /v1/tasm")
+    assert entry["request_id"] == headers["x-request-id"] == "slow-rid"
+    assert entry["status"] == 200 and entry["engine"] == "stream"
+    assert entry["seconds"] >= 0
+    # The stage breakdown is the request's span tree...
+    stages = entry["stages"]
+    assert stages["name"] == "POST /v1/tasm"
+    child_names = [c["name"] for c in stages["children"]]
+    assert child_names == ["cache_lookup", "rank"]
+    rank = stages["children"][1]
+    assert any(c["name"] == "candidate_eval" for c in rank["children"])
+    # ...and the engine counters ride along.
+    assert entry["stats"]["dequeued"] == 120
+
+
+def test_no_trace_disables_stage_breakdown_but_not_the_log(corpus, capfd):
+    config = ServerConfig(
+        store=corpus["db"],
+        port=0,
+        queries={"q1": QUERY},
+        cache_size=0,
+        slow_request_seconds=0.0,
+        trace=False,
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        _, headers, _ = client.raw(
+            "POST", "/v1/tasm", {"query": "q1", "document": "small", "k": 3}
+        )
+        # Request ids are assigned independently of tracing.
+        assert headers["x-request-id"]
+    err = capfd.readouterr().err
+    entries = [
+        json.loads(line)
+        for line in err.splitlines()
+        if '"slow_request"' in line
+    ]
+    entry = next(e for e in entries if e["route"] == "POST /v1/tasm")
+    assert entry["stages"] is None
+    assert entry["stats"]["dequeued"] == 120
