@@ -379,7 +379,9 @@ def bench_serve(
 
         with IntervalStore.open_readonly(db_path) as store:
             reference = tasm_batch([query], store.postorder_queue(doc_id), k)[0]
-        expected = json.dumps(ranking_payload(reference), indent=2)
+        # sort_keys on both sides: the wire contract serves sorted keys,
+        # so the re-serialised comparison must normalise key order too.
+        expected = json.dumps(ranking_payload(reference), indent=2, sort_keys=True)
 
         config = ServerConfig(
             store=db_path,
@@ -401,7 +403,7 @@ def bench_serve(
 
             def one_request() -> bool:
                 response = client.tasm(query_name, name, k=k)
-                served = json.dumps(response["matches"], indent=2)
+                served = json.dumps(response["matches"], indent=2, sort_keys=True)
                 return served == expected
 
             # Warm the kernel/label tables once before timing.

@@ -109,7 +109,7 @@ def start_server(
             if proc.poll() is not None:
                 raise RuntimeError(
                     f"server exited early with {proc.returncode}"
-                )
+                ) from None
     else:
         raise RuntimeError(
             f"server printed no listening line within "

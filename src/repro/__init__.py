@@ -19,6 +19,9 @@ Layer map:
 * :mod:`repro.serve`     — the asyncio HTTP serving layer: registered
   queries with warm kernels, document catalog, result cache, metrics
   (imported on demand; ``repro serve`` on the command line).
+* :mod:`repro.analysis`  — the invariant linter: AST rules that
+  mechanically enforce the documented contracts (streaming memory,
+  picklability, lock discipline, wire determinism; ``repro lint``).
 
 Quickstart::
 
@@ -59,7 +62,7 @@ from .tasm import (
 )
 from .trees import Node, Tree
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "__version__",

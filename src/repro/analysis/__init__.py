@@ -1,0 +1,64 @@
+"""Static analysis for the project's documented invariants.
+
+``repro.analysis`` is a zero-dependency, AST-based linter: a rule
+framework (:mod:`repro.analysis.core`) plus the project-specific rules
+(:mod:`repro.analysis.rules`) that mechanically enforce contracts the
+codebase otherwise states only in prose — the O(tau) streaming-memory
+guarantee, cross-process picklability, serve-layer lock discipline,
+the falsy span guard, wire determinism, no runtime asserts, and
+backend/span forwarding.
+
+Run it as ``repro lint [PATHS] [--json] [--rule ID]``; suppress a
+finding with ``# repro-lint: disable=<rule-id>`` on the offending line
+or ``# repro-lint: disable-file=<rule-id>`` anywhere in the file.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    AnalysisError,
+    Finding,
+    FindingPayload,
+    ModuleInfo,
+    Report,
+    ReportPayload,
+    Rule,
+    all_rule_ids,
+    analyze,
+    get_rules,
+    iter_python_files,
+    load_module,
+    register_rule,
+)
+from .rules import (
+    ForwardParamsRule,
+    JsonSortKeysRule,
+    LockDisciplineRule,
+    NoAssertRule,
+    PicklableFieldsRule,
+    SpanGuardRule,
+    StreamMaterialiseRule,
+)
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "FindingPayload",
+    "ForwardParamsRule",
+    "JsonSortKeysRule",
+    "LockDisciplineRule",
+    "ModuleInfo",
+    "NoAssertRule",
+    "PicklableFieldsRule",
+    "Report",
+    "ReportPayload",
+    "Rule",
+    "SpanGuardRule",
+    "StreamMaterialiseRule",
+    "all_rule_ids",
+    "analyze",
+    "get_rules",
+    "iter_python_files",
+    "load_module",
+    "register_rule",
+]

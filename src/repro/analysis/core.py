@@ -1,0 +1,401 @@
+"""Rule framework for the project's invariant linter.
+
+The codebase's correctness rests on contracts that no type checker can
+see: the O(tau) streaming-memory guarantee of the TASM scan (paper
+Sections V-VI), picklability of the types that cross the
+multiprocessing boundary, byte-identity between server and CLI JSON,
+lock discipline in the serving layer.  This module is the machinery
+that turns those prose contracts into checked rules: a
+:class:`Rule` visitor base, a registry, per-rule configuration,
+``# repro-lint: disable=...`` suppression comments, and deterministic
+text / JSON reports.
+
+Zero dependencies beyond the standard library — the linter must run in
+every CI leg, including the no-numpy one.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import (
+    ClassVar,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    TypedDict,
+)
+
+from ..errors import ReproError
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "FindingPayload",
+    "ModuleInfo",
+    "Report",
+    "ReportPayload",
+    "Rule",
+    "all_rule_ids",
+    "analyze",
+    "get_rules",
+    "iter_python_files",
+    "load_module",
+    "register_rule",
+]
+
+SUPPRESS_ALL = "all"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s-]+)"
+)
+
+
+class AnalysisError(ReproError):
+    """A file could not be analysed (unreadable, syntax error)."""
+
+
+class FindingPayload(TypedDict):
+    """One finding as it appears in the machine-readable report."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+class ReportPayload(TypedDict):
+    """Schema of ``repro lint --json`` output."""
+
+    version: int
+    files_scanned: int
+    rules: List[str]
+    findings: List[FindingPayload]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def payload(self) -> FindingPayload:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus its suppression comments."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    line_suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_suppressions: FrozenSet[str] = frozenset()
+
+    @property
+    def display_path(self) -> str:
+        """The path as reported in findings (relative when possible)."""
+        try:
+            return self.path.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return self.path.as_posix()
+
+    def matches(self, *suffixes: str) -> bool:
+        """True when the module path ends with any of ``suffixes``."""
+        posix = self.path.as_posix()
+        return any(posix.endswith(suffix) for suffix in suffixes)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Is ``rule_id`` suppressed at ``line`` (or file-wide)?"""
+        if rule_id in self.file_suppressions or SUPPRESS_ALL in self.file_suppressions:
+            return True
+        at_line = self.line_suppressions.get(line, frozenset())
+        return rule_id in at_line or SUPPRESS_ALL in at_line
+
+
+def _parse_suppressions(
+    source: str,
+) -> Tuple[Dict[int, FrozenSet[str]], FrozenSet[str]]:
+    """Extract ``# repro-lint: disable[-file]=...`` comments.
+
+    ``disable=`` suppresses matching findings on the comment's line;
+    ``disable-file=`` suppresses them for the whole file.  Rule ids are
+    comma-separated; the id ``all`` matches every rule.
+    """
+    line_map: Dict[int, FrozenSet[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except tokenize.TokenError:
+        return {}, frozenset()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rule_ids = {
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        }
+        if not rule_ids:
+            continue
+        if match.group("scope") == "disable-file":
+            file_wide.update(rule_ids)
+        else:
+            line = token.start[0]
+            line_map[line] = line_map.get(line, frozenset()) | frozenset(rule_ids)
+    return line_map, frozenset(file_wide)
+
+
+def _link_parents(tree: ast.Module) -> None:
+    """Attach a ``_lint_parent`` attribute to every node (None at root)."""
+    tree._lint_parent = None  # type: ignore[attr-defined]
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._lint_parent = node  # type: ignore[attr-defined]
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk from ``node``'s parent up to the module root."""
+    current: Optional[ast.AST] = getattr(node, "_lint_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_lint_parent", None)
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Read + parse one file; raises :class:`AnalysisError` on failure."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+    _link_parents(tree)
+    line_map, file_wide = _parse_suppressions(source)
+    return ModuleInfo(
+        path=path,
+        source=source,
+        tree=tree,
+        line_suppressions=line_map,
+        file_suppressions=file_wide,
+    )
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, deduplicated file list."""
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            collected.append(path)
+        else:
+            raise AnalysisError(f"not a Python file or directory: {path}")
+    for path in collected:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            yield path
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one invariant check.
+
+    Subclasses set the :attr:`id` / :attr:`title` class attributes,
+    implement ``visit_*`` methods, and call :meth:`flag` on violations.
+    Class attributes double as per-rule configuration: constructor
+    ``options`` override them per run (``analyze(..., config={rule_id:
+    {attr: value}})``), so tests and downstream users can retarget a
+    rule without subclassing.
+
+    The rule's docstring is its rationale and is surfaced by
+    ``repro lint --list-rules`` — keep it pointed at the invariant's
+    origin (paper section or PR) so a finding explains *why* it matters.
+    """
+
+    id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+
+    def __init__(self, options: Optional[Mapping[str, object]] = None):
+        for name, value in (options or {}).items():
+            if not hasattr(type(self), name):
+                raise AnalysisError(
+                    f"rule {self.id!r} has no option {name!r}"
+                )
+            setattr(self, name, value)
+        self.findings: List[Finding] = []
+        self._module: Optional[ModuleInfo] = None
+
+    # -- hooks ----------------------------------------------------------
+    def applies_to(self, module: ModuleInfo) -> bool:
+        """Whether this rule inspects ``module`` at all (default: yes)."""
+        return True
+
+    @property
+    def module(self) -> ModuleInfo:
+        if self._module is None:
+            raise AnalysisError(f"rule {self.id!r} used outside check()")
+        return self._module
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        self.findings.append(
+            Finding(
+                path=self.module.display_path,
+                line=line,
+                col=col,
+                rule=self.id,
+                message=message,
+            )
+        )
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        """Run the visitor over ``module``; returns unsuppressed findings."""
+        self._module = module
+        self.findings = []
+        self.visit(module.tree)
+        found = [
+            finding
+            for finding in self.findings
+            if not module.suppressed(self.id, finding.line)
+        ]
+        self._module = None
+        self.findings = []
+        return found
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id:
+        raise AnalysisError(f"{rule_class.__name__} must set a rule id")
+    if rule_class.id in _REGISTRY:
+        raise AnalysisError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def all_rule_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rules(
+    rule_ids: Optional[Sequence[str]] = None,
+    config: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> List[Rule]:
+    """Instantiate the selected rules (all registered ones by default)."""
+    selected = list(rule_ids) if rule_ids else all_rule_ids()
+    rules: List[Rule] = []
+    for rule_id in selected:
+        rule_class = _REGISTRY.get(rule_id)
+        if rule_class is None:
+            known = ", ".join(all_rule_ids())
+            raise AnalysisError(f"unknown rule {rule_id!r} (known: {known})")
+        options = (config or {}).get(rule_id)
+        rules.append(rule_class(options))
+    return rules
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: List[Finding]
+    files_scanned: int
+    rule_ids: List[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def payload(self) -> ReportPayload:
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rule_ids),
+            "findings": [finding.payload() for finding in self.findings],
+        }
+
+    def to_json(self) -> str:
+        # sort_keys keeps the report byte-deterministic, the same
+        # contract rule json-sort-keys enforces on the wire modules.
+        return json.dumps(self.payload(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        if self.clean:
+            return (
+                f"repro lint: {self.files_scanned} files clean "
+                f"({len(self.rule_ids)} rules)"
+            )
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"repro lint: {len(self.findings)} finding(s) in "
+            f"{self.files_scanned} files"
+        )
+        return "\n".join(lines)
+
+
+def analyze(
+    paths: Sequence[Path],
+    rule_ids: Optional[Sequence[str]] = None,
+    config: Optional[Mapping[str, Mapping[str, object]]] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> Report:
+    """Run rules over every Python file under ``paths``.
+
+    ``rules`` takes pre-built rule instances (tests use this to inject
+    configured rules); otherwise ``rule_ids``/``config`` select from the
+    registry.  Findings come back sorted by (path, line, col, rule) so
+    the report is deterministic regardless of filesystem order.
+    """
+    active = list(rules) if rules is not None else get_rules(rule_ids, config)
+    findings: List[Finding] = []
+    files = 0
+    for file_path in iter_python_files(paths):
+        module = load_module(file_path)
+        files += 1
+        for rule in active:
+            if rule.applies_to(module):
+                findings.extend(rule.check(module))
+    findings.sort()
+    return Report(
+        findings=findings,
+        files_scanned=files,
+        rule_ids=sorted(rule.id for rule in active),
+    )

@@ -1,0 +1,628 @@
+"""The project-specific invariant rules.
+
+Each rule encodes one contract the codebase documents in prose —
+paper guarantees (the O(tau) streaming bound of TASM, Sections V-VI),
+process-boundary constraints, and wire determinism.  A rule's
+docstring is its rationale: it names the invariant and where it comes
+from, so a finding is an explanation, not just a complaint.
+
+All rules operate purely on the AST (no imports of the checked code),
+so the linter can analyse a broken tree and runs identically on every
+CI leg.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    ClassVar,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .core import ModuleInfo, Rule, ancestors, register_rule
+
+__all__ = [
+    "ForwardParamsRule",
+    "JsonSortKeysRule",
+    "LockDisciplineRule",
+    "NoAssertRule",
+    "PicklableFieldsRule",
+    "SpanGuardRule",
+    "StreamMaterialiseRule",
+]
+
+FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    """Every bare identifier referenced anywhere under ``node``."""
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    for parent in ancestors(node):
+        if isinstance(parent, FuncDef):
+            return parent
+    return None
+
+
+def _function_chain(node: ast.AST) -> Iterator[ast.AST]:
+    """All function definitions enclosing ``node``, innermost first."""
+    for parent in ancestors(node):
+        if isinstance(parent, FuncDef):
+            yield parent
+
+
+@register_rule
+class StreamMaterialiseRule(Rule):
+    """No unbounded materialisation inside streaming-marked hot paths.
+
+    TASM's defining guarantee (paper Sections V-VI, enforced by the
+    bench memory gate since PR 2) is that ranking memory is O(tau) —
+    independent of document size.  One ``list(source)``, ``.read()``,
+    or whole-tree build inside the scan loop silently turns the
+    streaming algorithm into a materialising one; results stay correct,
+    so only memory profiling (or this rule) would ever notice.
+
+    ``streaming_functions`` maps a module path suffix to the functions
+    that carry the guarantee, each with the names bound to the
+    unbounded stream inside it.  Flagged: ``list``/``tuple``/``set``/
+    ``sorted``/``dict`` calls whose arguments reference a stream name,
+    ``.read()``/``.readlines()`` calls, ``.to_tree()`` on a stream
+    name, and ``Tree.from_postorder(<stream>)``.
+    """
+
+    id = "stream-materialise"
+    title = "unbounded materialisation in a streaming hot path"
+
+    #: module path suffix -> {function name -> stream-bound names}
+    streaming_functions: ClassVar[
+        Mapping[str, Mapping[str, Tuple[str, ...]]]
+    ] = {
+        "tasm/postorder.py": {
+            "_stream_topk": ("source", "q"),
+            "tasm_postorder": ("queue",),
+        },
+        "parallel/worker.py": {
+            "run_shard": ("task",),
+            "_shard_pairs": ("task",),
+            "_closing_scan": (),
+            "_xml_range_scan": (),
+        },
+        "xmlio/parse.py": {
+            "iterparse_postorder": ("source",),
+            "_flush_pending": (),
+        },
+    }
+
+    _MATERIALISERS = ("list", "tuple", "set", "sorted", "dict", "frozenset")
+    _READERS = ("read", "readlines")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.matches(*self.streaming_functions)
+
+    def _marked(self, module: ModuleInfo) -> Mapping[str, Tuple[str, ...]]:
+        for suffix, functions in self.streaming_functions.items():
+            if module.matches(suffix):
+                return functions
+        return {}
+
+    def _stream_names(self, node: ast.AST) -> Optional[Tuple[str, ...]]:
+        """Stream names in scope if ``node`` sits in a marked function."""
+        marked = self._marked(self.module)
+        names: List[str] = []
+        inside = False
+        for func in _function_chain(node):
+            if func.name in marked:  # type: ignore[attr-defined]
+                inside = True
+                names.extend(marked[func.name])  # type: ignore[attr-defined]
+        return tuple(names) if inside else None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        streams = self._stream_names(node)
+        if streams is None:
+            self.generic_visit(node)
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._MATERIALISERS:
+            touched = set()
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                touched |= _names_in(arg)
+            hit = touched & set(streams)
+            if hit:
+                self.flag(
+                    node,
+                    f"{func.id}(...) materialises the unbounded stream "
+                    f"{sorted(hit)!r}; the scan must stay O(tau) memory",
+                )
+        elif isinstance(func, ast.Attribute):
+            if func.attr in self._READERS:
+                self.flag(
+                    node,
+                    f".{func.attr}() slurps its source into memory inside "
+                    "a streaming-marked function",
+                )
+            elif func.attr == "to_tree" and isinstance(func.value, ast.Name):
+                if func.value.id in streams:
+                    self.flag(
+                        node,
+                        f"{func.value.id}.to_tree() builds the whole "
+                        "document; the streaming core must not",
+                    )
+            elif func.attr == "from_postorder":
+                touched = set()
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    touched |= _names_in(arg)
+                if touched & set(streams):
+                    self.flag(
+                        node,
+                        "Tree.from_postorder(<stream>) materialises the "
+                        "whole document inside a streaming-marked function",
+                    )
+        self.generic_visit(node)
+
+
+@register_rule
+class PicklableFieldsRule(Rule):
+    """Cross-process dataclass fields must be picklable by construction.
+
+    ``ShardTask`` / ``ShardResult`` cross the multiprocessing boundary
+    (PR 4's parallel layer); a field holding a lock, a lambda, a live
+    ``Span``, or an open handle raises ``TypeError: cannot pickle`` at
+    dispatch time — on the *user's* machine, under a worker pool, long
+    after the field was added.  This rule rejects the field at lint
+    time instead: every name in the annotation must come from the
+    allowlist of primitives, containers, and known-picklable project
+    types.
+    """
+
+    id = "picklable-fields"
+    title = "unpicklable field on a cross-process dataclass"
+
+    #: module path suffix -> dataclass names to audit
+    dataclasses: ClassVar[Mapping[str, Tuple[str, ...]]] = {
+        "parallel/worker.py": ("ShardTask", "ShardResult"),
+    }
+    #: annotation identifiers considered picklable
+    allowed_names: ClassVar[Tuple[str, ...]] = (
+        "int",
+        "float",
+        "str",
+        "bool",
+        "bytes",
+        "complex",
+        "object",
+        "None",
+        "tuple",
+        "Tuple",
+        "list",
+        "List",
+        "dict",
+        "Dict",
+        "set",
+        "Set",
+        "frozenset",
+        "FrozenSet",
+        "Optional",
+        "Union",
+        # Project types that are plain data all the way down.
+        "Tree",
+        "PostorderStats",
+        "ShardMatch",
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.matches(*self.dataclasses)
+
+    def _audited_classes(self) -> Tuple[str, ...]:
+        for suffix, names in self.dataclasses.items():
+            if self.module.matches(suffix):
+                return names
+        return ()
+
+    def _annotation_names(self, annotation: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.Constant):
+                if isinstance(node.value, str):
+                    # Forward reference: parse the string annotation too.
+                    try:
+                        inner = ast.parse(node.value, mode="eval")
+                    except SyntaxError:
+                        names.add(node.value)
+                    else:
+                        names |= self._annotation_names(inner)
+            elif isinstance(node, ast.Lambda):
+                names.add("lambda")
+        return names
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name not in self._audited_classes():
+            self.generic_visit(node)
+            return
+        allowed = set(self.allowed_names)
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            field_name = (
+                statement.target.id
+                if isinstance(statement.target, ast.Name)
+                else "<field>"
+            )
+            bad = self._annotation_names(statement.annotation) - allowed
+            if bad:
+                self.flag(
+                    statement,
+                    f"{node.name}.{field_name} is annotated with "
+                    f"{sorted(bad)!r}, not on the picklable allowlist — "
+                    "it crosses the multiprocessing boundary",
+                )
+            if statement.value is not None and any(
+                isinstance(n, ast.Lambda) for n in ast.walk(statement.value)
+            ):
+                self.flag(
+                    statement,
+                    f"{node.name}.{field_name} defaults to a lambda, "
+                    "which cannot be pickled",
+                )
+        self.generic_visit(node)
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    """Attribute writes on lock-guarded serve classes stay inside the lock.
+
+    ``ResultCache`` and ``ServeMetrics`` are shared across every server
+    thread (PR 5); their counters are documented as guarded by
+    ``self._lock``.  A write that drifts outside a ``with self._lock``
+    block is a data race that no test reliably catches — lost-update
+    windows are nanoseconds wide.  ``__init__`` is exempt (no other
+    thread can hold the instance yet).
+    """
+
+    id = "lock-discipline"
+    title = "attribute write outside the guarding lock"
+
+    #: module path suffix -> class names whose writes must hold the lock
+    guarded_classes: ClassVar[Mapping[str, Tuple[str, ...]]] = {
+        "serve/cache.py": ("ResultCache",),
+        "serve/metrics.py": ("ServeMetrics",),
+    }
+    lock_attribute: ClassVar[str] = "_lock"
+    exempt_methods: ClassVar[Tuple[str, ...]] = ("__init__",)
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.matches(*self.guarded_classes)
+
+    def _audited_classes(self) -> Tuple[str, ...]:
+        for suffix, names in self.guarded_classes.items():
+            if self.module.matches(suffix):
+                return names
+        return ()
+
+    def _is_self_write(self, target: ast.AST) -> bool:
+        return (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        )
+
+    def _holds_lock(self, node: ast.AST) -> bool:
+        for parent in ancestors(node):
+            if isinstance(parent, (ast.With, ast.AsyncWith)):
+                for item in parent.items:
+                    expr = item.context_expr
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and expr.attr == self.lock_attribute
+                    ):
+                        return True
+                    # with self._lock: ... acquired via a helper, e.g.
+                    # self._lock.acquire-style wrappers.
+                    for sub in ast.walk(expr):
+                        if (
+                            isinstance(sub, ast.Attribute)
+                            and sub.attr == self.lock_attribute
+                        ):
+                            return True
+        return False
+
+    def _check_write(self, node: ast.AST, targets: Sequence[ast.AST]) -> None:
+        func = _enclosing_function(node)
+        if func is None or func.name in self.exempt_methods:  # type: ignore[attr-defined]
+            return
+        class_def = None
+        for parent in ancestors(func):
+            if isinstance(parent, ast.ClassDef):
+                class_def = parent
+                break
+        if class_def is None or class_def.name not in self._audited_classes():
+            return
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            if self._is_self_write(target) and not self._holds_lock(node):
+                self.flag(
+                    node,
+                    f"{class_def.name}.{func.name} writes "  # type: ignore[attr-defined]
+                    f"self.{target.attr} outside `with self."
+                    f"{self.lock_attribute}` — racy against other "
+                    "server threads",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_write(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_write(node, [node.target])
+        self.generic_visit(node)
+
+
+@register_rule
+class SpanGuardRule(Rule):
+    """Span calls in engine hot paths stay behind the falsy guard.
+
+    The observability layer's promise (PR 6, enforced by the bench's
+    ``--fail-obs-overhead`` gate) is that disabled tracing costs one
+    pointer check: every ``span.method(...)`` in engine code must sit
+    under a conditional that tests the span name, and no ``Span(...)``
+    may be constructed inside a per-node loop (that is an allocation
+    per node even when tracing is off, and span trees are capped at
+    ``MAX_CHILDREN`` anyway).
+    """
+
+    id = "span-guard"
+    title = "unguarded span use in an engine hot path"
+
+    #: modules whose span uses must be guarded
+    hot_modules: ClassVar[Tuple[str, ...]] = (
+        "tasm/postorder.py",
+        "tasm/batch.py",
+        "parallel/worker.py",
+        "parallel/sharded.py",
+        "serve/executor.py",
+    )
+    #: methods that are themselves guard-free by design (NULL_SPAN
+    #: recorders implement them as no-ops and callers rely on that).
+    exempt_methods: ClassVar[Tuple[str, ...]] = ()
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.matches(*self.hot_modules)
+
+    @staticmethod
+    def _is_span_name(name: str) -> bool:
+        return name == "span" or name.endswith("_span")
+
+    def _guarded(self, node: ast.AST, name: str) -> bool:
+        """Is ``node`` under a conditional whose test references ``name``?"""
+        previous: ast.AST = node
+        for parent in ancestors(node):
+            if isinstance(parent, ast.If) and name in _names_in(parent.test):
+                return True
+            if (
+                isinstance(parent, ast.IfExp)
+                and previous is not parent.test
+                and name in _names_in(parent.test)
+            ):
+                return True
+            if isinstance(parent, ast.BoolOp) and isinstance(parent.op, ast.And):
+                # `span and span.child(...)`: any earlier operand
+                # referencing the name guards the later ones.
+                index = (
+                    parent.values.index(previous)
+                    if previous in parent.values
+                    else len(parent.values)
+                )
+                for operand in parent.values[:index]:
+                    if name in _names_in(operand):
+                        return True
+            if isinstance(parent, FuncDef):
+                break
+            previous = parent
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and self._is_span_name(func.value.id)
+            and func.attr not in self.exempt_methods
+            and not self._guarded(node, func.value.id)
+        ):
+            self.flag(
+                node,
+                f"{func.value.id}.{func.attr}(...) is not behind an "
+                f"`if {func.value.id}:` guard — disabled tracing "
+                "must cost one pointer check",
+            )
+        if isinstance(func, ast.Name) and func.id == "Span":
+            for parent in ancestors(node):
+                if isinstance(parent, (ast.For, ast.AsyncFor, ast.While)):
+                    self.flag(
+                        node,
+                        "Span(...) constructed inside a loop — spans are "
+                        "per-stage, not per-node",
+                    )
+                    break
+                if isinstance(parent, FuncDef):
+                    break
+        self.generic_visit(node)
+
+
+@register_rule
+class JsonSortKeysRule(Rule):
+    """``json.dumps`` in wire/observability modules sorts its keys.
+
+    The service contract (PR 5's ``service-smoke`` CI job) asserts that
+    a ``/v1/tasm`` response body is byte-identical to the matching
+    ``repro tasm --json`` CLI output.  ``json.dumps`` without
+    ``sort_keys=True`` emits dict-insertion order — two code paths
+    building the same payload in different order silently diverge.
+    Every dumps call in the modules that produce wire or log output
+    must therefore pin ``sort_keys=True``.
+    """
+
+    id = "json-sort-keys"
+    title = "json.dumps without sort_keys=True in a wire module"
+
+    #: module path suffixes whose JSON output crosses a wire
+    wire_modules: ClassVar[Tuple[str, ...]] = (
+        "repro/cli.py",
+        "serve/wire.py",
+        "serve/httpd.py",
+        "serve/client.py",
+        "obs/log.py",
+        "obs/prom.py",
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.matches(*self.wire_modules)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_dumps = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "dumps"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "json"
+        ) or (isinstance(func, ast.Name) and func.id == "dumps")
+        if is_dumps:
+            pinned = any(
+                kw.arg == "sort_keys"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            if not pinned:
+                self.flag(
+                    node,
+                    "json.dumps without sort_keys=True — wire output "
+                    "must be byte-deterministic (CLI/HTTP identity "
+                    "contract)",
+                )
+        self.generic_visit(node)
+
+
+@register_rule
+class NoAssertRule(Rule):
+    """No runtime ``assert`` for control flow in shipped code.
+
+    ``python -O`` strips assert statements, so an assert that guards a
+    real runtime state ("server not started", "tree has no root")
+    silently becomes a no-op and the failure resurfaces later as an
+    ``AttributeError`` three frames away.  Shipped code raises explicit
+    exceptions (:mod:`repro.errors`); ``assert`` belongs in tests,
+    where pytest rewrites it.
+    """
+
+    id = "no-assert"
+    title = "runtime assert in shipped code"
+
+    #: directory names / file-name prefixes exempt from the rule
+    #: (test trees use assert by design — pytest rewrites it there)
+    exempt_dirs: ClassVar[Tuple[str, ...]] = ("tests",)
+    exempt_file_prefixes: ClassVar[Tuple[str, ...]] = ("test_", "conftest")
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        name = module.path.name
+        if any(name.startswith(prefix) for prefix in self.exempt_file_prefixes):
+            return False
+        return not any(part in self.exempt_dirs for part in module.path.parts[:-1])
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.flag(
+            node,
+            "assert is stripped under `python -O`; raise an explicit "
+            "exception from repro.errors instead",
+        )
+        self.generic_visit(node)
+
+
+@register_rule
+class ForwardParamsRule(Rule):
+    """Accepted ``backend=``/``span=`` parameters must actually be used.
+
+    The layered API threads two cross-cutting parameters everywhere:
+    the kernel row engine (``backend``) and the tracing span.  A public
+    entrypoint that accepts one and drops it on the floor still works —
+    it just silently ranks on the wrong engine or loses a span subtree,
+    the exact bug class the PR 5 backend plumbing fixed.  Any function
+    that declares one of these parameters must reference it in its
+    body (forwarding it counts; stub bodies are exempt).
+    """
+
+    id = "forward-params"
+    title = "accepted backend=/span= parameter never used"
+
+    watched_params: ClassVar[Tuple[str, ...]] = ("backend", "span")
+
+    def _is_stub(self, node: ast.AST) -> bool:
+        body = node.body  # type: ignore[attr-defined]
+        statements = list(body)
+        if (
+            statements
+            and isinstance(statements[0], ast.Expr)
+            and isinstance(statements[0].value, ast.Constant)
+            and isinstance(statements[0].value.value, str)
+        ):
+            statements = statements[1:]
+        if not statements:
+            return True
+        if len(statements) == 1:
+            only = statements[0]
+            if isinstance(only, ast.Pass):
+                return True
+            if isinstance(only, ast.Expr) and isinstance(only.value, ast.Constant):
+                return True  # `...` ellipsis body (Protocol / overload)
+            if isinstance(only, ast.Raise):
+                return True  # abstract `raise NotImplementedError`
+        return False
+
+    def _check_function(self, node: ast.AST) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        declared = [
+            arg.arg
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+            if arg.arg in self.watched_params
+        ]
+        if not declared or self._is_stub(node):
+            self.generic_visit(node)
+            return
+        used = {
+            n.id
+            for stmt in node.body  # type: ignore[attr-defined]
+            for n in ast.walk(stmt)
+            if isinstance(n, ast.Name)
+        }
+        for param in declared:
+            if param not in used:
+                self.flag(
+                    node,
+                    f"{node.name}() accepts {param}= but never uses it — "  # type: ignore[attr-defined]
+                    "the parameter must be forwarded to the callee",
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro`` / the ``repro`` script.
 
-Four subcommands mirror the library's entry points:
+Five subcommands mirror the library's entry points:
 
 * ``repro ted A B`` — tree edit distance between two trees,
 * ``repro tasm QUERY DOCUMENT -k K`` — top-k approximate subtree
@@ -11,7 +11,10 @@ Four subcommands mirror the library's entry points:
 * ``repro dataset NAME OUT`` — generate an XMark/DBLP/PSD-lookalike
   document (:mod:`repro.datasets`) for benchmarks and experiments,
 * ``repro serve`` — run the long-lived TASM HTTP service
-  (:mod:`repro.serve`) over a store file and/or XML documents.
+  (:mod:`repro.serve`) over a store file and/or XML documents,
+* ``repro lint`` — run the project's invariant linter
+  (:mod:`repro.analysis`) over source trees (the installed package by
+  default).
 
 Tree arguments are bracket notation (``{a{b}{c}}``) given inline, or a
 path to a ``.xml`` / ``.bracket`` / ``.db`` file; ``--format``
@@ -23,7 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .distance import UnitCostModel, WeightedCostModel, ted
 from .errors import CostModelError, ReproError
@@ -116,11 +119,11 @@ def _cost_model(spec: str):
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"cost must be 'unit' or 'REN,DEL,INS', got {spec!r}"
-        )
+        ) from None
     try:
         return WeightedCostModel(rename, delete, insert)
     except CostModelError as exc:
-        raise argparse.ArgumentTypeError(str(exc))
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -325,6 +328,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "vanish from slow-request logs; shaves the last slivers of "
         "per-request overhead)",
     )
+
+    lint_p = sub.add_parser(
+        "lint", help="run the project's invariant linter (repro.analysis)"
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyse "
+        "(default: the installed repro package)",
+    )
+    lint_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    lint_p.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule id (repeatable; default: every rule)",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rule ids with their rationale and exit",
+    )
     return parser
 
 
@@ -453,7 +482,7 @@ def _run_tasm(args: argparse.Namespace) -> int:
             ]
         else:
             payload = _ranking_payload(rankings[0])
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for qi, matches in enumerate(rankings, 1):
             prefix = f"q{qi}\t" if batch else ""
@@ -559,7 +588,7 @@ def _run_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_pairs(pairs: List[str], what: str) -> dict:
+def _parse_pairs(pairs: List[str], what: str) -> Dict[str, str]:
     """``NAME=VALUE`` argument lists as a dict (order-preserving)."""
     out = {}
     for pair in pairs:
@@ -607,6 +636,28 @@ def _run_serve(args: argparse.Namespace) -> int:
     return run_server(_serve_config(args))
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import analyze, get_rules
+
+    if args.list_rules:
+        for rule in get_rules():
+            doc = (type(rule).__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else rule.title
+            print(f"{rule.id}: {summary}")
+        return 0
+    if args.paths:
+        targets = [Path(p) for p in args.paths]
+    else:
+        # No explicit target: lint the installed package itself — the
+        # CI invocation, and a self-check anyone can run anywhere.
+        targets = [Path(__file__).resolve().parent]
+    report = analyze(targets, rule_ids=args.rule or None)
+    print(report.to_json() if args.json else report.render_text())
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -616,6 +667,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_dataset(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "lint":
+            return _run_lint(args)
         return _run_tasm(args)
     except (ReproError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

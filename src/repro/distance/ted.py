@@ -599,6 +599,7 @@ class PrefixDistanceKernel:
                                 off2_slice,
                                 id2_slice,
                                 td_view,
+                                strict=True,
                             ):
                                 dj += 1
                                 if off2:
@@ -623,7 +624,8 @@ class PrefixDistanceKernel:
                                 diag = pr
                         else:
                             for pr, off2, i2, tdv in zip(
-                                prev_view, off2_slice, id2_slice, td_view
+                                prev_view, off2_slice, id2_slice, td_view,
+                                strict=True,
                             ):
                                 dj += 1
                                 if off2:
@@ -653,7 +655,8 @@ class PrefixDistanceKernel:
                         dj = 0
                         if icc is None:
                             for pr, ic, off2, tdv in zip(
-                                prev_view, ic_slice, off2_slice, td_view
+                                prev_view, ic_slice, off2_slice, td_view,
+                                strict=True,
                             ):
                                 dj += 1
                                 best = bnd[off2] + tdv
@@ -667,7 +670,8 @@ class PrefixDistanceKernel:
                                 acc = best
                         else:
                             for pr, off2, tdv in zip(
-                                prev_view, off2_slice, td_view
+                                prev_view, off2_slice, td_view,
+                                strict=True,
                             ):
                                 dj += 1
                                 best = bnd[off2] + tdv
@@ -830,7 +834,7 @@ class PrefixDistanceKernel:
             S[:] = self._arange_np[:njp1] * icc
         rows = np.empty((self._n1 + 1, G, njp1))
         rows[0] = S
-        for (c0_np, *_), (_, plan) in zip(self._plans_np, self._plans):
+        for (c0_np, *_), (_, plan) in zip(self._plans_np, self._plans, strict=True):
             rows[1 : len(plan) + 1, :, 0] = c0_np[1:, None]
             prev = rows[0]
             r = 0
@@ -868,7 +872,7 @@ class PrefixDistanceKernel:
         else:
             np.multiply(self._arange_np[:njp1], icc, out=S)
         ren = self._ren_np
-        for (c0_np, *_), (c0, plan) in zip(self._plans_np, self._plans):
+        for (c0_np, *_), (_c0, plan) in zip(self._plans_np, self._plans, strict=True):
             rows[1 : len(plan) + 1, 0] = c0_np[1:]
             prev = rows[0]
             r = 0

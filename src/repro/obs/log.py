@@ -35,7 +35,9 @@ def jsonlog(
     try:
         line = json.dumps(record, sort_keys=True, default=repr)
     except (TypeError, ValueError):  # pragma: no cover - default=repr covers
-        line = json.dumps({"event": event, "error": "unserialisable record"})
+        line = json.dumps(
+            {"event": event, "error": "unserialisable record"}, sort_keys=True
+        )
     out = stream if stream is not None else sys.stderr
     print(line, file=out, flush=True)
     return line

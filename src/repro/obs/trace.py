@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 import os
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = [
     "NULL_SPAN",
@@ -104,16 +104,16 @@ class Span:
     # ------------------------------------------------------------------
     # Serialisation across the multiprocessing boundary
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """A plain-dict form: picklable, JSON-ready, clock-free."""
-        row: dict = {"name": self.name, "seconds": round(self.seconds, 6)}
+        row: Dict[str, Any] = {"name": self.name, "seconds": round(self.seconds, 6)}
         if self.attrs:
             row["attrs"] = self.attrs
         if self.children:
             row["children"] = [c.to_dict() for c in self.children]
         return row
 
-    def graft(self, payload: dict) -> "Span":
+    def graft(self, payload: Dict[str, Any]) -> "Span":
         """Attach a serialised span tree (from another process) as a child."""
         span = Span(payload.get("name", "<span>"), dict(payload.get("attrs", {})))
         span.seconds = float(payload.get("seconds", 0.0))
@@ -148,10 +148,10 @@ class NullSpan:
     def __exit__(self, *exc) -> None:
         return None
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"name": "<null>", "seconds": 0.0}
 
-    def graft(self, payload: dict) -> "NullSpan":
+    def graft(self, payload: Dict[str, Any]) -> "NullSpan":
         return self
 
     @property
@@ -163,11 +163,11 @@ class NullSpan:
         return 0.0
 
     @property
-    def attrs(self) -> dict:
+    def attrs(self) -> Dict[str, object]:
         return {}
 
     @property
-    def children(self) -> list:
+    def children(self) -> List["Span"]:
         return []
 
 
@@ -203,7 +203,7 @@ def render_span_tree(span, indent: str = "  ") -> List[str]:
         span = span.to_dict()
     lines: List[str] = []
 
-    def walk(node: dict, depth: int) -> None:
+    def walk(node: Dict[str, Any], depth: int) -> None:
         attrs = node.get("attrs") or {}
         extras = " ".join(f"{k}={v}" for k, v in attrs.items())
         lines.append(

@@ -79,7 +79,7 @@ def iter_safe_cuts(pairs: Iterable[Pair], tau: int) -> Iterator[int]:
     """
     if tau < 1:
         raise RankingError(f"tau must be >= 1, got {tau}")
-    pending: deque = deque()
+    pending: "deque[int]" = deque()
     position = 0
     for _, size in pairs:
         position += 1
@@ -141,6 +141,6 @@ def plan_shards(
     bounds = [0] + cuts + [total_nodes]
     shard_list = tuple(
         Shard(index=i, start=lo + 1, end=hi)
-        for i, (lo, hi) in enumerate(zip(bounds, bounds[1:]))
+        for i, (lo, hi) in enumerate(zip(bounds, bounds[1:], strict=False))
     )
     return ShardPlan(tau=tau, total_nodes=total_nodes, shards=shard_list)

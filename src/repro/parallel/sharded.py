@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
 from ..distance.ted import resolve_backend
@@ -192,7 +192,7 @@ class ShardedStats:
                 agg[i] += v
         return agg
 
-    def payload(self) -> dict:
+    def payload(self) -> Dict[str, object]:
         """JSON-ready form, key-compatible with
         :meth:`~repro.tasm.postorder.PostorderStats.payload` plus a
         ``sharded`` block of coordinator-side detail."""

@@ -7,6 +7,6 @@
 """
 
 from .interval import IntervalStore
-from .queue import PostorderQueue
+from .queue import Pair, PostorderQueue, PostorderSource
 
-__all__ = ["PostorderQueue", "IntervalStore"]
+__all__ = ["Pair", "PostorderQueue", "PostorderSource", "IntervalStore"]

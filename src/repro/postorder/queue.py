@@ -9,14 +9,27 @@ the relational interval-encoding store (:mod:`repro.postorder.interval`).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Iterable, Iterator, Optional, Protocol, Tuple, runtime_checkable
 
 from ..errors import PostorderQueueError
 from ..trees.tree import Tree
 
-__all__ = ["PostorderQueue"]
+__all__ = ["Pair", "PostorderQueue", "PostorderSource"]
 
 Pair = Tuple[object, int]
+
+
+@runtime_checkable
+class PostorderSource(Protocol):
+    """Anything that yields ``(label, size)`` pairs in postorder.
+
+    The structural interface of paper Definition 2: generators,
+    database scans, and :class:`PostorderQueue` itself all satisfy it,
+    so the streaming core can be typed against the contract instead of
+    a concrete container.
+    """
+
+    def __iter__(self) -> Iterator[Pair]: ...
 
 
 class PostorderQueue:
@@ -29,7 +42,7 @@ class PostorderQueue:
 
     __slots__ = ("_iter", "_peeked", "_exhausted", "_dequeued")
 
-    def __init__(self, pairs: Iterable[Pair]):
+    def __init__(self, pairs: "Iterable[Pair] | PostorderSource"):
         self._iter = iter(pairs)
         self._peeked: Optional[Pair] = None
         self._exhausted = False
@@ -51,7 +64,7 @@ class PostorderQueue:
         return cls(iterparse_postorder(source, **kwargs))
 
     @classmethod
-    def from_pairs(cls, pairs: Iterable[Pair]) -> "PostorderQueue":
+    def from_pairs(cls, pairs: "Iterable[Pair] | PostorderSource") -> "PostorderQueue":
         return cls(pairs)
 
     # ------------------------------------------------------------------
@@ -81,7 +94,9 @@ class PostorderQueue:
                 pair = next(self._iter)
             except StopIteration:
                 self._exhausted = True
-                raise PostorderQueueError("dequeue from empty postorder queue")
+                raise PostorderQueueError(
+                    "dequeue from empty postorder queue"
+                ) from None
         self._dequeued += 1
         return pair
 

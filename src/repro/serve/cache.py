@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 __all__ = ["ResultCache", "result_key"]
 
@@ -74,7 +74,7 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
-    def payload(self) -> dict:
+    def payload(self) -> Dict[str, object]:
         with self._lock:
             total = self.hits + self.misses
             return {

@@ -81,7 +81,7 @@ class CatalogDocument:
             return StoreDocument(self.path, self.doc_id)
         return XmlDocument(self.path)
 
-    def payload(self) -> dict:
+    def payload(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "kind": self.kind,
@@ -175,5 +175,5 @@ class DocumentCatalog:
             raise ServeError(f"no document named {name!r}", status=404)
         return doc
 
-    def payload(self) -> List[dict]:
+    def payload(self) -> List[Dict[str, object]]:
         return [self._documents[name].payload() for name in self.names()]

@@ -15,7 +15,7 @@ import http.client
 import json
 import socket
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import ServeError
 
@@ -59,7 +59,7 @@ class ServeClient:
         body = None
         send_headers = dict(headers or {})
         if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
             send_headers["Content-Type"] = "application/json"
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -90,12 +90,12 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    def health(self) -> dict:
+    def health(self) -> Dict[str, Any]:
         return self.request("GET", "/healthz")
 
     def wait_healthy(
         self, timeout: float = 15.0, interval: float = 0.1
-    ) -> dict:
+    ) -> Dict[str, Any]:
         """Poll ``/healthz`` until it answers ``ok`` (hard deadline)."""
         deadline = time.monotonic() + timeout
         last_error: Optional[Exception] = None
@@ -112,7 +112,7 @@ class ServeClient:
             f"{timeout}s (last error: {last_error})"
         )
 
-    def metrics(self) -> dict:
+    def metrics(self) -> Dict[str, Any]:
         return self.request("GET", "/metrics")
 
     def metrics_prometheus(self) -> str:
@@ -122,10 +122,10 @@ class ServeClient:
             raise ServeHttpError(status, body.decode("utf-8", "replace"))
         return body.decode("utf-8")
 
-    def documents(self) -> List[dict]:
+    def documents(self) -> List[Dict[str, Any]]:
         return self.request("GET", "/v1/documents")["documents"]
 
-    def queries(self) -> List[dict]:
+    def queries(self) -> List[Dict[str, Any]]:
         return self.request("GET", "/v1/queries")["queries"]
 
     def register_query(
@@ -133,13 +133,13 @@ class ServeClient:
         name: str,
         bracket: Optional[str] = None,
         xml: Optional[str] = None,
-    ) -> dict:
+    ) -> Dict[str, Any]:
         if (bracket is None) == (xml is None):
             raise ServeError("give exactly one of bracket= or xml=")
         body = {"bracket": bracket} if bracket is not None else {"xml": xml}
         return self.request("PUT", f"/v1/queries/{name}", body)["query"]
 
-    def register_document(self, name: str, xml_path: str) -> dict:
+    def register_document(self, name: str, xml_path: str) -> Dict[str, Any]:
         return self.request(
             "PUT", f"/v1/documents/{name}", {"xml_path": xml_path}
         )["document"]
@@ -149,8 +149,8 @@ class ServeClient:
         query: str,
         document: str,
         k: int = 5,
-        cost="unit",
-    ) -> dict:
+        cost: object = "unit",
+    ) -> Dict[str, Any]:
         """Rank ``query`` (a registered name or inline bracket tree)."""
         return self.request(
             "POST",
@@ -163,8 +163,8 @@ class ServeClient:
         queries: List[str],
         document: str,
         k: int = 5,
-        cost="unit",
-    ) -> dict:
+        cost: object = "unit",
+    ) -> Dict[str, Any]:
         return self.request(
             "POST",
             "/v1/tasm/batch",

@@ -22,7 +22,7 @@ pool), and inline ad-hoc queries never contend at all.
 from __future__ import annotations
 
 from contextlib import ExitStack
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..distance.cost import CostModel
 from ..errors import ServeError
@@ -84,7 +84,9 @@ class TasmExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, request: dict, span=None) -> Tuple[dict, dict]:
+    def run(
+        self, request: Dict[str, Any], span=None
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
         """Execute one ``/v1/tasm`` request body.
 
         Returns ``(response_payload, info)`` where ``info`` carries the
@@ -103,7 +105,9 @@ class TasmExecutor:
         )
         return results[0], info
 
-    def run_batch(self, request: dict, span=None) -> Tuple[dict, dict]:
+    def run_batch(
+        self, request: Dict[str, Any], span=None
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
         """Execute one ``/v1/tasm/batch`` request body.
 
         Uncached queries share a single document pass (the
@@ -195,7 +199,7 @@ class TasmExecutor:
                 info["ring_peak"] = stats.peak_buffered
                 info["ring_capacity"] = stats.ring_capacity
                 info["stats"] = stats.payload()
-            for i, query, ranking in zip(misses, miss_queries, rankings):
+            for i, query, ranking in zip(misses, miss_queries, rankings, strict=True):
                 payload = {
                     "bracket": query.bracket,
                     "document": document.name,
@@ -240,7 +244,7 @@ class TasmExecutor:
             # Deterministic acquisition order prevents deadlock when two
             # batch requests overlap on the same registered queries.
             for query in sorted(
-                set(q for q in queries if q.version > 0),
+                {q for q in queries if q.version > 0},
                 key=lambda q: id(q.lock),
             ):
                 held.enter_context(query.lock)
@@ -260,7 +264,7 @@ class TasmExecutor:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def payload(self) -> dict:
+    def payload(self) -> Dict[str, object]:
         return {
             "workers": self.workers,
             "shard_threshold": self.shard_threshold,

@@ -90,7 +90,7 @@ class Request:
         try:
             return json.loads(self.body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
-            raise HttpError(400, f"request body is not valid JSON: {exc}")
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
 
 
 async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
@@ -100,9 +100,9 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None  # peer closed between requests: normal keep-alive end
-        raise HttpError(400, "truncated request head")
+        raise HttpError(400, "truncated request head") from None
     except asyncio.LimitOverrunError:
-        raise HttpError(413, "request head too large")
+        raise HttpError(413, "request head too large") from None
     if len(head) > _MAX_HEAD_BYTES:
         raise HttpError(413, "request head too large")
 
@@ -126,14 +126,14 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
         try:
             length = int(headers["content-length"])
         except ValueError:
-            raise HttpError(400, "malformed Content-Length")
+            raise HttpError(400, "malformed Content-Length") from None
         if length < 0 or length > _MAX_BODY_BYTES:
             raise HttpError(413, f"body of {length} bytes refused")
         if length:
             try:
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError:
-                raise HttpError(400, "truncated request body")
+                raise HttpError(400, "truncated request body") from None
     elif headers.get("transfer-encoding"):
         raise HttpError(400, "chunked request bodies are not supported")
     return Request(method, path, headers, body)
@@ -156,7 +156,7 @@ def encode_response(
         body = payload.text.encode("utf-8")
         content_type = payload.content_type
     else:
-        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
         content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
     extra = ""

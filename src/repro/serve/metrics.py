@@ -166,7 +166,7 @@ class ServeMetrics:
                     for i, v in enumerate(occupancy[:RING_OCCUPANCY_BUCKETS]):
                         self._ring_occupancy[i] += v
 
-    def payload(self) -> dict:
+    def payload(self) -> Dict[str, object]:
         """A JSON-ready snapshot of every counter."""
         with self._lock:
             latency = {}
@@ -261,7 +261,7 @@ class ServeMetrics:
             for route in sorted(self._hist):
                 hist = self._hist[route]
                 running = 0
-                for bound, count in zip(LATENCY_BUCKETS, hist):
+                for bound, count in zip(LATENCY_BUCKETS, hist, strict=False):
                     running += count
                     latency_hist.add(
                         running,

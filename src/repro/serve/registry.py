@@ -82,7 +82,9 @@ class RegisteredQuery:
         """Largest candidate-subtree size for this query at ``k``."""
         return prune_threshold(k, len(self.tree), cost)
 
-    def payload(self, k: int = 5, cost: Optional[CostModel] = None) -> dict:
+    def payload(
+        self, k: int = 5, cost: Optional[CostModel] = None
+    ) -> Dict[str, object]:
         row = {
             "name": self.name,
             "bracket": self.bracket,

@@ -29,13 +29,14 @@ in-process; ``repro serve`` runs :func:`run_server` in the foreground.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import sys
 import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from .. import __version__
 from ..errors import ReproError, ServeError
@@ -116,7 +117,7 @@ class TasmServer:
             self.registry.register(name, bracket)
         self._server: Optional[asyncio.AbstractServer] = None
         self._threads: Optional[ThreadPoolExecutor] = None
-        self._connections: set = set()
+        self._connections: "set[asyncio.Task[None]]" = set()
         self.port: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -156,7 +157,8 @@ class TasmServer:
         self.executor.close()
 
     async def serve_forever(self) -> None:
-        assert self._server is not None, "start() must run first"
+        if self._server is None:
+            raise ServeError("serve_forever() before start()")
         await self._server.serve_forever()
 
     # ------------------------------------------------------------------
@@ -205,10 +207,8 @@ class TasmServer:
             pass
         finally:
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionError):
                 await writer.wait_closed()
-            except ConnectionError:
-                pass
 
     async def _dispatch(
         self, request: Request, request_id: str = ""
@@ -221,7 +221,7 @@ class TasmServer:
             if self.config.trace
             else None
         )
-        info: dict = {}
+        info: Dict[str, Any] = {}
         try:
             status, payload, info = await self._route(
                 method, path, request, span
@@ -372,11 +372,12 @@ class TasmServer:
         raise HttpError(405, f"{method} not allowed on {path}")
 
     async def _blocking(self, fn, *args):
-        assert self._threads is not None, "start() must run first"
+        if self._threads is None:
+            raise ServeError("request dispatched before start()")
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._threads, lambda: fn(*args))
 
-    def _health_payload(self) -> dict:
+    def _health_payload(self) -> Dict[str, object]:
         return {
             "status": "ok",
             "version": __version__,
@@ -427,10 +428,9 @@ class ServerThread:
             and self._stop is not None
             and not self._loop.is_closed()
         ):
-            try:
+            # The loop may close between the check and the call.
+            with contextlib.suppress(RuntimeError):
                 self._loop.call_soon_threadsafe(self._stop.set)
-            except RuntimeError:
-                pass  # loop closed between the check and the call
         if self._thread is not None:
             self._thread.join(timeout=30)
 

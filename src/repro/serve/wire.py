@@ -9,16 +9,25 @@ source of truth for the JSON shape of a ranking.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, TypedDict
 
 from ..distance.cost import CostModel, UnitCostModel, WeightedCostModel
 from ..errors import ServeError
 from ..tasm.heap import Match
 
-__all__ = ["cost_key", "parse_cost", "ranking_payload"]
+__all__ = ["MatchPayload", "cost_key", "parse_cost", "ranking_payload"]
 
 
-def ranking_payload(matches: Sequence[Match]) -> List[dict]:
+class MatchPayload(TypedDict):
+    """One ranked match on the wire — the unit of the identity contract."""
+
+    rank: int
+    distance: float
+    root: int
+    subtree: str
+
+
+def ranking_payload(matches: Sequence[Match]) -> List[MatchPayload]:
     """One ranking as JSON-ready dicts: rank, distance, root, subtree."""
     return [
         {
@@ -31,7 +40,7 @@ def ranking_payload(matches: Sequence[Match]) -> List[dict]:
     ]
 
 
-def parse_cost(spec) -> CostModel:
+def parse_cost(spec: object) -> CostModel:
     """A request's cost field as a cost model.
 
     Accepts ``"unit"`` (or omitted/None), a ``[rename, delete, insert]``
@@ -53,7 +62,9 @@ def parse_cost(spec) -> CostModel:
     try:
         rename, delete, insert = (float(part) for part in parts)
     except (TypeError, ValueError):
-        raise ServeError(f"cost components must be numbers, got {spec!r}")
+        raise ServeError(
+            f"cost components must be numbers, got {spec!r}"
+        ) from None
     return WeightedCostModel(rename, delete, insert)
 
 

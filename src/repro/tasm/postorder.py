@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import ceil
 from time import perf_counter
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, TypedDict, Union
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
 from ..distance.ted import PrefixDistanceKernel
@@ -133,7 +133,7 @@ class PostorderStats:
         """Time spent streaming/pruning outside candidate evaluation."""
         return max(0.0, self.total_seconds - self.candidate_eval_seconds)
 
-    def payload(self) -> dict:
+    def payload(self) -> "StatsPayload":
         """JSON-ready form for ``/metrics``, ``--profile``, and bench."""
         return {
             "dequeued": self.dequeued,
@@ -162,7 +162,39 @@ class PostorderStats:
         }
 
 
-QueueLike = Union[PostorderQueue, Tree, Iterable]
+class StageSecondsPayload(TypedDict):
+    """Per-stage timing breakdown of one run (seconds, rounded)."""
+
+    total: float
+    scan: float
+    candidate_eval: float
+    kernel: float
+
+
+class StatsPayload(TypedDict):
+    """Wire shape of :meth:`PostorderStats.payload`."""
+
+    dequeued: int
+    ring_capacity: int
+    peak_buffered: int
+    candidates_evaluated: int
+    subtrees_scored: int
+    pruned_large: int
+    pruned_buffered: int
+    pruned_static: int
+    pruned_dynamic: int
+    head_flushes: int
+    wholesale_flushes: int
+    kernel_backend: str
+    kernel_invocations: int
+    kernel_invocations_numpy: int
+    kernel_rows: int
+    kernel_rows_numpy: int
+    ring_occupancy: List[int]
+    stage_seconds: StageSecondsPayload
+
+
+QueueLike = Union[PostorderQueue, Tree, Iterable[Tuple[object, int]]]
 
 
 
@@ -244,7 +276,7 @@ def _stream_topk(
         # is non-increasing once its ranking is full.  The shared limit
         # is the loosest of them.
         limit = 0
-        for heap, q_size, static in zip(heaps, q_sizes, statics):
+        for heap, q_size, static in zip(heaps, q_sizes, statics, strict=True):
             bound = static
             if heap.full:
                 # Strict: size s helps only if min_indel * (s - |Q|)
@@ -291,7 +323,7 @@ def _stream_topk(
         if stats is not None:
             stats.candidates_evaluated += len(groups)
             stats.subtrees_scored += total
-        for kernel, heap in zip(kernels, heaps):
+        for kernel, heap in zip(kernels, heaps, strict=True):
             if stats is not None:
                 tk = perf_counter()
                 distances = kernel.distances(candidate)
@@ -430,7 +462,7 @@ def _stream_topk(
     if stats is not None:
         stats.dequeued = q.dequeued
         stats.peak_buffered = buffer.peak
-        for kern, (c, cn, r, rn) in zip(kernels, kernel_base):
+        for kern, (c, cn, r, rn) in zip(kernels, kernel_base, strict=True):
             stats.kernel_invocations += kern.calls - c
             stats.kernel_invocations_numpy += kern.calls_numpy - cn
             stats.kernel_rows += kern.rows_computed - r

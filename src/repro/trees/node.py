@@ -122,7 +122,7 @@ class Node:
             a, b = stack.pop()
             if a.label != b.label or len(a.children) != len(b.children):
                 return False
-            stack.extend(zip(a.children, b.children))
+            stack.extend(zip(a.children, b.children, strict=True))
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

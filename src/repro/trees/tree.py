@@ -279,7 +279,10 @@ class Tree:
                 root = nodes[i]
         # Children were appended in postorder, which preserves the
         # left-to-right sibling order (smaller postorder ids first).
-        assert root is not None
+        if root is None:
+            raise TreeStructureError(
+                "postorder arrays encode no root (every node has a parent)"
+            )
         return root
 
     def to_bracket(self) -> str:

@@ -1,0 +1,690 @@
+"""The invariant linter: rule fixtures, suppressions, report schema, CLI.
+
+Every rule gets one minimal must-flag and one must-pass fixture; the
+meta-test at the bottom asserts the shipped ``src/repro`` tree itself
+is clean, so the suite fails the moment a real violation lands.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (
+    AnalysisError,
+    Rule,
+    all_rule_ids,
+    analyze,
+    get_rules,
+    load_module,
+    register_rule,
+)
+from repro.cli import main
+
+ALL_RULES = [
+    "forward-params",
+    "json-sort-keys",
+    "lock-discipline",
+    "no-assert",
+    "picklable-fields",
+    "span-guard",
+    "stream-materialise",
+]
+
+
+def lint_source(tmp_path: Path, relpath: str, source: str, rule_id: str, config=None):
+    """Write one fixture file and run a single rule over it."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return analyze([path], rule_ids=[rule_id], config=config).findings
+
+
+# ----------------------------------------------------------------------
+# Rule 1: stream-materialise
+# ----------------------------------------------------------------------
+class TestStreamMaterialise:
+    def test_flags_list_of_stream(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/postorder.py",
+            """
+            def _stream_topk(queries, source, k):
+                pairs = list(source)
+                return pairs
+            """,
+            "stream-materialise",
+        )
+        assert len(findings) == 1
+        assert "list(...)" in findings[0].message
+        assert findings[0].rule == "stream-materialise"
+
+    def test_flags_read_call(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "xmlio/parse.py",
+            """
+            def iterparse_postorder(source):
+                data = open(source).read()
+                return data
+            """,
+            "stream-materialise",
+        )
+        assert len(findings) == 1
+        assert ".read()" in findings[0].message
+
+    def test_flags_whole_tree_build(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/postorder.py",
+            """
+            def tasm_postorder(query, queue, k):
+                tree = Tree.from_postorder(queue)
+                return tree
+            """,
+            "stream-materialise",
+        )
+        assert len(findings) == 1
+        assert "from_postorder" in findings[0].message
+
+    def test_passes_streaming_loop(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/postorder.py",
+            """
+            def _stream_topk(queries, source, k):
+                total = 0
+                for label, size in source:
+                    total += size
+                return total
+            """,
+            "stream-materialise",
+        )
+        assert findings == []
+
+    def test_unmarked_function_is_free_to_materialise(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/postorder.py",
+            """
+            def helper(source):
+                return list(source)
+            """,
+            "stream-materialise",
+        )
+        assert findings == []
+
+    def test_config_can_mark_new_functions(self, tmp_path):
+        config = {
+            "stream-materialise": {
+                "streaming_functions": {"custom.py": {"scan": ("feed",)}}
+            }
+        }
+        findings = lint_source(
+            tmp_path,
+            "custom.py",
+            """
+            def scan(feed):
+                return sorted(feed)
+            """,
+            "stream-materialise",
+            config=config,
+        )
+        assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# Rule 2: picklable-fields
+# ----------------------------------------------------------------------
+class TestPicklableFields:
+    def test_flags_lock_field(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "parallel/worker.py",
+            """
+            import threading
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ShardTask:
+                index: int
+                lock: threading.Lock
+            """,
+            "picklable-fields",
+        )
+        assert len(findings) == 1
+        assert "lock" in findings[0].message
+
+    def test_flags_callable_and_lambda_default(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "parallel/worker.py",
+            """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class ShardResult:
+                hook: Callable = lambda: None
+            """,
+            "picklable-fields",
+        )
+        assert len(findings) == 2  # bad annotation AND lambda default
+
+    def test_passes_real_field_shapes(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "parallel/worker.py",
+            """
+            from dataclasses import dataclass
+            from typing import Optional, Tuple
+
+            @dataclass(frozen=True)
+            class ShardTask:
+                index: int
+                payload: tuple
+                queries: Tuple[Tree, ...]
+                cost: object
+                backend: str = "auto"
+
+            @dataclass(frozen=True)
+            class ShardResult:
+                stats: PostorderStats
+                span: Optional[dict] = None
+            """,
+            "picklable-fields",
+        )
+        assert findings == []
+
+    def test_checks_string_forward_references(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "parallel/worker.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ShardResult:
+                span: "Span"
+            """,
+            "picklable-fields",
+        )
+        assert len(findings) == 1
+
+    def test_other_classes_unaudited(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "parallel/worker.py",
+            """
+            import threading
+            from dataclasses import dataclass
+
+            @dataclass
+            class LocalOnly:
+                lock: threading.Lock
+            """,
+            "picklable-fields",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Rule 3: lock-discipline
+# ----------------------------------------------------------------------
+LOCKED_CLASS_HEADER = """
+import threading
+
+class ResultCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+"""
+
+
+class TestLockDiscipline:
+    def test_flags_unlocked_write(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/cache.py",
+            LOCKED_CLASS_HEADER
+            + """
+    def get(self, key):
+        self.hits += 1
+        return None
+            """,
+            "lock-discipline",
+        )
+        assert len(findings) == 1
+        assert "self.hits" in findings[0].message
+
+    def test_passes_locked_write(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/cache.py",
+            LOCKED_CLASS_HEADER
+            + """
+    def get(self, key):
+        with self._lock:
+            self.hits += 1
+        return None
+            """,
+            "lock-discipline",
+        )
+        assert findings == []
+
+    def test_init_is_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "serve/cache.py", LOCKED_CLASS_HEADER, "lock-discipline"
+        )
+        assert findings == []
+
+    def test_local_variables_unflagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/cache.py",
+            LOCKED_CLASS_HEADER
+            + """
+    def peek(self):
+        total = self.hits
+        return total
+            """,
+            "lock-discipline",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Rule 4: span-guard
+# ----------------------------------------------------------------------
+class TestSpanGuard:
+    def test_flags_unguarded_span_call(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/executor.py",
+            """
+            def run(request, span=None):
+                span.child("rank")
+                return request
+            """,
+            "span-guard",
+        )
+        assert len(findings) == 1
+        assert "span.child" in findings[0].message
+
+    def test_passes_guarded_forms(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/executor.py",
+            """
+            def run(request, span=None):
+                if span:
+                    span.child("rank")
+                child = span.child("x") if span is not None else None
+                also = span and span.child("y")
+                return request, child, also
+            """,
+            "span-guard",
+        )
+        assert findings == []
+
+    def test_flags_span_constructed_in_loop(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/batch.py",
+            """
+            def run(items):
+                spans = []
+                for item in items:
+                    spans.append(Span("per-item"))
+                return spans
+            """,
+            "span-guard",
+        )
+        assert len(findings) == 1
+        assert "loop" in findings[0].message
+
+    def test_span_outside_loop_ok(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/batch.py",
+            """
+            def run(items):
+                root = Span("batch")
+                if root:
+                    root.finish()
+                return root
+            """,
+            "span-guard",
+        )
+        assert findings == []
+
+    def test_cold_modules_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/server.py",
+            """
+            def run(span):
+                span.finish()
+            """,
+            "span-guard",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Rule 5: json-sort-keys
+# ----------------------------------------------------------------------
+class TestJsonSortKeys:
+    def test_flags_unsorted_dumps(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/wire.py",
+            """
+            import json
+
+            def encode(payload):
+                return json.dumps(payload, indent=2)
+            """,
+            "json-sort-keys",
+        )
+        assert len(findings) == 1
+        assert "sort_keys" in findings[0].message
+
+    def test_passes_sorted_dumps(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/wire.py",
+            """
+            import json
+
+            def encode(payload):
+                return json.dumps(payload, indent=2, sort_keys=True)
+            """,
+            "json-sort-keys",
+        )
+        assert findings == []
+
+    def test_non_wire_modules_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/debugging.py",
+            """
+            import json
+
+            def dump(payload):
+                return json.dumps(payload)
+            """,
+            "json-sort-keys",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Rule 6: no-assert
+# ----------------------------------------------------------------------
+class TestNoAssert:
+    def test_flags_runtime_assert(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/server.py",
+            """
+            def serve_forever(self):
+                assert self._server is not None, "start() must run first"
+            """,
+            "no-assert",
+        )
+        assert len(findings) == 1
+        assert "python -O" in findings[0].message
+
+    def test_passes_explicit_raise(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "serve/server.py",
+            """
+            def serve_forever(self):
+                if self._server is None:
+                    raise RuntimeError("start() must run first")
+            """,
+            "no-assert",
+        )
+        assert findings == []
+
+    def test_test_files_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tests/test_thing.py",
+            """
+            def test_it():
+                assert 1 + 1 == 2
+            """,
+            "no-assert",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Rule 7: forward-params
+# ----------------------------------------------------------------------
+class TestForwardParams:
+    def test_flags_dropped_backend(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/api.py",
+            """
+            def rank(query, queue, k, backend="auto"):
+                return _stream(query, queue, k)
+            """,
+            "forward-params",
+        )
+        assert len(findings) == 1
+        assert "backend" in findings[0].message
+
+    def test_passes_forwarded_params(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/api.py",
+            """
+            def rank(query, queue, k, backend="auto", span=None):
+                return _stream(query, queue, k, backend=backend, span=span)
+            """,
+            "forward-params",
+        )
+        assert findings == []
+
+    def test_stub_bodies_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "tasm/api.py",
+            """
+            from typing import Protocol
+
+            class Kernel(Protocol):
+                def compute(self, tree, backend):
+                    ...
+
+            def todo(backend):
+                raise NotImplementedError
+            """,
+            "forward-params",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_line_suppression(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "pkg/mod.py",
+            """
+            def f(x):
+                assert x  # repro-lint: disable=no-assert
+            """,
+            "no-assert",
+        )
+        assert findings == []
+
+    def test_line_suppression_is_rule_specific(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "pkg/mod.py",
+            """
+            def f(x):
+                assert x  # repro-lint: disable=span-guard
+            """,
+            "no-assert",
+        )
+        assert len(findings) == 1
+
+    def test_file_suppression(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "pkg/mod.py",
+            """
+            # repro-lint: disable-file=no-assert
+            def f(x):
+                assert x
+
+            def g(x):
+                assert not x
+            """,
+            "no-assert",
+        )
+        assert findings == []
+
+    def test_disable_all(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "pkg/mod.py",
+            """
+            def f(x):
+                assert x  # repro-lint: disable=all
+            """,
+            "no-assert",
+        )
+        assert findings == []
+
+    def test_suppressions_parsed_from_module(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "# repro-lint: disable-file=span-guard\n"
+            "x = 1  # repro-lint: disable=no-assert, json-sort-keys\n"
+        )
+        module = load_module(path)
+        assert module.file_suppressions == frozenset({"span-guard"})
+        assert module.line_suppressions[2] == frozenset(
+            {"no-assert", "json-sort-keys"}
+        )
+
+
+# ----------------------------------------------------------------------
+# Framework: registry, config validation, report schema
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_all_rules_registered(self):
+        assert all_rule_ids() == ALL_RULES
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            get_rules(["no-such-rule"])
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(AnalysisError, match="no option"):
+            get_rules(["no-assert"], config={"no-assert": {"bogus": 1}})
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate(Rule):
+            id = "no-assert"
+
+        with pytest.raises(AnalysisError, match="duplicate"):
+            register_rule(Duplicate)
+
+    def test_syntax_error_file_raises(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            analyze([path])
+
+    def test_report_json_schema(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("def f(x):\n    assert x\n")
+        report = analyze([path], rule_ids=["no-assert"])
+        payload = json.loads(report.to_json())
+        assert set(payload) == {"version", "files_scanned", "findings", "rules"}
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["rules"] == ["no-assert"]
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "no-assert"
+        assert finding["line"] == 2
+        # Deterministic: keys sorted, repeated runs byte-identical.
+        assert report.to_json() == analyze([path], rule_ids=["no-assert"]).to_json()
+
+    def test_findings_sorted_and_deterministic(self, tmp_path):
+        for name in ("b.py", "a.py"):
+            (tmp_path / name).write_text("def f(x):\n    assert x\n")
+        report = analyze([tmp_path], rule_ids=["no-assert"])
+        assert [f.path for f in report.findings] == sorted(
+            f.path for f in report.findings
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes, --json, --rule, --list-rules
+# ----------------------------------------------------------------------
+class TestLintCli:
+    def test_nonzero_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(x):\n    assert x\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "no-assert" in out
+
+    def test_zero_on_clean(self, tmp_path, capsys):
+        good = tmp_path / "mod.py"
+        good.write_text("def f(x):\n    return x\n")
+        assert main(["lint", str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(x):\n    assert x\n")
+        assert main(["lint", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "no-assert"
+
+    def test_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f(x):\n    assert x\n")
+        assert main(["lint", "--rule", "json-sort-keys", str(bad)]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_is_an_error(self, tmp_path, capsys):
+        assert main(["lint", "--rule", "bogus", str(tmp_path)]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ALL_RULES:
+            assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# Meta: the shipped tree must be clean under its own linter
+# ----------------------------------------------------------------------
+class TestShippedTree:
+    def test_src_tree_is_clean(self, capsys):
+        package_root = Path(repro.__file__).resolve().parent
+        assert main(["lint", str(package_root)]) == 0, capsys.readouterr().out
+
+    def test_default_target_is_the_package(self, capsys):
+        assert main(["lint"]) == 0, capsys.readouterr().out
+        assert "clean" in capsys.readouterr().out

@@ -40,7 +40,7 @@ def test_batch_matches_per_query_dynamic():
     for i, (doc, queries, k) in enumerate(_workload(seed=101)):
         rankings = tasm_batch(queries, PostorderQueue.from_tree(doc), k)
         assert len(rankings) == len(queries)
-        for qi, (query, ranking) in enumerate(zip(queries, rankings)):
+        for qi, (query, ranking) in enumerate(zip(queries, rankings, strict=True)):
             expected = tasm_dynamic(query, doc, k)
             assert sorted(m.distance for m in ranking) == sorted(
                 m.distance for m in expected
@@ -52,7 +52,7 @@ def test_batch_matches_per_query_postorder_roots():
     # postorder runs must agree on (distance, root) pairs.
     for doc, queries, k in _workload(seed=202, n_docs=6):
         rankings = tasm_batch(queries, PostorderQueue.from_tree(doc), k)
-        for query, ranking in zip(queries, rankings):
+        for query, ranking in zip(queries, rankings, strict=True):
             solo = tasm_postorder(query, PostorderQueue.from_tree(doc), k)
             assert [(m.distance, m.root) for m in ranking] == [
                 (m.distance, m.root) for m in solo
@@ -89,7 +89,7 @@ def test_batch_over_streamed_xml(tmp_path):
     write_xml(doc, path)
     queries = [random_tree(3, seed=22), random_tree(4, seed=23)]
     rankings = tasm_batch(queries, PostorderQueue.from_xml_file(path), 3)
-    for query, ranking in zip(queries, rankings):
+    for query, ranking in zip(queries, rankings, strict=True):
         expected = tasm_dynamic(query, doc, 3)
         assert sorted(m.distance for m in ranking) == sorted(
             m.distance for m in expected
@@ -101,7 +101,7 @@ def test_batch_weighted_cost():
     doc = random_tree(70, seed=31)
     queries = [random_tree(4, seed=32), random_tree(6, seed=33)]
     rankings = tasm_batch(queries, PostorderQueue.from_tree(doc), 2, cost)
-    for query, ranking in zip(queries, rankings):
+    for query, ranking in zip(queries, rankings, strict=True):
         expected = tasm_dynamic(query, doc, 2, cost)
         assert sorted(m.distance for m in ranking) == sorted(
             m.distance for m in expected

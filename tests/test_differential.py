@@ -79,7 +79,7 @@ def test_postorder_identical_across_queue_backends(query, doc, k, cost):
 def test_batch_equals_per_query_postorder(queries, doc, k, cost):
     batched = tasm_batch(queries, PostorderQueue.from_tree(doc), k, cost)
     assert len(batched) == len(queries)
-    for query, ranking in zip(queries, batched):
+    for query, ranking in zip(queries, batched, strict=True):
         single = tasm_postorder(query, PostorderQueue.from_tree(doc), k, cost)
         assert ranking_triples(ranking) == ranking_triples(single)
 

@@ -94,5 +94,5 @@ def test_label_dictionary_relabeling_leaves_rankings_invariant(
     assert [(m.distance, m.root) for m in base] == [
         (m.distance, m.root) for m in encoded
     ]
-    for orig, enc in zip(base, encoded):
+    for orig, enc in zip(base, encoded, strict=True):
         assert dictionary.decode_tree(enc.subtree).equals(orig.subtree)

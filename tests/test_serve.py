@@ -14,6 +14,7 @@ import pytest
 from repro import IntervalStore, Tree, tasm_postorder
 from repro.errors import (
     BracketSyntaxError,
+    ReproError,
     ServeError,
     XmlFormatError,
 )
@@ -554,7 +555,7 @@ def test_sharded_routing_identical_to_stream(corpus):
 
 def test_server_thread_reports_startup_failure(tmp_path):
     config = ServerConfig(store=str(tmp_path / "missing.db"), port=0)
-    with pytest.raises(Exception):
+    with pytest.raises(ReproError):
         ServerThread(config).start()
 
 
