@@ -36,7 +36,13 @@ A serving section (``--serve-concurrency 1,8,32``) boots the
 requests/second at increasing client concurrency, with the result
 cache disabled so every request exercises the engine; every served
 ranking is gated byte-identical to a direct :func:`repro.tasm.
-tasm_batch` run on the same store.
+tasm_batch` run on the same store.  Each concurrency level also
+records how many document scans it triggered (the scan coalescer
+merges concurrent requests onto shared passes), and
+``--fail-serve-coalesce-speedup`` gates the req/s win of the highest
+concurrency level over the sequential baseline — enforced only when
+``cpu_count >= 2``, with the same recorded-skip pattern as the
+parallel gate on single-core hosts.
 
 Usage::
 
@@ -410,12 +416,19 @@ def bench_serve(
             all_identical &= one_request()
 
             for concurrency in concurrencies:
+                scans_before = (
+                    client.metrics()["engine_totals"]["dequeued"] // nodes
+                )
                 with ThreadPoolExecutor(max_workers=concurrency) as pool:
                     t0 = time.perf_counter()
                     outcomes = list(
                         pool.map(lambda _: one_request(), range(concurrency))
                     )
                     elapsed = time.perf_counter() - t0
+                scans = (
+                    client.metrics()["engine_totals"]["dequeued"] // nodes
+                    - scans_before
+                )
                 identical = all(outcomes)
                 all_identical &= identical
                 series.append(
@@ -425,6 +438,13 @@ def bench_serve(
                         "seconds": round(elapsed, 3),
                         "requests_per_sec": (
                             round(len(outcomes) / elapsed, 3) if elapsed else None
+                        ),
+                        # Concurrent identical requests coalesce onto
+                        # shared scans; < 1 scan per request is the
+                        # whole point of the serve-layer coalescer.
+                        "document_scans": scans,
+                        "scans_per_request": (
+                            round(scans / len(outcomes), 3) if outcomes else None
                         ),
                         "rankings_identical": identical,
                     }
@@ -439,14 +459,18 @@ def bench_serve(
         "kernel_backend": resolve_backend("auto"),
         "cpu_count": os.cpu_count(),
         "note": (
-            "one registered query ranked repeatedly: requests serialise on "
-            "its kernel lock, so requests_per_sec measures the full "
-            "HTTP+engine path under load, not parallel compute"
+            "one registered query ranked repeatedly with the cache off: "
+            "concurrent requests coalesce (single-flight + batching "
+            "window) onto shared document scans, so requests_per_sec at "
+            "high concurrency measures the one-scan-many-queries "
+            "architecture, and scans_per_request shows how many scans "
+            "each request actually paid for"
         ),
         "ring_peak_high_water": metrics["ring_peak_high_water"],
         "latency": metrics["latency_by_route"].get("POST /v1/tasm"),
         "engine_stage_seconds": metrics["stage_seconds"],
         "engine_totals": metrics["engine_totals"],
+        "coalesce": metrics["coalesce"],
         "rankings_identical_to_tasm_batch": all_identical,
         "series": series,
     }
@@ -609,6 +633,16 @@ def main(argv=None) -> int:
         "(a single-core host cannot show a wall-clock win)",
     )
     parser.add_argument(
+        "--fail-serve-coalesce-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless req/s at the highest serve concurrency is "
+        ">= X times req/s at concurrency 1 (the scan coalescer's win); "
+        "enforced only when cpu_count >= 2 — recorded as skipped, "
+        "never silently passed, on single-core hosts",
+    )
+    parser.add_argument(
         "--fail-obs-overhead",
         type=float,
         default=None,
@@ -737,6 +771,60 @@ def main(argv=None) -> int:
     if serve_row is not None and not serve_row["rankings_identical_to_tasm_batch"]:
         print("FAIL: a served ranking diverged from tasm_batch", file=sys.stderr)
         ok = False
+    if args.fail_serve_coalesce_speedup is not None and serve_row is not None:
+        threshold = args.fail_serve_coalesce_speedup
+        cpu_count = serve_row["cpu_count"] or 1
+        entries = serve_row["series"]
+        base = next((e for e in entries if e["concurrency"] == 1), None)
+        top = max(
+            entries, key=lambda e: e["concurrency"], default=None
+        )
+        if cpu_count < 2:
+            # Same recorded-skip discipline as the parallel gate: a
+            # single-core runner must not read as a pass.
+            serve_row["coalesce_gate"] = {
+                "threshold": threshold,
+                "enforced": False,
+                "reason": f"cpu_count={cpu_count} < 2",
+            }
+            print(
+                f"serve coalesce gate skipped: cpu_count={cpu_count} "
+                "(needs >= 2 cores for a fair req/s comparison)"
+            )
+        elif (
+            base is None
+            or top is None
+            or top["concurrency"] <= 1
+            or not base["requests_per_sec"]
+            or not top["requests_per_sec"]
+        ):
+            serve_row["coalesce_gate"] = {
+                "threshold": threshold,
+                "enforced": False,
+                "reason": "no multi-concurrency serve series",
+            }
+            print("serve coalesce gate skipped: no multi-concurrency series")
+        else:
+            speedup = round(
+                top["requests_per_sec"] / base["requests_per_sec"], 3
+            )
+            passed = speedup >= threshold
+            serve_row["coalesce_gate"] = {
+                "threshold": threshold,
+                "enforced": True,
+                "concurrency": top["concurrency"],
+                "speedup_vs_sequential": speedup,
+                "scans_per_request": top["scans_per_request"],
+                "passed": passed,
+            }
+            if not passed:
+                print(
+                    f"FAIL: coalesced req/s at c={top['concurrency']} is "
+                    f"only {speedup}x the sequential baseline "
+                    f"(< {threshold})",
+                    file=sys.stderr,
+                )
+                ok = False
     if args.fail_below_speedup is not None and results:
         speedup = results[-1]["speedup_postorder_over_dynamic"] or 0.0
         if speedup < args.fail_below_speedup:

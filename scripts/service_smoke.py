@@ -11,7 +11,13 @@ What the ``service-smoke`` CI job runs on every push.  The contract:
     identical to ``repro tasm --json`` run against the same store
     file, query, and ``k`` (the CLI and the server share one payload
     builder; this guards that contract end to end, across processes).
-4.  **Observability** — ``/metrics`` counted the traffic;
+4.  **Concurrency** — two clients race the same uncached ranking;
+    both responses are byte-identical to the CLI (the scan coalescer
+    and single-flight dedup may share one document scan, but the
+    bytes never change), and ``/healthz`` reports the coalescing
+    config the server was booted with (``-v --coalesce-window-ms
+    --max-batch-queries`` are exercised end to end).
+5.  **Observability** — ``/metrics`` counted the traffic;
     ``/metrics?format=prometheus`` is valid text exposition (parsed by
     the strict :func:`repro.obs.prom.parse_prometheus`) whose counters
     are monotone across two scrapes bracketing the ranking traffic;
@@ -38,6 +44,7 @@ import sys
 import tempfile
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
@@ -49,6 +56,11 @@ from repro.serve.client import ServeClient  # noqa: E402
 from repro.xmlio import tree_from_xml_file  # noqa: E402
 
 HEALTH_DEADLINE_SECONDS = 30.0
+
+# Coalescing tunables passed on the server command line; /healthz must
+# report them back verbatim (the config-plumbing contract).
+COALESCE_WINDOW_MS = 25.0
+MAX_BATCH_QUERIES = 24
 
 
 def build_store(tmp: str, dataset: str, nodes: int) -> str:
@@ -85,6 +97,11 @@ def start_server(
             str(threshold),
             "--backend",
             backend,
+            "--coalesce-window-ms",
+            str(COALESCE_WINDOW_MS),
+            "--max-batch-queries",
+            str(MAX_BATCH_QUERIES),
+            "-v",
         ],
         stdout=subprocess.PIPE,
         stderr=log,
@@ -194,6 +211,23 @@ def main() -> int:
                     f"{health.get('kernel_backend')!r}, expected "
                     f"{args.backend!r}"
                 )
+            coalesce = health.get("coalesce", {})
+            if (
+                coalesce.get("window_ms") != COALESCE_WINDOW_MS
+                or coalesce.get("max_batch_queries") != MAX_BATCH_QUERIES
+            ):
+                failures.append(
+                    f"/healthz coalesce config {coalesce!r} does not "
+                    f"match the command line (window_ms="
+                    f"{COALESCE_WINDOW_MS}, max_batch_queries="
+                    f"{MAX_BATCH_QUERIES})"
+                )
+            else:
+                print(
+                    f"coalescing config OK: window_ms="
+                    f"{coalesce['window_ms']}, max_batch_queries="
+                    f"{coalesce['max_batch_queries']}"
+                )
 
             # X-Request-Id contract: a supplied id is echoed verbatim
             # in the response headers (never the body — the ranking
@@ -243,6 +277,41 @@ def main() -> int:
                         f"{len(response['matches'])} matches)"
                     )
 
+            # Two clients race the same uncached ranking (a k the
+            # sequential loop never used).  The coalescer may merge
+            # them into one scan and single-flight dedups the cache
+            # fill — but both bodies must stay byte-identical to the
+            # CLI run.
+            race_name, race_bracket = next(iter(DEFAULT_QUERIES.items()))
+            race_k = args.k + 2
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                raced = [
+                    future.result()
+                    for future in [
+                        pool.submit(
+                            client.tasm, race_name, args.dataset, k=race_k
+                        )
+                        for _ in range(2)
+                    ]
+                ]
+            race_cli = cli_ranking_bytes(
+                db_path, race_bracket, race_k, args.backend
+            )
+            for response in raced:
+                served = json.dumps(response["matches"], indent=2) + "\n"
+                if served != race_cli:
+                    failures.append(
+                        f"concurrent ranking mismatch for {race_name} "
+                        f"k={race_k}:\n--- served ---\n{served}\n"
+                        f"--- cli ---\n{race_cli}"
+                    )
+            if not failures:
+                print(
+                    f"concurrent byte-identity OK for {race_name} "
+                    f"k={race_k} (engines="
+                    f"{[r['engine'] for r in raced]})"
+                )
+
             # Second scrape after the traffic: still parses, and every
             # counter sample present in the first scrape is monotone
             # non-decreasing (the Prometheus counter contract).
@@ -269,10 +338,11 @@ def main() -> int:
             tasm_count = prom_after.get("repro_requests_total", {}).get(
                 "samples", {}
             ).get(tasm_sample, 0)
-            if tasm_count != len(DEFAULT_QUERIES):
+            expected_tasm = len(DEFAULT_QUERIES) + 2  # + the raced pair
+            if tasm_count != expected_tasm:
                 failures.append(
                     f"prometheus counted {tasm_count} POST /v1/tasm "
-                    f"requests, expected {len(DEFAULT_QUERIES)}"
+                    f"requests, expected {expected_tasm}"
                 )
             if "repro_request_seconds" not in prom_after:
                 failures.append(
@@ -295,7 +365,7 @@ def main() -> int:
                     f"{metrics.get('kernel_backend')!r}, expected "
                     f"{args.backend!r}"
                 )
-            expected = len(DEFAULT_QUERIES)
+            expected = len(DEFAULT_QUERIES) + 2  # + the raced pair
             served_count = metrics["requests_by_route"].get("POST /v1/tasm", 0)
             if served_count != expected:
                 failures.append(
@@ -306,6 +376,20 @@ def main() -> int:
                 failures.append(
                     f"{metrics['errors_total']} errors during the smoke run"
                 )
+
+            # -v dumps the full resolved config as JSON at startup;
+            # the log must show the coalescing tunables we passed.
+            with open(log_path, "r", encoding="utf-8") as fh:
+                server_log = fh.read()
+            if f'"coalesce_window_ms": {COALESCE_WINDOW_MS}' not in (
+                server_log
+            ):
+                failures.append(
+                    "verbose startup log does not show the resolved "
+                    f"coalesce_window_ms={COALESCE_WINDOW_MS}"
+                )
+            else:
+                print("verbose config line present in server log")
         except Exception as exc:  # noqa: BLE001 - report and dump logs
             failures.append(f"{type(exc).__name__}: {exc}")
         finally:

@@ -282,12 +282,14 @@ class PicklableFieldsRule(Rule):
 class LockDisciplineRule(Rule):
     """Attribute writes on lock-guarded serve classes stay inside the lock.
 
-    ``ResultCache`` and ``ServeMetrics`` are shared across every server
-    thread (PR 5); their counters are documented as guarded by
-    ``self._lock``.  A write that drifts outside a ``with self._lock``
-    block is a data race that no test reliably catches — lost-update
-    windows are nanoseconds wide.  ``__init__`` is exempt (no other
-    thread can hold the instance yet).
+    ``ResultCache``, ``ServeMetrics``, and the scan coalescer are
+    shared across every server thread (PR 5, PR 8); their counters and
+    window/in-flight maps are documented as guarded by ``self._lock``
+    (the coalescer's arrivals condition wraps the same lock).  A write
+    that drifts outside a ``with self._lock`` block is a data race
+    that no test reliably catches — lost-update windows are
+    nanoseconds wide.  ``__init__`` is exempt (no other thread can
+    hold the instance yet).
     """
 
     id = "lock-discipline"
@@ -296,6 +298,7 @@ class LockDisciplineRule(Rule):
     #: module path suffix -> class names whose writes must hold the lock
     guarded_classes: ClassVar[Mapping[str, Tuple[str, ...]]] = {
         "serve/cache.py": ("ResultCache",),
+        "serve/coalesce.py": ("ScanCoalescer",),
         "serve/metrics.py": ("ServeMetrics",),
     }
     lock_attribute: ClassVar[str] = "_lock"
@@ -395,6 +398,7 @@ class SpanGuardRule(Rule):
         "tasm/batch.py",
         "parallel/worker.py",
         "parallel/sharded.py",
+        "serve/coalesce.py",
         "serve/executor.py",
     )
     #: methods that are themselves guard-free by design (NULL_SPAN

@@ -313,6 +313,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "reported in /healthz and /metrics)",
     )
     serve_p.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="how long the first cache-missing request for a document "
+        "waits for more queries to share its scan (default 5.0; 0 "
+        "still single-flights identical requests and merges whatever "
+        "is already pending)",
+    )
+    serve_p.add_argument(
+        "--max-batch-queries",
+        type=int,
+        default=32,
+        metavar="N",
+        help="queries per shared engine pass; larger coalesced batches "
+        "run as multiple passes (default 32)",
+    )
+    serve_p.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="log the full resolved server config (including the "
+        "coalescing window and batch limit) at startup",
+    )
+    serve_p.add_argument(
         "--slow-request-seconds",
         type=float,
         default=1.0,
@@ -621,6 +646,9 @@ def _serve_config(args: argparse.Namespace):
         request_threads=args.request_threads,
         max_k=args.max_k,
         backend=args.backend,
+        coalesce_window_ms=args.coalesce_window_ms,
+        max_batch_queries=args.max_batch_queries,
+        verbose=args.verbose,
         slow_request_seconds=(
             None
             if args.slow_request_seconds < 0

@@ -377,6 +377,44 @@ class PrefixDistanceKernel:
             return self._td_np[:, :width].tolist()
         return [row[:width] for row in self._td]
 
+    @property
+    def interned_doc_labels(self) -> int:
+        """Distinct document labels interned so far (warmth measure)."""
+        return len(self._doc_ids)
+
+    def clone(self) -> "PrefixDistanceKernel":
+        """An independent kernel sharing no mutable state with this one.
+
+        The clone starts from this kernel's *warm* document-side
+        dictionary — interned label ids, per-label insert costs, and the
+        rename lookup — but owns fresh DP row buffers, so two clones can
+        run :meth:`distances` concurrently from different threads.  The
+        row buffers are the only state a call mutates destructively;
+        the label dictionary only ever grows, and each clone grows its
+        own copy independently.
+        """
+        twin = PrefixDistanceKernel(
+            self.query,
+            self.cost,
+            self.backend,
+            vector_min_cols=(
+                self._vec_min_cols if self.backend == "numpy" else None
+            ),
+            numpy_min_doc=(
+                self._numpy_min_doc if self.backend == "numpy" else None
+            ),
+        )
+        twin._doc_ids = dict(self._doc_ids)
+        twin._icost = list(self._icost)
+        twin._ic_uniform = self._ic_uniform
+        twin._ic_value = self._ic_value
+        twin._ren = [list(row) for row in self._ren]
+        if self.backend == "numpy":
+            twin._icost_np = self._icost_np.copy()
+            twin._ren_np = self._ren_np.copy()
+            twin._synced_labels = self._synced_labels
+        return twin
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

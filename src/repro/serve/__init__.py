@@ -14,6 +14,7 @@ XML, and repeated requests hit an LRU result cache keyed by
 * :mod:`~repro.serve.catalog`  — store/XML documents with versions.
 * :mod:`~repro.serve.cache`    — the LRU result cache.
 * :mod:`~repro.serve.metrics`  — request/latency/ring-peak counters.
+* :mod:`~repro.serve.coalesce` — one-scan-many-queries request merging.
 * :mod:`~repro.serve.executor` — stream vs sharded-pool routing.
 * :mod:`~repro.serve.httpd`    — dependency-free HTTP/1.1 on asyncio.
 * :mod:`~repro.serve.server`   — routes, lifecycle, ``ServerThread``.
@@ -33,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from .cache import ResultCache, result_key
     from .catalog import CatalogDocument, DocumentCatalog
     from .client import ServeClient, ServeHttpError
+    from .coalesce import PendingQuery, ScanCoalescer
     from .executor import TasmExecutor
     from .metrics import ServeMetrics
     from .registry import QueryRegistry, RegisteredQuery
@@ -45,9 +47,11 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
 _EXPORTS = {
     "CatalogDocument": ".catalog",
     "DocumentCatalog": ".catalog",
+    "PendingQuery": ".coalesce",
     "QueryRegistry": ".registry",
     "RegisteredQuery": ".registry",
     "ResultCache": ".cache",
+    "ScanCoalescer": ".coalesce",
     "ServeClient": ".client",
     "ServeHttpError": ".client",
     "ServeMetrics": ".metrics",
@@ -79,9 +83,11 @@ def __dir__():
 __all__ = [
     "CatalogDocument",
     "DocumentCatalog",
+    "PendingQuery",
     "QueryRegistry",
     "RegisteredQuery",
     "ResultCache",
+    "ScanCoalescer",
     "ServeClient",
     "ServeHttpError",
     "ServeMetrics",

@@ -45,6 +45,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Completed :meth:`put` calls — the single-flight tests read
+        #: this to prove N identical requests produced one cache fill.
+        self.stores = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -66,6 +69,7 @@ class ResultCache:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
+            self.stores += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -82,6 +86,7 @@ class ResultCache:
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "stores": self.stores,
                 "evictions": self.evictions,
                 "hit_rate": round(self.hits / total, 4) if total else None,
             }

@@ -1,0 +1,329 @@
+"""Scan-sharing request coalescer: one document scan, many queries.
+
+The serve layer is stream-scan-bound — on a 100k-node corpus a single
+``POST /v1/tasm`` costs seconds of postorder streaming, and without
+coalescing every concurrent request pays that scan again.  The paper's
+own algorithm already ranks *many queries in one pass*
+(:func:`~repro.tasm.batch.tasm_batch` takes a query list and a shared
+ring), so the fix is pure plumbing: merge the queries of concurrent
+requests for the same ``(document, version)`` into one engine pass.
+
+Two mechanisms, both keyed off the executor's cache key:
+
+* **Single-flight** — while a result for a key is being computed, any
+  request for the *same* key joins the in-flight entry instead of
+  ranking again: one engine invocation, one cache fill, every waiter
+  gets the identical payload.  The key includes the document version
+  (snapshotted before ranking), so a version bump mid-flight gives
+  later requests a different key and never a stale answer.
+* **Coalescing window** — the first request to miss on a document
+  becomes the *leader* of a short batching window
+  (``window_ms``, default 5 ms).  Queries from requests arriving
+  within the window — or while the leader is still collecting —
+  join the batch; the leader then runs the whole batch through
+  :meth:`ScanCoalescer.run_passes`, which groups entries by cost
+  model, chunks each group at ``max_batch`` queries, ranks every chunk
+  at the largest requested ``k``, and slices each ranking down to the
+  entry's own ``k``.
+
+The slice is exact, not approximate: :class:`~repro.tasm.heap.TopKHeap`
+keeps the ``k`` smallest matches under the total order
+``(distance, stream position)`` and breaks ties in favour of the
+earlier push, so the first ``k'`` entries of a ``k``-ranking
+(``k' <= k``) are byte-identical to a direct ``k'`` run.  The
+differential tests in ``tests/test_differential.py`` re-prove this on
+random inputs for both the stream and sharded engines.
+
+Concurrency contract: all coalescer state is guarded by ``self._lock``
+(the arrivals condition wraps the same lock object); engine passes run
+*outside* the lock, and waiters block on per-entry events, never on
+the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..distance.cost import CostModel
+from ..errors import ServeError
+from .registry import RegisteredQuery
+
+__all__ = ["PendingQuery", "ScanCoalescer"]
+
+#: ``rank`` callback: (queries, k, cost, span) -> (rankings, engine, stats).
+RankFn = Callable[
+    [Sequence[RegisteredQuery], int, CostModel, Any],
+    Tuple[List[Any], str, Any],
+]
+
+#: ``fulfil`` callback: (entry, sliced ranking, engine) -> response payload.
+FulfilFn = Callable[["PendingQuery", List[Any], str], Dict[str, Any]]
+
+
+class PendingQuery:
+    """One query of one request, waiting for (or sharing) a ranking."""
+
+    __slots__ = (
+        "query",
+        "k",
+        "cost",
+        "ckey",
+        "key",
+        "event",
+        "payload",
+        "error",
+        "engine",
+        "shared_by",
+    )
+
+    def __init__(
+        self,
+        query: RegisteredQuery,
+        k: int,
+        cost: CostModel,
+        ckey: str,
+        key: Tuple,
+    ):
+        self.query = query
+        self.k = k
+        self.cost = cost
+        #: Canonical cost-model key — entries only share an engine pass
+        #: when their cost models agree.
+        self.ckey = ckey
+        #: Full cache key — the single-flight identity.
+        self.key = key
+        self.event = threading.Event()
+        self.payload: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+        self.engine: Optional[str] = None
+        #: How many later requests joined this entry instead of ranking.
+        self.shared_by = 0
+
+
+class _Window:
+    """Queries collected for one (document, version) pending scan."""
+
+    __slots__ = ("entries", "leading")
+
+    def __init__(self) -> None:
+        self.entries: List[PendingQuery] = []
+        self.leading = False
+
+
+class ScanCoalescer:
+    """Merges concurrent ranking requests into shared engine passes."""
+
+    def __init__(self, window_ms: float = 5.0, max_batch: int = 32):
+        if window_ms < 0:
+            raise ServeError(
+                f"coalesce window must be >= 0 ms, got {window_ms}"
+            )
+        if max_batch < 1:
+            raise ServeError(
+                f"max batch queries must be >= 1, got {max_batch}"
+            )
+        self.window_ms = window_ms
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        #: Signalled on every arrival so a collecting leader can close
+        #: its window early once ``max_batch`` queries are pending.
+        #: Wraps the same lock — guarded blocks use ``self._lock``.
+        self._arrivals = threading.Condition(self._lock)
+        self._windows: Dict[Tuple[str, int], _Window] = {}
+        self._inflight: Dict[Tuple, PendingQuery] = {}
+        # Lifetime counters (reported by payload() and /metrics).
+        self._queries = 0
+        self._shared = 0
+        self._passes = 0
+        self._batch_sizes: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        doc_key: Tuple[str, int],
+        entries: Sequence[PendingQuery],
+        rank: RankFn,
+        fulfil: FulfilFn,
+        span=None,
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """Resolve ``entries`` through shared scans of ``doc_key``.
+
+        Every entry either joins an identical in-flight entry
+        (single-flight) or enters the document's coalescing window; the
+        calling thread leads the window's scan if nobody else is.
+        Returns the response payloads in entry order plus a summary
+        (role, batch composition, engine stats) for metrics and spans.
+        """
+        waiters: List[PendingQuery] = []
+        shared_here = 0
+        lead = False
+        with self._lock:
+            window = None
+            for entry in entries:
+                twin = self._inflight.get(entry.key)
+                if twin is not None:
+                    twin.shared_by += 1
+                    self._shared += 1
+                    shared_here += 1
+                    waiters.append(twin)
+                    continue
+                if window is None:
+                    window = self._windows.get(doc_key)
+                    if window is None:
+                        window = self._windows[doc_key] = _Window()
+                self._inflight[entry.key] = entry
+                window.entries.append(entry)
+                self._queries += 1
+                waiters.append(entry)
+            if window is not None and not window.leading:
+                window.leading = True
+                lead = True
+            if window is not None:
+                self._arrivals.notify_all()
+
+        summary: Dict[str, Any] = {
+            "role": "coalesced",
+            "shared": shared_here,
+        }
+        if lead:
+            batch_sizes, engines, stats = self._lead(doc_key, rank, fulfil, span)
+            summary["role"] = "leader"
+            summary["queries"] = sum(batch_sizes)
+            summary["passes"] = len(batch_sizes)
+            summary["batch_sizes"] = batch_sizes
+            summary["engines"] = engines
+            summary["stats"] = stats
+
+        payloads: List[Dict[str, Any]] = []
+        for waiter in waiters:
+            waiter.event.wait()
+            if waiter.error is not None:
+                raise waiter.error
+            payloads.append(waiter.payload)  # type: ignore[arg-type]
+        return payloads, summary
+
+    # ------------------------------------------------------------------
+    # Leader path
+    # ------------------------------------------------------------------
+    def _lead(
+        self,
+        doc_key: Tuple[str, int],
+        rank: RankFn,
+        fulfil: FulfilFn,
+        span=None,
+    ) -> Tuple[List[int], List[str], List[Any]]:
+        """Collect the window, run the shared passes, wake every waiter."""
+        deadline = time.monotonic() + self.window_ms / 1000.0
+        with self._lock:
+            window = self._windows[doc_key]
+            while len(window.entries) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._arrivals.wait(remaining)
+            batch = list(window.entries)
+            # Retire the window: the next miss for this document opens
+            # a fresh one with its own leader.  Entries in ``batch``
+            # stay in ``_inflight`` until fulfilled, so identical
+            # requests keep single-flighting onto them meanwhile.
+            del self._windows[doc_key]
+
+        passes: List[Tuple[int, str, Any]] = []
+        try:
+            rankings, passes = self.run_passes(batch, rank, span)
+            for entry in batch:
+                sliced, engine = rankings[id(entry)]
+                entry.engine = engine
+                entry.payload = fulfil(entry, sliced, engine)
+        except BaseException as exc:
+            for entry in batch:
+                if entry.payload is None:
+                    entry.error = exc
+        finally:
+            with self._lock:
+                for entry in batch:
+                    self._inflight.pop(entry.key, None)
+                self._passes += len(passes)
+                for size, _engine, _stats in passes:
+                    self._batch_sizes[size] += 1
+            for entry in batch:
+                entry.event.set()
+        return (
+            [size for size, _engine, _stats in passes],
+            [engine for _size, engine, _stats in passes],
+            [stats for _size, _engine, stats in passes],
+        )
+
+    def run_passes(
+        self,
+        batch: Sequence[PendingQuery],
+        rank: RankFn,
+        span=None,
+    ) -> Tuple[Dict[int, Tuple[List[Any], str]], List[Tuple[int, str, Any]]]:
+        """Rank ``batch`` in the fewest engine passes that stay exact.
+
+        Entries are grouped by cost model (a pass has one cost), each
+        group is chunked at ``max_batch`` queries, and each chunk runs
+        at the largest ``k`` requested within it; every entry's ranking
+        is then sliced to its own ``k`` — exact because the top-k heap's
+        order and tie-breaking are k-independent (module docstring).
+
+        Pure with respect to coalescer state (only ``max_batch`` is
+        read), which is what the differential tests drive directly.
+        Returns ``(rankings by id(entry), [(chunk size, engine, stats)])``.
+        """
+        groups: Dict[str, List[PendingQuery]] = {}
+        for entry in batch:
+            groups.setdefault(entry.ckey, []).append(entry)
+        rankings: Dict[int, Tuple[List[Any], str]] = {}
+        passes: List[Tuple[int, str, Any]] = []
+        for ckey in sorted(groups):
+            group = groups[ckey]
+            for start in range(0, len(group), self.max_batch):
+                chunk = group[start : start + self.max_batch]
+                k_pass = max(entry.k for entry in chunk)
+                pass_span = (
+                    span.child("rank", queries=len(chunk), k=k_pass)
+                    if span is not None
+                    else None
+                )
+                chunk_rankings, engine, stats = rank(
+                    [entry.query for entry in chunk],
+                    k_pass,
+                    chunk[0].cost,
+                    pass_span,
+                )
+                if pass_span is not None:
+                    pass_span.attrs["engine"] = engine
+                    pass_span.finish()
+                for entry, ranking in zip(chunk, chunk_rankings, strict=True):
+                    rankings[id(entry)] = (ranking[: entry.k], engine)
+                passes.append((len(chunk), engine, stats))
+        return rankings, passes
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def payload(self) -> Dict[str, object]:
+        """Config plus lifetime counters, for /healthz and the executor."""
+        with self._lock:
+            queries, shared, passes = self._queries, self._shared, self._passes
+            histogram = dict(sorted(self._batch_sizes.items()))
+        return {
+            "window_ms": self.window_ms,
+            "max_batch_queries": self.max_batch,
+            "queries": queries,
+            "shared_queries": shared,
+            "engine_passes": passes,
+            # Scans a per-request executor would have run, minus scans
+            # actually run.  Windows still in flight have queries but
+            # no passes yet, so the snapshot can momentarily run ahead;
+            # it is exact whenever no scan is in progress.
+            "scans_saved": max(0, queries + shared - passes),
+            "batch_size_histogram": histogram,
+        }

@@ -1,8 +1,13 @@
-"""Request execution: route rankings to the right engine.
+"""Request execution: one scan, many queries.
 
-Small documents are ranked in-process by the streaming core
-(:func:`~repro.tasm.batch.tasm_batch`) with the registry's pre-built
-kernels; documents at or above ``shard_threshold`` nodes go to
+Cache misses do not go straight to an engine — they enter the
+:class:`~repro.serve.coalesce.ScanCoalescer`, which merges the queries
+of concurrent requests for the same ``(document, version)`` into
+shared engine passes (and single-flights identical requests onto one
+computation).  Each pass is then routed exactly as before: small
+documents are ranked in-process by the streaming core
+(:func:`~repro.tasm.batch.tasm_batch`); documents at or above
+``shard_threshold`` nodes go to
 :func:`~repro.parallel.sharded.tasm_sharded_batch` on a **persistent**
 ``multiprocessing`` pool, created once at server start so worker
 start-up is amortised across requests (``Pool.map`` is thread-safe, so
@@ -13,15 +18,15 @@ Both paths consult the LRU result cache first, keyed by
 so a repeated request is one dictionary lookup, and bumping a
 document's version transparently invalidates all of its entries.
 
-Kernels reuse internal row buffers, so the in-process path holds each
-registered query's lock while streaming; requests for *different*
-queries still execute concurrently (up to the front end's thread
-pool), and inline ad-hoc queries never contend at all.
+Kernels reuse internal row buffers, so every in-process pass streams
+with private clones of the registry's warm template kernels
+(:meth:`~repro.serve.registry.RegisteredQuery.kernel_instance`);
+no lock is held across a scan, and concurrent requests for the *same*
+query no longer serialise.
 """
 
 from __future__ import annotations
 
-from contextlib import ExitStack
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..distance.cost import CostModel
@@ -30,6 +35,7 @@ from ..tasm.batch import tasm_batch
 from ..tasm.postorder import PostorderStats
 from .cache import ResultCache, result_key
 from .catalog import CatalogDocument, DocumentCatalog
+from .coalesce import PendingQuery, ScanCoalescer
 from .registry import QueryRegistry, RegisteredQuery
 from .wire import cost_key, parse_cost, ranking_payload
 
@@ -47,6 +53,8 @@ class TasmExecutor:
         workers: int = 1,
         shard_threshold: int = 50_000,
         max_k: int = 10_000,
+        coalesce_window_ms: float = 5.0,
+        max_batch_queries: int = 32,
     ):
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -59,6 +67,9 @@ class TasmExecutor:
         #: preallocated at ``k + 2|Q| - 1`` slots, so an unbounded k
         #: would let one request OOM the whole service.
         self.max_k = max_k
+        self.coalescer = ScanCoalescer(
+            window_ms=coalesce_window_ms, max_batch=max_batch_queries
+        )
         self._pool = None
 
     # ------------------------------------------------------------------
@@ -186,31 +197,70 @@ class TasmExecutor:
             "document_version": doc_version,
         }
         if misses:
-            miss_queries = [queries[i] for i in misses]
-            rank_span = span.child("rank") if span is not None else None
-            rankings, engine, stats = self._rank(
-                miss_queries, document, k, cost, span=rank_span
+            entries = [
+                PendingQuery(queries[i], k, cost, ckey, keys[i])
+                for i in misses
+            ]
+            coalesce_span = (
+                span.child("coalesce", queries=len(entries))
+                if span is not None
+                else None
             )
-            if rank_span is not None:
-                rank_span.attrs["engine"] = engine
-                rank_span.finish()
-            info["engine"] = engine
-            if stats is not None:
-                info["ring_peak"] = stats.peak_buffered
-                info["ring_capacity"] = stats.ring_capacity
-                info["stats"] = stats.payload()
-            for i, query, ranking in zip(misses, miss_queries, rankings, strict=True):
+
+            def rank_pass(pass_queries, pass_k, pass_cost, pass_span):
+                return self._rank(
+                    pass_queries, document, pass_k, pass_cost, span=pass_span
+                )
+
+            def fulfil(entry, ranking, engine):
                 payload = {
-                    "bracket": query.bracket,
+                    "bracket": entry.query.bracket,
                     "document": document.name,
                     "document_version": doc_version,
-                    "k": k,
-                    "cost": ckey,
+                    "k": entry.k,
+                    "cost": entry.ckey,
                     "engine": engine,
                     "matches": ranking_payload(ranking),
                 }
-                self.cache.put(keys[i], payload)
-                results[i] = dict(payload, query=query.name, cached=False)
+                self.cache.put(entry.key, payload)
+                return payload
+
+            try:
+                payloads, summary = self.coalescer.execute(
+                    (document.name, doc_version),
+                    entries,
+                    rank_pass,
+                    fulfil,
+                    span=coalesce_span,
+                )
+            except BaseException:
+                if coalesce_span is not None:
+                    coalesce_span.finish()
+                raise
+            info["coalesce"] = {
+                key_: value
+                for key_, value in summary.items()
+                if key_ != "stats"
+            }
+            if coalesce_span is not None:
+                coalesce_span.attrs.update(info["coalesce"])
+                coalesce_span.finish()
+            if summary["role"] == "leader":
+                engines = summary["engines"]
+                info["engine"] = engines[0] if engines else "stream"
+                stats_payload = _merged_stats(summary["stats"])
+                if stats_payload is not None:
+                    info["ring_peak"] = stats_payload.get("peak_buffered")
+                    info["ring_capacity"] = stats_payload.get("ring_capacity")
+                    info["stats"] = stats_payload
+            else:
+                # Every missed query was answered by another request's
+                # in-flight scan — this request triggered no engine pass.
+                info["engine"] = "coalesced"
+            for i, payload in zip(misses, payloads, strict=True):
+                results[i] = dict(
+                    payload, query=queries[i].name, cached=False
+                )
         return results, info  # type: ignore[return-value]
 
     def _rank(
@@ -239,26 +289,22 @@ class TasmExecutor:
             )
             return rankings, "sharded", stats
         stats = PostorderStats()
-        with ExitStack() as held:
-            kernels = []
-            # Deterministic acquisition order prevents deadlock when two
-            # batch requests overlap on the same registered queries.
-            for query in sorted(
-                {q for q in queries if q.version > 0},
-                key=lambda q: id(q.lock),
-            ):
-                held.enter_context(query.lock)
-            for query in queries:
-                kernels.append(query.kernel(cost))
-            rankings = tasm_batch(
-                [q.tree for q in queries],
-                document.queue(),
-                k,
-                cost,
-                stats=stats,
-                kernels=kernels,
-                span=span,
-            )
+        # Private clones of the warm templates: no lock is held across
+        # the scan, so passes for the same query run concurrently.
+        kernels = [query.kernel_instance(cost) for query in queries]
+        rankings = tasm_batch(
+            [q.tree for q in queries],
+            document.queue(),
+            k,
+            cost,
+            stats=stats,
+            kernels=kernels,
+            span=span,
+        )
+        for query, kernel in zip(queries, kernels, strict=True):
+            if query.version > 0:
+                # Offer the now-warmer clone back as the template.
+                query.absorb_kernel(cost, kernel)
         return rankings, "stream", stats
 
     # ------------------------------------------------------------------
@@ -271,4 +317,46 @@ class TasmExecutor:
             "kernel_backend": self.registry.backend,
             "pool_running": self._pool is not None,
             "cache": self.cache.payload(),
+            "coalesce": self.coalescer.payload(),
         }
+
+
+def _merged_stats(stats_list: Sequence[Any]) -> Optional[Dict[str, Any]]:
+    """One stats payload summarising every engine pass of a batch.
+
+    Counter keys add up, stage/wall seconds add up, ring occupancy adds
+    elementwise, and the ring peak/capacity are maxima — the same
+    shape :meth:`ServeMetrics.observe` accumulates, so a multi-pass
+    leader request feeds the metrics exactly once.
+    """
+    payloads = [s.payload() for s in stats_list if s is not None]
+    if not payloads:
+        return None
+    if len(payloads) == 1:
+        return payloads[0]
+    merged: Dict[str, Any] = dict(payloads[0])
+    for extra in payloads[1:]:
+        for key, value in extra.items():
+            if key == "stage_seconds":
+                base = dict(merged.get(key) or {})
+                for stage, seconds in value.items():
+                    base[stage] = base.get(stage, 0.0) + seconds
+                merged[key] = base
+            elif key == "ring_occupancy":
+                base_list = list(merged.get(key) or [])
+                for i, v in enumerate(value):
+                    if i < len(base_list):
+                        base_list[i] += v
+                    else:
+                        base_list.append(v)
+                merged[key] = base_list
+            elif key in ("ring_capacity", "peak_buffered"):
+                merged[key] = max(merged.get(key) or 0, value or 0)
+            elif isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                # Strings and flags (kernel_backend, ...): keep the first.
+                continue
+            else:
+                merged[key] = (merged.get(key) or 0) + value
+    return merged

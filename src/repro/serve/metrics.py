@@ -33,7 +33,7 @@ from .. import __version__
 from ..obs.prom import MetricFamily, format_value, render_families
 from ..tasm.postorder import RING_OCCUPANCY_BUCKETS
 
-__all__ = ["LATENCY_BUCKETS", "ServeMetrics"]
+__all__ = ["COALESCE_BATCH_BUCKETS", "LATENCY_BUCKETS", "ServeMetrics"]
 
 #: Latency observations kept per route (a deque, oldest dropped first).
 _RESERVOIR = 512
@@ -62,6 +62,10 @@ _ENGINE_COUNTER_KEYS = (
 )
 
 _STAGE_KEYS = ("total", "scan", "candidate_eval", "kernel")
+
+#: Histogram bucket upper bounds for queries-per-engine-pass (the
+#: coalescer's batch sizes); the executor's default max batch is 32.
+COALESCE_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32)
 
 
 def _quantile(sorted_values, q: float) -> float:
@@ -100,6 +104,15 @@ class ServeMetrics:
         self._ring_occupancy = [0] * RING_OCCUPANCY_BUCKETS
         self.ring_peak_high_water = 0
         self.ring_capacity_high_water = 0
+        #: Coalescer accounting: requests that went through the
+        #: coalescer, requests fully answered by another request's
+        #: in-flight scan, queries ranked by leaders, queries that
+        #: joined an in-flight entry, and engine passes actually run.
+        self._coalesce: Counter = Counter()
+        #: Queries-per-pass histogram (last slot = +Inf overflow).
+        self._coalesce_batch = [0] * (len(COALESCE_BATCH_BUCKETS) + 1)
+        self._coalesce_batch_sum = 0
+        self._coalesce_batch_count = 0
 
     def uptime_seconds(self) -> float:
         return time.monotonic() - self._started_monotonic
@@ -113,12 +126,16 @@ class ServeMetrics:
         ring_peak: Optional[int] = None,
         ring_capacity: Optional[int] = None,
         stats: Optional[dict] = None,
+        coalesce: Optional[dict] = None,
     ) -> None:
         """Record one finished request.
 
         ``stats``, when the request ran the matching engine, is a
         :meth:`~repro.tasm.postorder.PostorderStats.payload` dict; its
         counters accumulate into the server-lifetime engine totals.
+        ``coalesce`` is the executor's per-request coalescing summary
+        (role, batch sizes, shared-query count) for requests whose
+        misses went through the scan coalescer.
         """
         with self._lock:
             self.requests_total += 1
@@ -165,6 +182,22 @@ class ServeMetrics:
                 if occupancy:
                     for i, v in enumerate(occupancy[:RING_OCCUPANCY_BUCKETS]):
                         self._ring_occupancy[i] += v
+            if coalesce is not None:
+                self._coalesce["requests"] += 1
+                if coalesce.get("role") == "coalesced":
+                    self._coalesce["coalesced_requests"] += 1
+                self._coalesce["queries"] += coalesce.get("queries", 0)
+                self._coalesce["shared_queries"] += coalesce.get("shared", 0)
+                self._coalesce["engine_passes"] += coalesce.get("passes", 0)
+                for size in coalesce.get("batch_sizes") or ():
+                    for i, bound in enumerate(COALESCE_BATCH_BUCKETS):
+                        if size <= bound:
+                            self._coalesce_batch[i] += 1
+                            break
+                    else:
+                        self._coalesce_batch[-1] += 1
+                    self._coalesce_batch_sum += size
+                    self._coalesce_batch_count += 1
 
     def payload(self) -> Dict[str, object]:
         """A JSON-ready snapshot of every counter."""
@@ -204,6 +237,32 @@ class ServeMetrics:
                 "ring_occupancy": list(self._ring_occupancy),
                 "ring_peak_high_water": self.ring_peak_high_water,
                 "ring_capacity_high_water": self.ring_capacity_high_water,
+                "coalesce": {
+                    "requests": self._coalesce.get("requests", 0),
+                    "coalesced_requests": self._coalesce.get(
+                        "coalesced_requests", 0
+                    ),
+                    "queries": self._coalesce.get("queries", 0),
+                    "shared_queries": self._coalesce.get("shared_queries", 0),
+                    "engine_passes": self._coalesce.get("engine_passes", 0),
+                    "scans_saved": max(
+                        0,
+                        self._coalesce.get("queries", 0)
+                        + self._coalesce.get("shared_queries", 0)
+                        - self._coalesce.get("engine_passes", 0),
+                    ),
+                    "batch_size_histogram": {
+                        **{
+                            format_value(bound): count
+                            for bound, count in zip(
+                                COALESCE_BATCH_BUCKETS,
+                                self._coalesce_batch,
+                                strict=False,
+                            )
+                        },
+                        "+Inf": self._coalesce_batch[-1],
+                    },
+                },
             }
 
     def prometheus(self) -> str:
@@ -301,6 +360,38 @@ class ServeMetrics:
             for i, count in enumerate(self._ring_occupancy):
                 occupancy.add(count, {"octile": str(i + 1)})
             families.append(occupancy)
+            coalesce_events = MetricFamily(
+                "repro_coalesce_events_total", "counter",
+                "Scan-coalescer accounting (requests, queries, shared "
+                "queries, engine passes)",
+            )
+            for key in (
+                "requests",
+                "coalesced_requests",
+                "queries",
+                "shared_queries",
+                "engine_passes",
+            ):
+                coalesce_events.add(self._coalesce.get(key, 0), {"event": key})
+            families.append(coalesce_events)
+            batch_hist = MetricFamily(
+                "repro_coalesce_batch_queries", "histogram",
+                "Queries per coalesced engine pass",
+            )
+            running = 0
+            for bound, count in zip(
+                COALESCE_BATCH_BUCKETS, self._coalesce_batch, strict=False
+            ):
+                running += count
+                batch_hist.add(
+                    running, {"le": format_value(bound)}, suffix="_bucket"
+                )
+            batch_hist.add(
+                self._coalesce_batch_count, {"le": "+Inf"}, suffix="_bucket"
+            )
+            batch_hist.add(self._coalesce_batch_sum, suffix="_sum")
+            batch_hist.add(self._coalesce_batch_count, suffix="_count")
+            families.append(batch_hist)
             families.append(
                 MetricFamily(
                     "repro_ring_peak_high_water", "gauge",

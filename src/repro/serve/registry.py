@@ -16,9 +16,16 @@ request-independent:
   :func:`~repro.tasm.postorder.prune_threshold`) is a method away.
 
 Kernels reuse internal row buffers across calls and are therefore not
-safe for concurrent use; each registered query carries a lock that the
-executor holds while streaming a document against it.  Different
-queries never contend.
+safe for concurrent use.  Rather than serialising requests on a
+per-query lock, each registered query keeps one *warm template* kernel
+per cost model and hands concurrent rankings independent clones of it
+(:meth:`RegisteredQuery.kernel_instance`): the clone shares the
+template's interned document-label dictionary at clone time but owns
+fresh row buffers, so two requests for the same query stream documents
+fully in parallel.  After a ranking the executor offers its clone back
+(:meth:`RegisteredQuery.absorb_kernel`); the clone that has interned
+the most document labels becomes the new template, so the warm state
+keeps improving without any lock being held across a scan.
 """
 
 from __future__ import annotations
@@ -62,7 +69,7 @@ class RegisteredQuery:
         self.version = version
         #: Resolved kernel row engine every kernel of this query uses.
         self.backend = resolve_backend(backend)
-        #: Held by the executor while this query's kernel is streaming.
+        #: Guards the warm-template map only — never held across a scan.
         self.lock = threading.Lock()
         self._kernels: Dict[str, PrefixDistanceKernel] = {}
 
@@ -70,13 +77,54 @@ class RegisteredQuery:
         return len(self.tree)
 
     def kernel(self, cost: CostModel) -> PrefixDistanceKernel:
-        """The reusable kernel for ``cost`` (built on first use)."""
+        """The warm template kernel for ``cost`` (built on first use).
+
+        The template itself must only be streamed single-threaded;
+        concurrent callers want :meth:`kernel_instance`.
+        """
         key = cost_key(cost)
-        kernel = self._kernels.get(key)
-        if kernel is None:
-            kernel = PrefixDistanceKernel(self.tree, cost, self.backend)
-            self._kernels[key] = kernel
+        with self.lock:
+            kernel = self._kernels.get(key)
+            if kernel is None:
+                kernel = PrefixDistanceKernel(self.tree, cost, self.backend)
+                self._kernels[key] = kernel
         return kernel
+
+    def kernel_instance(self, cost: CostModel) -> PrefixDistanceKernel:
+        """A private clone of the warm template, safe to stream with.
+
+        The clone copies the template's interned document-label
+        dictionary (so a warmed-up server never re-interns common
+        labels) but owns fresh DP row buffers — the only state a scan
+        mutates — so any number of clones run concurrently.
+        """
+        key = cost_key(cost)
+        with self.lock:
+            template = self._kernels.get(key)
+            if template is None:
+                template = PrefixDistanceKernel(self.tree, cost, self.backend)
+                self._kernels[key] = template
+            return template.clone()
+
+    def absorb_kernel(
+        self, cost: CostModel, kernel: PrefixDistanceKernel
+    ) -> None:
+        """Offer a used clone back as the warm template.
+
+        The clone becomes the template when it has interned more
+        document labels than the current one — the next
+        :meth:`kernel_instance` then starts warmer.  Publishing the
+        whole kernel is safe because templates are only ever cloned,
+        never streamed, once absorbed.
+        """
+        key = cost_key(cost)
+        with self.lock:
+            template = self._kernels.get(key)
+            if (
+                template is None
+                or kernel.interned_doc_labels > template.interned_doc_labels
+            ):
+                self._kernels[key] = kernel
 
     def threshold(self, k: int, cost: CostModel) -> int:
         """Largest candidate-subtree size for this query at ``k``."""

@@ -30,12 +30,13 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import sys
 import threading
 import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from .. import __version__
@@ -75,12 +76,20 @@ class ServerConfig:
     request_threads: int = 8  # concurrent blocking rankings
     max_k: int = 10_000  # per-request k ceiling (ring is O(k)-allocated)
     backend: str = "auto"  # kernel row engine ("auto"/"python"/"numpy")
+    #: How long the first cache-missing request for a document waits
+    #: for more queries to coalesce into its scan; 0 still single-
+    #: flights and merges whatever is already pending.
+    coalesce_window_ms: float = 5.0
+    #: Queries per shared engine pass; larger batches chunk.
+    max_batch_queries: int = 32
     #: Requests slower than this emit one structured JSON log line with
     #: the per-stage span breakdown; None disables slow-request logging.
     slow_request_seconds: Optional[float] = 1.0
     #: Record a span tree per request (cheap: a handful of timers per
     #: request, bounded children).  Off, only counters are collected.
     trace: bool = True
+    #: Log the full resolved config at startup (``repro serve -v``).
+    verbose: bool = False
 
 
 def _log(message: str) -> None:
@@ -110,6 +119,8 @@ class TasmServer:
             workers=config.workers,
             shard_threshold=config.shard_threshold,
             max_k=config.max_k,
+            coalesce_window_ms=config.coalesce_window_ms,
+            max_batch_queries=config.max_batch_queries,
         )
         for name, path in config.xml_documents.items():
             self.catalog.register_xml(name, path)
@@ -137,8 +148,12 @@ class TasmServer:
         _log(
             f"listening on http://{self.config.host}:{self.port} "
             f"({len(self.catalog)} documents, {len(self.registry)} queries, "
-            f"workers={self.config.workers})"
+            f"workers={self.config.workers}, "
+            f"coalesce_window_ms={self.config.coalesce_window_ms}, "
+            f"max_batch_queries={self.config.max_batch_queries})"
         )
+        if self.config.verbose:
+            _log(f"config {json.dumps(asdict(self.config), sort_keys=True)}")
 
     async def close(self) -> None:
         if self._server is not None:
@@ -249,6 +264,7 @@ class TasmServer:
             ring_peak=info.get("ring_peak"),
             ring_capacity=info.get("ring_capacity"),
             stats=info.get("stats"),
+            coalesce=info.get("coalesce"),
         )
         slow = self.config.slow_request_seconds
         if slow is not None and elapsed >= slow:
@@ -389,6 +405,7 @@ class TasmServer:
             "shard_threshold": self.config.shard_threshold,
             "kernel_backend": self.registry.backend,
             "cache": self.cache.payload(),
+            "coalesce": self.executor.coalescer.payload(),
         }
 
 

@@ -272,6 +272,9 @@ def test_serve_config_construction():
         request_threads=5,
         max_k=99,
         backend="python",
+        coalesce_window_ms=7.5,
+        max_batch_queries=9,
+        verbose=True,
         slow_request_seconds=2.5,
         no_trace=False,
     )
@@ -285,6 +288,9 @@ def test_serve_config_construction():
     for name, bracket in DEFAULT_QUERIES.items():
         assert config.queries[name] == bracket
     assert config.cache_size == 7 and config.shard_threshold == 1234
+    assert config.coalesce_window_ms == 7.5
+    assert config.max_batch_queries == 9
+    assert config.verbose is True
 
 
 def test_serve_config_rejects_malformed_pairs(capsys):
@@ -310,6 +316,9 @@ def test_serve_config_slow_request_and_trace_flags():
         request_threads=1,
         max_k=10,
         backend="auto",
+        coalesce_window_ms=5.0,
+        max_batch_queries=32,
+        verbose=False,
         slow_request_seconds=-1.0,  # negative disables slow logging
         no_trace=True,
     )

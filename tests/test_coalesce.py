@@ -1,0 +1,316 @@
+"""The scan coalescer: concurrency stress, single-flight, freshness.
+
+This battery is the trust story for the one-scan-many-queries serve
+refactor.  It proves, under real concurrency:
+
+* 32 parallel clients trigger strictly fewer document scans than
+  requests, with every response byte-identical to the sequential
+  baseline (the coalescing window plus k-slicing stay exact);
+* N identical in-flight requests collapse to exactly one engine
+  invocation and one cache fill (single-flight);
+* a document version bump mid-flight never serves the stale document
+  (the cache key snapshots the version before ranking);
+* ``/healthz`` reports the coalescing config so operators (and the
+  service smoke) can assert what a server is actually running.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro import IntervalStore, Tree, tasm_postorder
+from repro.serve import (
+    DocumentCatalog,
+    QueryRegistry,
+    ResultCache,
+    ScanCoalescer,
+    ServeClient,
+    ServerConfig,
+    ServerThread,
+    TasmExecutor,
+    ranking_payload,
+)
+from repro.errors import ServeError
+from repro.trees import random_tree
+
+Q1 = "{a{b}{c}}"
+Q2 = "{a{b}}"
+
+DOC_NODES = 600
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("coalesce")
+    doc = random_tree(DOC_NODES, seed=11, labels="abcde", max_fanout=5)
+    db = str(tmp / "docs.db")
+    with IntervalStore(db) as store:
+        store.store_tree("doc", doc)
+    return {"db": db, "doc": doc}
+
+
+def canonical(matches) -> str:
+    """The byte-identity form (matches the CLI's --json rendering)."""
+    return json.dumps(matches, indent=2, sort_keys=True)
+
+
+def expected_matches(bracket, document, k, cost=None):
+    return ranking_payload(
+        tasm_postorder(Tree.from_bracket(bracket), document, k, cost)
+    )
+
+
+async def _raw_post(port: int, path: str, payload: dict):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = json.dumps(payload).encode("utf-8")
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        ).encode("latin-1")
+        + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, tail = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(tail)
+
+
+# ----------------------------------------------------------------------
+# Stress: 32 clients, scans < requests, byte-identical responses
+# ----------------------------------------------------------------------
+def test_stress_32_clients_share_scans_and_stay_byte_identical(corpus):
+    config = ServerConfig(
+        store=corpus["db"],
+        port=0,
+        queries={"q1": Q1, "q2": Q2},
+        cache_size=0,  # every request is a miss: coalescing only
+        request_threads=32,
+        coalesce_window_ms=250.0,  # generous: all clients join windows
+        slow_request_seconds=None,
+    )
+    requests = [
+        {"query": "q1" if i % 2 == 0 else "q2", "document": "doc",
+         "k": 3 if i % 4 < 2 else 4}
+        for i in range(32)
+    ]
+    expected = {
+        (spec["query"], spec["k"]): canonical(
+            expected_matches(
+                Q1 if spec["query"] == "q1" else Q2, corpus["doc"], spec["k"]
+            )
+        )
+        for spec in requests
+    }
+
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+
+        async def drive():
+            return await asyncio.gather(
+                *(_raw_post(thread.port, "/v1/tasm", spec)
+                  for spec in requests)
+            )
+
+        responses = asyncio.run(drive())
+        metrics = client.metrics()
+
+    for spec, (status, payload) in zip(requests, responses, strict=True):
+        assert status == 200
+        assert payload["k"] == spec["k"] and payload["cached"] is False
+        # Byte identity with the sequential baseline, including the
+        # k-slice taken from a shared higher-k pass.
+        assert canonical(payload["matches"]) == expected[
+            (spec["query"], spec["k"])
+        ]
+
+    # Scans are observable: the cache is off, so every dequeued node
+    # belongs to a full document scan.
+    dequeued = metrics["engine_totals"]["dequeued"]
+    assert dequeued % DOC_NODES == 0
+    scans = dequeued // DOC_NODES
+    assert 1 <= scans < len(requests)
+    coalesce = metrics["coalesce"]
+    assert coalesce["requests"] == len(requests)
+    assert coalesce["queries"] + coalesce["shared_queries"] == len(requests)
+    assert coalesce["engine_passes"] == scans
+    assert coalesce["scans_saved"] == len(requests) - scans
+    assert sum(metrics["coalesce"]["batch_size_histogram"].values()) == scans
+
+
+# ----------------------------------------------------------------------
+# Single-flight: N identical requests, one engine pass, one cache fill
+# ----------------------------------------------------------------------
+def _gated_executor(corpus, cache_size=64, window_ms=0.0):
+    """An executor whose engine passes block until ``release`` is set."""
+    registry = QueryRegistry("python")
+    catalog = DocumentCatalog(corpus["db"])
+    cache = ResultCache(cache_size)
+    executor = TasmExecutor(
+        registry,
+        catalog,
+        cache=cache,
+        coalesce_window_ms=window_ms,
+    )
+    registry.register("q1", Q1)
+    release = threading.Event()
+    real_rank = executor._rank
+    calls = []
+
+    def gated(queries, document, k, cost, span=None):
+        calls.append([q.bracket for q in queries])
+        release.wait(20)
+        return real_rank(queries, document, k, cost, span=span)
+
+    executor._rank = gated
+    return executor, catalog, cache, release, calls
+
+
+def _poll(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def test_single_flight_one_invocation_one_cache_fill(corpus):
+    executor, _catalog, cache, release, calls = _gated_executor(corpus)
+    request = {"query": "q1", "document": "doc", "k": 3}
+    n = 8
+    barrier = threading.Barrier(n)
+    results = [None] * n
+    errors = []
+
+    def worker(i):
+        try:
+            barrier.wait(10)
+            payload, _info = executor.run(dict(request))
+            results[i] = payload
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    # All but the leader must have joined the in-flight entry before
+    # the engine pass is allowed to finish.
+    assert _poll(
+        lambda: executor.coalescer.payload()["shared_queries"] == n - 1
+    )
+    release.set()
+    for t in threads:
+        t.join(20)
+    assert not errors
+    assert all(r is not None for r in results)
+
+    # Exactly one engine invocation, for exactly one query...
+    assert calls == [[Q1]]
+    # ...one cache fill...
+    assert cache.stores == 1
+    assert cache.misses == n  # every request missed, then single-flighted
+    # ...and byte-identical bodies for every waiter.
+    baseline = canonical(results[0])
+    assert all(canonical(r) == baseline for r in results)
+    assert results[0]["cached"] is False
+    summary = executor.coalescer.payload()
+    assert summary["queries"] == 1
+    assert summary["shared_queries"] == n - 1
+    assert summary["engine_passes"] == 1
+    assert summary["scans_saved"] == n - 1
+    assert summary["batch_size_histogram"] == {1: 1}
+
+
+def test_version_bump_mid_flight_never_serves_stale(corpus):
+    executor, catalog, cache, release, calls = _gated_executor(corpus)
+    request = {"query": "q1", "document": "doc", "k": 3}
+    results = {}
+
+    def worker(tag):
+        payload, _info = executor.run(dict(request))
+        results[tag] = payload
+
+    first = threading.Thread(target=worker, args=("pre-bump",))
+    first.start()
+    assert _poll(lambda: len(calls) == 1)  # the version-1 scan is in flight
+
+    catalog.bump_version("doc")
+    second = threading.Thread(target=worker, args=("post-bump",))
+    second.start()
+    # The bumped version is a different cache key, so the second
+    # request must NOT single-flight onto the stale scan: it leads a
+    # scan of its own.
+    assert _poll(lambda: len(calls) == 2)
+    release.set()
+    first.join(20)
+    second.join(20)
+
+    assert results["pre-bump"]["document_version"] == 1
+    assert results["post-bump"]["document_version"] == 2
+    assert cache.stores == 2
+    assert executor.coalescer.payload()["shared_queries"] == 0
+
+    # A fresh request is served from cache — and only ever the
+    # post-bump entry.
+    payload, info = executor.run(dict(request))
+    assert info["engine"] == "cache"
+    assert payload["cached"] is True
+    assert payload["document_version"] == 2
+    assert canonical(
+        dict(payload, cached=False)
+    ) == canonical(results["post-bump"])
+
+
+# ----------------------------------------------------------------------
+# Config plumbing and validation
+# ----------------------------------------------------------------------
+def test_healthz_reports_coalescing_config(corpus):
+    config = ServerConfig(
+        store=corpus["db"],
+        port=0,
+        queries={"q1": Q1},
+        coalesce_window_ms=7.5,
+        max_batch_queries=9,
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        health = client.health()
+        client.tasm("q1", "doc", k=2)
+        health_after = client.health()
+    coalesce = health["coalesce"]
+    assert coalesce["window_ms"] == 7.5
+    assert coalesce["max_batch_queries"] == 9
+    assert coalesce["queries"] == 0 and coalesce["engine_passes"] == 0
+    after = health_after["coalesce"]
+    assert after["queries"] == 1 and after["engine_passes"] == 1
+
+
+def test_coalescer_rejects_bad_tunables():
+    with pytest.raises(ServeError):
+        ScanCoalescer(window_ms=-1.0)
+    with pytest.raises(ServeError):
+        ScanCoalescer(max_batch=0)
+
+
+def test_batch_request_with_duplicate_queries_single_flights(corpus):
+    """One request repeating a query resolves every copy identically."""
+    executor, _catalog, cache, release, calls = _gated_executor(corpus)
+    release.set()  # no gating needed: duplicates collapse via the key
+    payload, info = executor.run_batch(
+        {"queries": ["q1", "q1", "q1"], "document": "doc", "k": 3}
+    )
+    assert calls == [[Q1]]  # one pass, one query
+    assert cache.stores == 1
+    bodies = [canonical(r) for r in payload["results"]]
+    assert len(set(bodies)) == 1
+    assert info["coalesce"]["shared"] == 2

@@ -144,3 +144,65 @@ def test_numpy_backend_bit_identical_to_python(query, doc, k, cost):
             query, PostorderQueue.from_tree(doc), k, cost, backend="numpy"
         )
     ) == base
+
+
+@given(
+    doc=trees,
+    specs=st.lists(
+        st.tuples(small_trees, ks, cost_models), min_size=1, max_size=5
+    ),
+)
+def test_coalesced_passes_equal_per_request_batches(doc, specs):
+    # The serve-layer coalescer merges concurrent requests — each with
+    # its own query, k, and cost model — into shared engine passes run
+    # at the largest k of the chunk, then slices every ranking down to
+    # the request's own k.  That slice must be *bit-equal* to a
+    # per-request ``tasm_batch`` call (the top-k heap keeps the k
+    # smallest under (distance, stream position) with k-independent
+    # tie-breaking), for both the stream and the sharded engines.
+    # max_batch=3 forces multi-pass chunking on larger draws.
+    from repro.parallel import tasm_sharded_batch
+    from repro.serve import (
+        PendingQuery,
+        RegisteredQuery,
+        ScanCoalescer,
+        cost_key,
+    )
+
+    entries = [
+        PendingQuery(
+            RegisteredQuery(f"q{i}", tree, 0, "python"),
+            k,
+            cost,
+            cost_key(cost),
+            ("doc", 1, tree.to_bracket(), k, cost_key(cost), i),
+        )
+        for i, (tree, k, cost) in enumerate(specs)
+    ]
+    coalescer = ScanCoalescer(window_ms=0.0, max_batch=3)
+
+    def stream_rank(queries, k, cost, span):
+        rankings = tasm_batch(
+            [q.tree for q in queries], PostorderQueue.from_tree(doc), k, cost
+        )
+        return rankings, "stream", None
+
+    def sharded_rank(queries, k, cost, span):
+        rankings = tasm_sharded_batch(
+            [q.tree for q in queries], doc, k, cost, workers=1
+        )
+        return rankings, "sharded", None
+
+    for rank in (stream_rank, sharded_rank):
+        rankings, passes = coalescer.run_passes(entries, rank)
+        assert sum(size for size, _engine, _stats in passes) == len(entries)
+        assert all(size <= 3 for size, _engine, _stats in passes)
+        for entry in entries:
+            sliced, _engine = rankings[id(entry)]
+            direct = tasm_batch(
+                [entry.query.tree],
+                PostorderQueue.from_tree(doc),
+                entry.k,
+                entry.cost,
+            )[0]
+            assert ranking_triples(sliced) == ranking_triples(direct)

@@ -677,8 +677,14 @@ def test_slow_request_log_carries_stage_breakdown(corpus, capfd):
     stages = entry["stages"]
     assert stages["name"] == "POST /v1/tasm"
     child_names = [c["name"] for c in stages["children"]]
-    assert child_names == ["cache_lookup", "rank"]
-    rank = stages["children"][1]
+    assert child_names == ["cache_lookup", "coalesce"]
+    coalesce = stages["children"][1]
+    # The coalesce span records batch composition...
+    assert coalesce["attrs"]["role"] == "leader"
+    assert coalesce["attrs"]["batch_sizes"] == [1]
+    # ...and parents one rank child per engine pass.
+    rank = next(c for c in coalesce["children"] if c["name"] == "rank")
+    assert rank["attrs"]["engine"] == "stream"
     assert any(c["name"] == "candidate_eval" for c in rank["children"])
     # ...and the engine counters ride along.
     assert entry["stats"]["dequeued"] == 120
