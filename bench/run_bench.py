@@ -42,7 +42,17 @@ merges concurrent requests onto shared passes), and
 ``--fail-serve-coalesce-speedup`` gates the req/s win of the highest
 concurrency level over the sequential baseline — enforced only when
 ``cpu_count >= 2``, with the same recorded-skip pattern as the
-parallel gate on single-core hosts.
+parallel gate on single-core hosts.  The serve series pins
+``engine="stream"`` so its numbers keep measuring the scan coalescer.
+
+A candidate-index section boots the same server twice over the same
+corpus store — once streaming, once with ``engine="indexed"`` — and
+times sequential request latency for both, gating byte identity of
+every response pair; ``--fail-index-speedup`` additionally gates the
+indexed-over-streamed latency win, enforced only at corpus scale
+(>= 100k nodes, where the index's SQL size-range + lower-bound
+filtering dominates; smaller corpora record a skip, never a silent
+pass).
 
 Usage::
 
@@ -395,6 +405,11 @@ def bench_serve(
             cache_size=0,
             request_threads=max([8, *concurrencies]),
             backend="auto",
+            # This series measures the scan coalescer: pin the
+            # streaming engine so scans_per_request and the
+            # --fail-serve-coalesce-speedup gate keep meaning what
+            # they say (the candidate index has its own series).
+            engine="stream",
             # Every uncached 100k-corpus ranking exceeds the default
             # 1 s slow-request threshold; logging them would bury the
             # bench output (the slow-log path has its own tests).
@@ -473,6 +488,85 @@ def bench_serve(
         "coalesce": metrics["coalesce"],
         "rankings_identical_to_tasm_batch": all_identical,
         "series": series,
+    }
+
+
+def bench_index(
+    name: str, target_nodes: int, k: int, seed: int, repeats: int = 5
+) -> dict:
+    """Indexed vs streamed serving latency on the same corpus store.
+
+    The same :class:`repro.serve.TasmServer` is booted twice over one
+    IntervalStore file — ``engine="stream"`` then ``engine="indexed"``
+    — and ``repeats`` sequential requests are timed against each after
+    a warm-up.  Every response pair is compared byte for byte: the
+    speedup is only meaningful if the index changes nothing about the
+    ranking, so identity is a hard gate whenever this series runs.
+    """
+    query_name = "bench"
+    with tempfile.TemporaryDirectory() as tmp:
+        xml_path = os.path.join(tmp, f"{name}.xml")
+        nodes = generate(name, xml_path, target_nodes=target_nodes, seed=seed)
+        db_path = os.path.join(tmp, f"{name}.db")
+        with IntervalStore(db_path) as store:
+            store.store_tree(name, tree_from_xml_file(xml_path))
+
+        def timed_series(engine: str):
+            config = ServerConfig(
+                store=db_path,
+                port=0,
+                cache_size=0,  # every request pays the full ranking
+                engine=engine,
+                slow_request_seconds=None,
+            )
+            with ServerThread(config) as thread:
+                client = ServeClient(port=thread.port)
+                client.wait_healthy()
+                client.register_query(
+                    query_name, bracket=DEFAULT_QUERIES[name]
+                )
+                client.tasm(query_name, name, k=k)  # warm-up
+                bodies = []
+                t0 = time.perf_counter()
+                for _ in range(repeats):
+                    response = client.tasm(query_name, name, k=k)
+                    bodies.append(
+                        json.dumps(
+                            response["matches"], indent=2, sort_keys=True
+                        )
+                    )
+                elapsed = time.perf_counter() - t0
+                totals = client.metrics()["engine_totals"]
+            return elapsed, bodies, totals
+
+        stream_seconds, stream_bodies, _stream_totals = timed_series("stream")
+        indexed_seconds, indexed_bodies, totals = timed_series("indexed")
+
+    return {
+        "dataset": name,
+        "doc_nodes": nodes,
+        "k": k,
+        "repeats": repeats,
+        "cache": "disabled",
+        "kernel_backend": resolve_backend("auto"),
+        "note": (
+            "sequential request latency against the same store served "
+            "streaming vs from the candidate index; the index wins by "
+            "scanning only the SQL size range, deduplicating repeated "
+            "shapes, and skipping candidates on the label-histogram "
+            "lower bound"
+        ),
+        "stream_seconds": round(stream_seconds, 3),
+        "indexed_seconds": round(indexed_seconds, 3),
+        "speedup_indexed_vs_stream": (
+            round(stream_seconds / indexed_seconds, 3)
+            if indexed_seconds
+            else None
+        ),
+        "rankings_identical": stream_bodies == indexed_bodies,
+        "index_candidates": totals["index_candidates"],
+        "index_lb_skips": totals["index_lb_skips"],
+        "index_dedup_hits": totals["index_dedup_hits"],
     }
 
 
@@ -653,6 +747,16 @@ def main(argv=None) -> int:
         "skipped when --dataset none",
     )
     parser.add_argument(
+        "--fail-index-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless indexed serving is >= X times faster than "
+        "streamed serving on the corpus store (or the responses "
+        "diverge); enforced only at corpus scale (>= 100000 nodes) — "
+        "recorded as skipped, never silently passed, on smaller runs",
+    )
+    parser.add_argument(
         "--fail-kernel-numpy-speedup",
         type=float,
         default=None,
@@ -745,6 +849,18 @@ def main(argv=None) -> int:
                 f"{entry['requests_per_sec']} req/s  "
                 f"identical={entry['rankings_identical']}"
             )
+
+    index_row = None
+    if dataset != "none":
+        index_row = bench_index(dataset, dataset_nodes, k, args.seed)
+        print(
+            f"index: stream {index_row['stream_seconds']}s  "
+            f"indexed {index_row['indexed_seconds']}s  "
+            f"speedup={index_row['speedup_indexed_vs_stream']}x  "
+            f"identical={index_row['rankings_identical']}  "
+            f"lb_skips={index_row['index_lb_skips']}  "
+            f"dedup={index_row['index_dedup_hits']}"
+        )
 
     ok = all(r["rankings_agree"] for r in results)
     # Wherever both kernel engines ran, their prefix arrays must be
@@ -912,6 +1028,54 @@ def main(argv=None) -> int:
                 )
                 ok = False
 
+    if index_row is not None and not index_row["rankings_identical"]:
+        print(
+            "FAIL: indexed serving diverged from streamed serving",
+            file=sys.stderr,
+        )
+        ok = False
+    if args.fail_index_speedup is not None:
+        threshold = args.fail_index_speedup
+        if index_row is None:
+            index_row = {
+                "gate": {
+                    "threshold": threshold,
+                    "enforced": False,
+                    "reason": "--dataset none (no corpus to serve)",
+                }
+            }
+            print("index speedup gate skipped: --dataset none")
+        elif index_row["doc_nodes"] < 100_000:
+            # Recorded-skip discipline: the index's win comes from not
+            # scanning the corpus, so a sub-corpus run is noise-bound
+            # and must not read as a pass.
+            index_row["gate"] = {
+                "threshold": threshold,
+                "enforced": False,
+                "reason": f"doc_nodes={index_row['doc_nodes']} < 100000",
+            }
+            print(
+                f"index speedup gate skipped: corpus has "
+                f"{index_row['doc_nodes']} nodes (needs >= 100000)"
+            )
+        else:
+            speedup = index_row["speedup_indexed_vs_stream"] or 0.0
+            passed = speedup >= threshold
+            index_row["gate"] = {
+                "threshold": threshold,
+                "enforced": True,
+                "speedup_indexed_vs_stream": speedup,
+                "passed": passed,
+            }
+            if not passed:
+                print(
+                    f"FAIL: indexed serving is only {speedup}x the "
+                    f"streamed baseline (< {threshold}) on the "
+                    f"{index_row['doc_nodes']}-node corpus",
+                    file=sys.stderr,
+                )
+                ok = False
+
     kernel_numpy_gate = None
     if args.fail_kernel_numpy_speedup is not None and results:
         threshold = args.fail_kernel_numpy_speedup
@@ -958,6 +1122,7 @@ def main(argv=None) -> int:
         "parallel": parallel_row,
         "obs_overhead": obs_row,
         "serve": serve_row,
+        "index": index_row,
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)

@@ -1,0 +1,174 @@
+"""Compare a bench run against the committed baseline, per series.
+
+Nightly CI runs the full benchmark and feeds the fresh JSON here
+against the committed ``BENCH_tasm.json``; any series that regressed
+by more than ``--max-regression`` (default 20%) fails the job.
+
+    python scripts/bench_compare.py bench-nightly.json
+    python scripts/bench_compare.py bench-nightly.json \
+        --baseline BENCH_tasm.json --max-regression 0.20
+
+A *series* is one comparable scalar: the per-size engine timings, the
+streamed corpus pass, each parallel worker count, each serve
+concurrency level, and the candidate-index stream/indexed split.
+Timings gate as lower-is-better; throughput (requests/sec) and the
+indexed speedup ratio gate as higher-is-better.  Series missing from
+either file — older baselines predate newer sections — are reported
+and skipped, never failed.  Sub-``--min-seconds`` timings are skipped
+too: a 2 ms series on a shared runner is all noise, no signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: (series name, path into the payload, higher_is_better)
+_Series = Tuple[str, List[Any], bool]
+
+
+def _dig(payload: Dict[str, Any], path: List[Any]) -> Optional[float]:
+    """The scalar at ``path``, or None when any step is missing."""
+    node: Any = payload
+    for step in path:
+        if isinstance(node, dict):
+            node = node.get(step)
+        elif isinstance(node, list):
+            node = next(
+                (
+                    item
+                    for item in node
+                    if isinstance(item, dict) and item.get(step[0]) == step[1]
+                ),
+                None,
+            )
+        else:
+            return None
+        if node is None:
+            return None
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _series(payload: Dict[str, Any]) -> Iterator[_Series]:
+    """Every gateable series present in ``payload``.
+
+    List steps are ``(key, value)`` selectors — ``("doc_nodes", 1000)``
+    picks the row of that size — so baselines and fresh runs pair up
+    by meaning, not by list position.
+    """
+    for row in payload.get("results", []):
+        size = row.get("doc_nodes")
+        sel = ("doc_nodes", size)
+        yield f"postorder@{size}", ["results", sel, "postorder", "seconds"], False
+        yield f"dynamic@{size}", ["results", sel, "dynamic", "seconds"], False
+        yield f"kernel@{size}", ["results", sel, "ted_kernel", "seconds"], False
+        yield (
+            f"kernel-numpy@{size}",
+            ["results", sel, "ted_kernel_numpy", "seconds"],
+            False,
+        )
+    yield "corpus-stream", ["dataset", "postorder_streamed", "seconds"], False
+    for row in (payload.get("parallel") or {}).get("series", []):
+        workers = row.get("workers")
+        yield (
+            f"parallel@w{workers}",
+            ["parallel", "series", ("workers", workers), "seconds"],
+            False,
+        )
+    for row in (payload.get("serve") or {}).get("series", []):
+        concurrency = row.get("concurrency")
+        yield (
+            f"serve@c{concurrency}",
+            [
+                "serve",
+                "series",
+                ("concurrency", concurrency),
+                "requests_per_sec",
+            ],
+            True,
+        )
+    yield "index-stream", ["index", "stream_seconds"], False
+    yield "index-indexed", ["index", "indexed_seconds"], False
+    yield "index-speedup", ["index", "speedup_indexed_vs_stream"], True
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+    min_seconds: float,
+) -> int:
+    """Print the per-series verdicts; returns the regression count."""
+    regressions = 0
+    seen = set()
+    for name, path, higher_is_better in _series(baseline):
+        if name in seen:
+            continue
+        seen.add(name)
+        base = _dig(baseline, path)
+        cur = _dig(current, path)
+        if base is None or cur is None:
+            print(f"  skip  {name}: missing on one side")
+            continue
+        if not higher_is_better and max(base, cur) < min_seconds:
+            print(f"  skip  {name}: {base:.4f}s below noise floor")
+            continue
+        if higher_is_better:
+            regressed = cur < base * (1.0 - max_regression)
+            delta = (cur - base) / base
+        else:
+            regressed = cur > base * (1.0 + max_regression)
+            delta = (cur - base) / base
+        verdict = "FAIL" if regressed else "ok"
+        print(
+            f"  {verdict:>4}  {name}: baseline {base:.4f} -> {cur:.4f} "
+            f"({delta:+.1%})"
+        )
+        if regressed:
+            regressions += 1
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh bench JSON to check")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_tasm.json",
+        help="committed baseline JSON (default: BENCH_tasm.json)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="tolerated fractional regression per series (default 0.20)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="skip timing series faster than this on both sides",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    print(
+        f"bench-compare: {args.current} vs {args.baseline} "
+        f"(max regression {args.max_regression:.0%})"
+    )
+    regressions = compare(
+        current, baseline, args.max_regression, args.min_seconds
+    )
+    if regressions:
+        print(f"bench-compare: {regressions} series regressed")
+        return 1
+    print("bench-compare: no series regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

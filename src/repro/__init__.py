@@ -62,7 +62,7 @@ from .tasm import (
 )
 from .trees import Node, Tree
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = [
     "__version__",

@@ -213,13 +213,31 @@ def load_module(path: Path) -> ModuleInfo:
     )
 
 
+#: directory names never worth linting: interpreter bytecode and tool
+#: caches that ``rglob`` would otherwise happily descend into.
+_SKIP_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".hypothesis",
+        ".mypy_cache",
+        ".pytest_cache",
+        ".ruff_cache",
+    }
+)
+
+
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
     """Expand files/directories into a sorted, deduplicated file list."""
     seen: Set[Path] = set()
     collected: List[Path] = []
     for path in paths:
         if path.is_dir():
-            collected.extend(sorted(path.rglob("*.py")))
+            collected.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
         elif path.suffix == ".py":
             collected.append(path)
         else:

@@ -400,6 +400,7 @@ class SpanGuardRule(Rule):
         "parallel/sharded.py",
         "serve/coalesce.py",
         "serve/executor.py",
+        "index/engine.py",
     )
     #: methods that are themselves guard-free by design (NULL_SPAN
     #: recorders implement them as no-ops and callers rely on that).
@@ -560,21 +561,22 @@ class NoAssertRule(Rule):
 
 @register_rule
 class ForwardParamsRule(Rule):
-    """Accepted ``backend=``/``span=`` parameters must actually be used.
+    """Accepted ``backend=``/``span=``/``engine=`` parameters must be used.
 
-    The layered API threads two cross-cutting parameters everywhere:
-    the kernel row engine (``backend``) and the tracing span.  A public
-    entrypoint that accepts one and drops it on the floor still works —
-    it just silently ranks on the wrong engine or loses a span subtree,
-    the exact bug class the PR 5 backend plumbing fixed.  Any function
+    The layered API threads three cross-cutting parameters everywhere:
+    the kernel row engine (``backend``), the tracing span, and the
+    ranking engine selector (``engine``).  A public entrypoint that
+    accepts one and drops it on the floor still works — it just
+    silently ranks on the wrong engine or loses a span subtree, the
+    exact bug class the PR 5 backend plumbing fixed.  Any function
     that declares one of these parameters must reference it in its
     body (forwarding it counts; stub bodies are exempt).
     """
 
     id = "forward-params"
-    title = "accepted backend=/span= parameter never used"
+    title = "accepted backend=/span=/engine= parameter never used"
 
-    watched_params: ClassVar[Tuple[str, ...]] = ("backend", "span")
+    watched_params: ClassVar[Tuple[str, ...]] = ("backend", "span", "engine")
 
     def _is_stub(self, node: ast.AST) -> bool:
         body = node.body  # type: ignore[attr-defined]

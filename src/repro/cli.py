@@ -10,6 +10,8 @@ Five subcommands mirror the library's entry points:
   document pass (:func:`repro.tasm.tasm_batch`),
 * ``repro dataset NAME OUT`` — generate an XMark/DBLP/PSD-lookalike
   document (:mod:`repro.datasets`) for benchmarks and experiments,
+* ``repro index STORE`` — backfill the candidate index
+  (:mod:`repro.index`) for documents stored before schema v2,
 * ``repro serve`` — run the long-lived TASM HTTP service
   (:mod:`repro.serve`) over a store file and/or XML documents,
 * ``repro lint`` — run the project's invariant linter
@@ -195,6 +197,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="document name inside an IntervalStore .db file (default: "
         "the store's only document)",
     )
+    tasm_p.add_argument(
+        "--engine",
+        choices=["auto", "stream", "indexed"],
+        default="auto",
+        help="ranking engine for IntervalStore documents: 'indexed' "
+        "serves from the candidate index (byte-identical ranking, no "
+        "full scan; requires an indexed store — see `repro index`), "
+        "'stream' forces the scanning pass, 'auto' uses the index "
+        "when present (postorder algorithm only, default auto)",
+    )
 
     for p in (ted_p, tasm_p):
         p.add_argument(
@@ -230,6 +242,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--nodes", type=int, default=100_000, help="target node count (default 100000)"
     )
     dataset_p.add_argument("--seed", type=int, default=0, help="random seed")
+
+    index_p = sub.add_parser(
+        "index",
+        help="backfill the candidate index of an IntervalStore file",
+    )
+    index_p.add_argument("store", help="IntervalStore database path")
+    index_p.add_argument(
+        "--doc-name",
+        default=None,
+        metavar="NAME",
+        help="only index this document (default: every document)",
+    )
 
     serve_p = sub.add_parser(
         "serve", help="run the TASM HTTP service (repro.serve)"
@@ -311,6 +335,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="distance-kernel row engine for every served query "
         "(default: auto; 'numpy' fails at startup if numpy is missing; "
         "reported in /healthz and /metrics)",
+    )
+    serve_p.add_argument(
+        "--engine",
+        choices=["auto", "stream", "indexed"],
+        default="auto",
+        help="ranking engine for store documents (default: auto — use "
+        "the candidate index when a document has one; 'indexed' "
+        "rejects requests for unindexed documents; reported in "
+        "/healthz)",
     )
     serve_p.add_argument(
         "--coalesce-window-ms",
@@ -439,6 +472,8 @@ def _run_tasm(args: argparse.Namespace) -> int:
     if args.algorithm == "dynamic":
         if args.workers > 1:
             raise ReproError("--workers requires --algorithm postorder")
+        if args.engine != "auto":
+            raise ReproError("--engine requires --algorithm postorder")
         if doc_fmt == "store":
             document = _load_store_tree(args.document, args.doc_name)
         else:
@@ -448,6 +483,28 @@ def _run_tasm(args: argparse.Namespace) -> int:
             for query in queries
         ]
         stats = None
+    elif args.engine == "indexed":
+        # A single SQL-backed pass over the candidate table; there is
+        # no scan to shard, so --workers is meaningless here.
+        if args.workers > 1:
+            raise ReproError("--engine indexed is a single pass; drop --workers")
+        if doc_fmt != "store":
+            raise ReproError(
+                "--engine indexed requires an IntervalStore document "
+                "(.db file); the candidate index lives in the store"
+            )
+        stats = PostorderStats()
+        source = _store_document(args.document, args.doc_name).shard_source()
+        rankings = tasm_batch(
+            queries,
+            source,
+            args.k,
+            args.cost,
+            stats=stats,
+            backend=backend,
+            span=span,
+            engine="indexed",
+        )
     elif args.workers > 1:
         # Shard XML and store files in place: planning and every worker
         # stream their own scan, so no process materialises the
@@ -489,7 +546,13 @@ def _run_tasm(args: argparse.Namespace) -> int:
                 )
     else:
         stats = PostorderStats()
-        source = _document_queue(args.document, args.format, args.doc_name)
+        if doc_fmt == "store":
+            # Hand tasm_batch the store reference, not a queue: the
+            # engine router needs the file to find the candidate index
+            # ("auto" streams when the document has none).
+            source = _store_document(args.document, args.doc_name).shard_source()
+        else:
+            source = _document_queue(args.document, args.format)
         rankings = tasm_batch(
             queries,
             source,
@@ -498,6 +561,7 @@ def _run_tasm(args: argparse.Namespace) -> int:
             stats=stats,
             backend=backend,
             span=span,
+            engine=args.engine,
         )
     if args.json:
         if batch:
@@ -542,7 +606,10 @@ def _run_tasm(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         else:
-            print(f"engine={args.algorithm} backend={backend}", file=sys.stderr)
+            engine_label = args.algorithm
+            if stats is not None and stats.index_candidates > 0:
+                engine_label = "indexed"
+            print(f"engine={engine_label} backend={backend}", file=sys.stderr)
     if args.profile:
         if stats is None:
             print(
@@ -593,6 +660,13 @@ def _print_profile(stats, span) -> None:
         f"(numpy {payload['kernel_rows_numpy']})",
         file=out,
     )
+    if payload.get("index_candidates"):
+        print(
+            f"profile: index candidates={payload['index_candidates']} "
+            f"lb skips={payload['index_lb_skips']} "
+            f"dedup hits={payload['index_dedup_hits']}",
+            file=out,
+        )
     print(
         f"profile: ring peak={payload['peak_buffered']}"
         f"/{payload['ring_capacity']} "
@@ -610,6 +684,36 @@ def _run_dataset(args: argparse.Namespace) -> int:
 
     nodes = generate(args.name, args.out, target_nodes=args.nodes, seed=args.seed)
     print(f"wrote {args.out}: {nodes} nodes ({args.name}, seed {args.seed})")
+    return 0
+
+
+def _run_index(args: argparse.Namespace) -> int:
+    """Backfill candidate-index rows for a store's documents.
+
+    Opening the store read-write upgrades a v1 file's schema in place;
+    documents already carrying rows report 0 and are left untouched.
+    """
+    from .postorder.interval import IntervalStore
+
+    with IntervalStore(args.store) as store:
+        documents = store.documents()
+        if not documents:
+            raise ReproError(f"store {args.store!r} holds no documents")
+        if args.doc_name is not None:
+            documents = [d for d in documents if d[1] == args.doc_name]
+            if not documents:
+                raise ReproError(
+                    f"no document named {args.doc_name!r} in {args.store!r}"
+                )
+        for doc_id, name, n_nodes in documents:
+            written = store.ensure_index(doc_id)
+            state = (
+                f"indexed {written} subtrees"
+                if written
+                else "already indexed"
+            )
+            print(f"{name}: {state} ({n_nodes} nodes)")
+        print(f"schema version {store.schema_version()}")
     return 0
 
 
@@ -646,6 +750,7 @@ def _serve_config(args: argparse.Namespace):
         request_threads=args.request_threads,
         max_k=args.max_k,
         backend=args.backend,
+        engine=args.engine,
         coalesce_window_ms=args.coalesce_window_ms,
         max_batch_queries=args.max_batch_queries,
         verbose=args.verbose,
@@ -693,6 +798,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_ted(args)
         if args.command == "dataset":
             return _run_dataset(args)
+        if args.command == "index":
+            return _run_index(args)
         if args.command == "serve":
             return _run_serve(args)
         if args.command == "lint":

@@ -13,6 +13,12 @@ additionally publishes two scalar bounds used by the pruning math:
 * ``min_indel`` — a lower bound on every delete/insert cost (>= 1),
 * ``max_cost``  — an upper bound on every single-operation cost.
 
+Models may additionally publish ``min_rename`` — a lower bound on the
+cost of any *non-identity* rename (>= 0).  It is optional and only ever
+strengthens the candidate-index label-histogram lower bound
+(:func:`repro.index.lb.histogram_lower_bound`); consumers read it with
+``getattr(..., 0.0)``, and 0 is always a sound value.
+
 Violations raise :class:`~repro.errors.CostModelError`.
 """
 
@@ -60,6 +66,8 @@ class UnitCostModel:
 
     min_indel = 1.0
     max_cost = 1.0
+    #: Every non-identity rename costs exactly 1.
+    min_rename = 1.0
 
     def rename(self, a, b) -> float:
         return 0.0 if a == b else 1.0
@@ -82,7 +90,14 @@ class WeightedCostModel:
     cost must be non-negative.
     """
 
-    __slots__ = ("rename_cost", "delete_cost", "insert_cost", "min_indel", "max_cost")
+    __slots__ = (
+        "rename_cost",
+        "delete_cost",
+        "insert_cost",
+        "min_indel",
+        "max_cost",
+        "min_rename",
+    )
 
     def __init__(
         self,
@@ -101,6 +116,7 @@ class WeightedCostModel:
         self.insert_cost = float(insert_cost)
         self.min_indel = min(self.delete_cost, self.insert_cost)
         self.max_cost = max(self.rename_cost, self.delete_cost, self.insert_cost)
+        self.min_rename = self.rename_cost
 
     def rename(self, a, b) -> float:
         return 0.0 if a == b else self.rename_cost

@@ -30,6 +30,18 @@ class PostorderQueueError(ReproError):
     """A postorder queue was malformed (bad sizes) or misused."""
 
 
+class StoreSchemaError(PostorderQueueError):
+    """An IntervalStore file uses a schema this library cannot handle.
+
+    Raised when a store file's recorded ``schema_version`` is newer
+    than the version this code supports — opening it (even read-only)
+    could silently misread tables whose meaning changed.  Older files
+    are upgraded in place on read-write open and lazily backfilled
+    (:meth:`~repro.postorder.interval.IntervalStore.ensure_index`), so
+    they never raise.
+    """
+
+
 class XmlFormatError(ReproError, ValueError):
     """XML input could not be converted to an ordered labeled tree."""
 

@@ -1,0 +1,52 @@
+"""Ingest-time candidate index with a lower-bound pre-filter.
+
+TASM-postorder streams every document node per request, but for a
+static :class:`~repro.postorder.interval.IntervalStore` the candidate
+set under ``tau = k + 2|Q| - 1`` depends only on subtree sizes — not
+labels — so the scan is redundant work.  This package precomputes, per
+document and at ``store_tree()`` time, one **candidate row** per node:
+
+    ``(postorder position, root end_pos, subtree size,
+       structure hash, label-histogram signature)``
+
+Serving a query then
+
+1. enumerates candidates by an SQL size range instead of streaming the
+   whole document (:meth:`IntervalStore.candidate_rows`),
+2. dedups by structure hash so each distinct subtree shape is scored
+   by the exact TED kernel once and fanned back out to every position
+   it occurs at, and
+3. skips exact kernel runs on candidates whose label-histogram lower
+   bound (:func:`~repro.index.lb.histogram_lower_bound`, provably
+   ``LB <= TED``) already exceeds the ranking heap's worst distance.
+
+The resulting :func:`~repro.index.engine.tasm_indexed_batch` produces
+rankings byte-identical to the streaming pass — including tie order —
+because candidates are offered to the heaps in postorder-position
+order with exactly the streaming core's acceptance discipline, and an
+offer is suppressed only when the lower bound proves the heap would
+have rejected it anyway.
+"""
+
+from .build import (
+    SIGNATURE_BUCKETS,
+    STRUCT_HASH_BYTES,
+    CandidateEntry,
+    decode_signature,
+    iter_candidate_entries,
+    label_bucket,
+)
+from .engine import tasm_indexed_batch
+from .lb import histogram_lower_bound, tree_signature
+
+__all__ = [
+    "SIGNATURE_BUCKETS",
+    "STRUCT_HASH_BYTES",
+    "CandidateEntry",
+    "decode_signature",
+    "histogram_lower_bound",
+    "iter_candidate_entries",
+    "label_bucket",
+    "tasm_indexed_batch",
+    "tree_signature",
+]

@@ -1,0 +1,158 @@
+"""Candidate-row construction: structure hashes and label signatures.
+
+One bottom-up pass over a postorder ``(label, size)`` stream computes,
+per node,
+
+* a **structure hash** — a 16-byte BLAKE2b Merkle digest over
+  ``(label, child hashes)``, so two subtrees share a hash exactly when
+  they are label-identical ordered trees (up to the negligible
+  2^-128 collision probability of the digest; the index treats the
+  hash as identity, the same trust model as content-addressed stores);
+* a **label-histogram signature** — 64 bucketed label counts
+  (``crc32(label) % 64``), summed bottom-up from the children.  Bucket
+  collisions only ever *merge* counts, which makes the derived lower
+  bound smaller, never larger — the filter stays conservative.
+
+Signature counts are carried as one big integer with a 32-bit field
+per bucket (child signatures combine with a single integer add — no
+per-bucket Python loop; counts are bounded by the subtree size, so
+fields can never carry into each other for any document below 2^32
+nodes) and serialised per row at the smallest of three fixed widths
+(1/2/4 bytes per bucket, chosen by subtree size and recovered from the
+blob length alone).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Iterable, Iterator, List, Tuple
+from zlib import crc32
+
+from ..errors import PostorderQueueError
+
+__all__ = [
+    "SIGNATURE_BUCKETS",
+    "STRUCT_HASH_BYTES",
+    "CandidateEntry",
+    "decode_signature",
+    "iter_candidate_entries",
+    "label_bucket",
+]
+
+#: Buckets in a label-histogram signature.
+SIGNATURE_BUCKETS = 64
+
+#: Bytes of a structure hash (BLAKE2b digest size).
+STRUCT_HASH_BYTES = 16
+
+#: Bits per bucket in the packed big-integer representation.
+_FIELD_BITS = 32
+
+_FIELD_BYTES = _FIELD_BITS // 8
+_RAW_BYTES = SIGNATURE_BUCKETS * _FIELD_BYTES
+
+
+def label_bucket(label: str) -> int:
+    """Histogram bucket of ``label`` (CRC-32 modulo the bucket count)."""
+    return crc32(label.encode("utf-8")) % SIGNATURE_BUCKETS
+
+
+@dataclass(frozen=True)
+class CandidateEntry:
+    """One candidate row: a document subtree ready for indexing.
+
+    ``pos`` is the root's postorder position (1-based), ``size`` the
+    subtree's node count; ``struct_hash`` and ``signature`` are the
+    serialised forms stored in the ``candidate`` table.
+    """
+
+    pos: int
+    size: int
+    struct_hash: bytes
+    signature: bytes
+
+
+def _encode_signature(packed: int, size: int) -> bytes:
+    """Serialise a packed signature at the narrowest safe bucket width.
+
+    Every bucket count is bounded by the subtree size, so ``size``
+    alone picks the width; the decoder recovers it from the blob
+    length.  The 4-byte little-endian layout *is* the big integer's
+    byte representation, and the narrower widths are strided slices of
+    it — no per-bucket Python loop anywhere.
+    """
+    raw = packed.to_bytes(_RAW_BYTES, "little")
+    if size < 1 << 8:
+        return raw[0::4]
+    if size < 1 << 16:
+        narrow = bytearray(SIGNATURE_BUCKETS * 2)
+        narrow[0::2] = raw[0::4]
+        narrow[1::2] = raw[1::4]
+        return bytes(narrow)
+    return raw
+
+
+def decode_signature(blob: bytes) -> Tuple[int, ...]:
+    """The 64 bucket counts of a serialised signature."""
+    n = len(blob)
+    if n == SIGNATURE_BUCKETS:
+        return tuple(blob)
+    if n == SIGNATURE_BUCKETS * 2:
+        return struct.unpack(f"<{SIGNATURE_BUCKETS}H", blob)
+    if n == _RAW_BYTES:
+        return struct.unpack(f"<{SIGNATURE_BUCKETS}I", blob)
+    raise PostorderQueueError(
+        f"malformed candidate signature: {n} bytes is not a "
+        f"{SIGNATURE_BUCKETS}-bucket encoding"
+    )
+
+
+def iter_candidate_entries(
+    pairs: Iterable[Tuple[object, int]],
+) -> Iterator[CandidateEntry]:
+    """Candidate entries for a postorder ``(label, size)`` stream.
+
+    Labels are hashed as ``str(label)`` — the exact form
+    :meth:`IntervalStore.store_tree` persists in the TEXT column — so
+    ingest-time indexing and post-hoc backfill from stored rows
+    produce identical hashes and signatures.
+
+    Memory is O(depth): completed subtrees wait on a pending stack and
+    are adopted by their parent exactly as in
+    :meth:`~repro.trees.tree.Tree.from_postorder`.
+    """
+    # Stack of completed subtrees: (start position, digest, packed sig).
+    pending: List[Tuple[int, bytes, int]] = []
+    pos = 0
+    for label, size in pairs:
+        pos += 1
+        if size < 1 or size > pos:
+            raise PostorderQueueError(
+                f"invalid postorder size {size} at position {pos}"
+            )
+        start = pos - size + 1
+        digest = blake2b(digest_size=STRUCT_HASH_BYTES)
+        text = str(label).encode("utf-8")
+        digest.update(len(text).to_bytes(4, "big"))
+        digest.update(text)
+        packed = 1 << (_FIELD_BITS * label_bucket(str(label)))
+        # Children are the pending subtrees inside [start, pos); they
+        # sit on the stack in order, so find the first and feed the
+        # digest left to right.
+        first_child = len(pending)
+        while first_child and pending[first_child - 1][0] >= start:
+            first_child -= 1
+        for child_start, child_digest, child_packed in pending[first_child:]:
+            digest.update(child_digest)
+            packed += child_packed
+        del pending[first_child:]
+        struct_hash = digest.digest()
+        yield CandidateEntry(
+            pos=pos,
+            size=size,
+            struct_hash=struct_hash,
+            signature=_encode_signature(packed, size),
+        )
+        pending.append((start, struct_hash, packed))

@@ -1,0 +1,603 @@
+"""Indexed TASM: rank queries from the candidate table, not a scan.
+
+:func:`tasm_indexed_batch` answers the same question as
+:func:`~repro.tasm.batch.tasm_batch` — the top-``k`` ranking of every
+query against one stored document — but enumerates the store's
+precomputed candidate rows by SQL size range instead of streaming all
+``|T|`` nodes, making a request O(candidates in range) instead of
+O(|T|).
+
+**Byte-identity argument** (the differential suite enforces this,
+including tie order).  The streaming core offers subtrees to each
+query's :class:`~repro.tasm.heap.TopKHeap` in postorder-position
+order, fast-rejecting offers whose distance ties or exceeds the full
+heap's worst distance.  This engine replays exactly that offer
+sequence:
+
+* candidates are enumerated ``ORDER BY`` postorder position — the
+  stream's offer order;
+* the SQL range ``[max(1, |Q|-tau), |Q|+tau]`` with
+  ``tau = floor(max_cost * (k + |Q| - 1) / min_indel)`` (the
+  :func:`~repro.tasm.postorder.prune_threshold` static bound, maxed
+  over the batch) is a *superset* of everything the stream ever
+  offers: the stream's dynamic threshold only ever tightens below the
+  static one, and the lower end is provably 1 for every validated
+  cost model (``max_cost >= min_indel`` makes ``|Q| - tau <= 1 - k``);
+* an offer is *suppressed* only when the heap is full and the
+  label-histogram lower bound (or the cheaper size-only bound it
+  dominates) already reaches the heap's worst distance — the heap
+  would have rejected the exact distance too, and rejected offers
+  never consume a tie-order stamp, so the heap evolution is unchanged;
+* conversely, every subtree the stream pruned but this engine offers
+  is rejected by the same argument: a subtree can only outgrow a
+  (static or dynamic) threshold once its size lower bound reaches the
+  then-current worst distance, the worst distance never increases
+  afterwards, and any node that large sits at a postorder position
+  ``> k`` — by which point the heap is provably full (the first ``k``
+  candidates are always within every threshold and always accepted);
+* once every heap is full the scan itself narrows: remaining rows are
+  fetched in position-ordered chunks whose SQL size band is the union
+  of the per-query dynamic ranges ``|size - |Q|| <
+  worst / min_indel`` (the streaming core's dynamic threshold, applied
+  at both ends).  A row outside the band has size-only lower bound at
+  or above some past worst distance, which never increases — the heap
+  would have rejected its offer, and rejected offers consume no
+  tie-order stamp, so dropping them in SQL leaves every heap's
+  evolution untouched while out-of-band rows never even materialise
+  as Python tuples.
+
+Structure-hash dedup rides on top: the first occurrence of a shape is
+scored exactly once, later occurrences replay the cached distance —
+the same float the stream computes, since the kernel's per-subtree
+values depend only on the subtree — or the cached skip verdict, which
+stays valid because the worst distance is non-increasing.  In the
+banded phase the first-occurrence runs are amortised the way the
+streaming core amortises ring retirements: each chunk is walked twice,
+a decide pass that settles skip verdicts against the chunk-start worst
+distances (exact — they never increase) and batch-scores the surviving
+shapes grafted under a virtual root with one kernel run per query per
+batch, then a replay pass that re-offers every row in position order
+against the live worst distances, so heap evolution — and with it tie
+order — is byte-identical to the strictly sequential scan.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
+from ..distance.ted import PrefixDistanceKernel
+from ..errors import PostorderQueueError, RankingError
+from ..postorder.interval import IntervalStore
+from ..tasm.heap import Match, TopKHeap
+from ..tasm.postorder import PostorderStats, prune_threshold
+from ..trees.tree import Tree
+from .build import decode_signature
+from .lb import histogram_lower_bound, tree_signature
+
+__all__ = ["tasm_indexed_batch"]
+
+#: Shape-cache verdicts: a scored shape keeps (distance, source tree,
+#: root id in that tree) — the source is the standalone subtree in
+#: phase 1 and the grafted batch tree in phase 2; a proven-rejected
+#: shape keeps None — rejection is permanent because a full heap's
+#: worst distance never increases.
+_ShapeVerdict = Optional[Tuple[float, Tree, int]]
+
+#: Banded-scan chunk size: between chunks the SQL size band is
+#: re-derived from the (non-increasing) worst distances, so smaller
+#: chunks tighten faster but pay more query round-trips.
+_CHUNK_ROWS = 2048
+
+#: Cap on the signature blobs pushed into the SQL exclusion list per
+#: chunk — bounds statement size; overflow signatures just fall back
+#: to the Python-side cached-skip path.
+_MAX_EXCLUDE = 1500
+
+#: Node budget per grafted scoring batch in phase 2.  Kept under the
+#: kernel's numpy engagement size (``NUMPY_MIN_DOC``) so batches run on
+#: the same scalar path the equivalent standalone runs would.
+_BATCH_NODES = 400
+
+
+def tasm_indexed_batch(
+    queries: Iterable[Tree],
+    store: IntervalStore,
+    doc_id: int,
+    k: int,
+    cost: Optional[CostModel] = None,
+    stats: Optional[PostorderStats] = None,
+    kernels: Optional[Sequence[PrefixDistanceKernel]] = None,
+    backend: str = "auto",
+    span: Optional[Any] = None,
+) -> List[List[Match]]:
+    """Top-``k`` rankings of every query from the candidate index.
+
+    ``store`` may be read-only; the document must have been indexed
+    (``store_tree`` indexes at ingest, :meth:`IntervalStore.ensure_index`
+    or ``repro index`` backfill older files) — an unindexed document
+    raises :class:`~repro.errors.PostorderQueueError` rather than
+    silently falling back to a scan.
+
+    ``stats``, ``kernels``, ``backend``, and ``span`` mean exactly what
+    they mean on :func:`~repro.tasm.batch.tasm_batch`; the index-
+    specific counters land in ``stats.index_candidates`` /
+    ``index_lb_skips`` / ``index_dedup_hits``.
+    """
+    query_list: List[Tree] = list(queries)
+    if not query_list:
+        raise RankingError("tasm_indexed_batch needs at least one query")
+    if cost is None:
+        cost = UnitCostModel()
+    validate_cost_model(cost)
+    if not store.has_index(doc_id):
+        raise PostorderQueueError(
+            f"document {doc_id} has no candidate index; run "
+            "`repro index` (or IntervalStore.ensure_index) to backfill"
+        )
+    if span is not None and not span:
+        span = None  # NULL_SPAN: collapse to the no-op path up front
+    t_start = perf_counter() if stats is not None else 0.0
+    heaps = [TopKHeap(k) for _ in query_list]  # validates k
+    kernel_list: Sequence[PrefixDistanceKernel]
+    if kernels is None:
+        kernel_list = [
+            PrefixDistanceKernel(query, cost, backend) for query in query_list
+        ]
+    else:
+        if len(kernels) != len(query_list):
+            raise RankingError(
+                f"got {len(kernels)} pre-built kernels for "
+                f"{len(query_list)} queries"
+            )
+        kernel_list = kernels
+    kernel_base = [
+        (
+            kern.calls,
+            kern.calls_numpy,
+            kern.rows_computed,
+            kern.rows_computed_numpy,
+        )
+        for kern in kernel_list
+    ]
+    if stats is not None and kernel_list:
+        stats.kernel_backend = kernel_list[0].backend
+
+    q_sizes = [len(query) for query in query_list]
+    q_signatures = [tree_signature(query) for query in query_list]
+    statics = [prune_threshold(k, q_size, cost) for q_size in q_sizes]
+    # Size range: the static thresholds bound the top, and the bottom
+    # is max(1, |Q| - tau) — provably 1 for every validated cost model
+    # (see the module docstring), kept in formula form for clarity.
+    hi = max(statics)
+    lo = min(
+        max(1, q_size - (static - q_size))
+        for q_size, static in zip(q_sizes, statics, strict=True)
+    )
+    min_indel = cost.min_indel
+    n_queries = len(query_list)
+    query_range = range(n_queries)
+    # Per-query shape caches and cached worst distances (None until the
+    # heap is full — matching the streaming core's fast-reject cache).
+    caches: List[Dict[bytes, _ShapeVerdict]] = [{} for _ in query_list]
+    worsts: List[Optional[float]] = [None] * n_queries
+    # The histogram bound depends only on the signature per query (the
+    # signature's bucket counts are exact and sum to the subtree size),
+    # and bucketing collapses a corpus's thousands of distinct labels
+    # onto a handful of signature values — so caching LB values on the
+    # signature blob turns most first-sight bound checks into one dict
+    # lookup.
+    lb_caches: List[Dict[bytes, float]] = [{} for _ in query_list]
+
+    candidates = 0
+    lb_skips = 0
+    dedup_hits = 0
+    eval_seconds = 0.0
+    kernel_seconds = 0.0
+    timing = stats is not None
+    # Queries whose heap is not yet full; phase 1 ends at zero.
+    unfilled = n_queries
+
+    scan_span = (
+        span.child("index_scan", doc_id=doc_id, size_lo=lo, size_hi=hi)
+        if span is not None
+        else None
+    )
+
+    def process_rows(
+        rows: Iterable[Tuple[int, int, int, bytes, bytes]],
+        until_filled: bool = False,
+    ) -> Tuple[int, int]:
+        """Offer ``rows`` in position order; returns (last pos, count).
+
+        One call per chunk — the per-row cost is just this loop body,
+        with no function-call dispatch per candidate.  ``until_filled``
+        stops the loop as soon as every heap is full (phase 1's exit
+        into the banded scan).
+        """
+        nonlocal candidates, lb_skips, dedup_hits
+        nonlocal eval_seconds, kernel_seconds, unfilled
+        last_pos = 0
+        got = 0
+        for pos, end_pos, size, struct_hash, signature in rows:
+            got += 1
+            last_pos = pos
+            candidates += 1
+            decoded: Optional[Tuple[int, ...]] = None
+            shape: Optional[Tree] = None
+            for qi in query_range:
+                cache = caches[qi]
+                cached = cache.get(struct_hash, _MISSING)
+                worst = worsts[qi]
+                if cached is not _MISSING:
+                    if cached is None:
+                        # Shape proved rejectable while the heap was full;
+                        # the worst distance only shrank since.
+                        lb_skips += 1
+                        continue
+                    dedup_hits += 1
+                    d, src, src_root = cached
+                    if worst is not None and d >= worst:
+                        continue
+                    heap = heaps[qi]
+                    heap.push(
+                        Match(
+                            distance=d,
+                            root=pos,
+                            source=src,
+                            source_root=src_root,
+                        )
+                    )
+                    if heap.full:
+                        if worst is None:
+                            unfilled -= 1
+                        worsts[qi] = heap.max_distance
+                    continue
+                if worst is not None:
+                    # Cheap size-only bound first (dominated by the full
+                    # histogram bound, so skipping on it is also exact).
+                    q_size = q_sizes[qi]
+                    diff = size - q_size if size >= q_size else q_size - size
+                    if min_indel * diff >= worst:
+                        cache[struct_hash] = None
+                        lb_skips += 1
+                        continue
+                    lb_cache = lb_caches[qi]
+                    lb = lb_cache.get(signature)
+                    if lb is None:
+                        if decoded is None:
+                            decoded = decode_signature(signature)
+                        lb = histogram_lower_bound(
+                            q_size, q_signatures[qi], size, decoded, cost
+                        )
+                        lb_cache[signature] = lb
+                    if lb >= worst:
+                        cache[struct_hash] = None
+                        lb_skips += 1
+                        continue
+                # Exact kernel run on the first occurrence of this shape.
+                t_eval = perf_counter() if timing else 0.0
+                if shape is None:
+                    shape = store.subtree_of(doc_id, end_pos)
+                    if shape is None:
+                        raise PostorderQueueError(
+                            f"candidate index row (doc {doc_id}, end_pos "
+                            f"{end_pos}) has no matching node row"
+                        )
+                kernel = kernel_list[qi]
+                if timing:
+                    t_kernel = perf_counter()
+                    d = kernel.distances(shape)[len(shape)]
+                    now = perf_counter()
+                    kernel_seconds += now - t_kernel
+                    eval_seconds += now - t_eval
+                else:
+                    d = kernel.distances(shape)[len(shape)]
+                cache[struct_hash] = (d, shape, len(shape))
+                if worst is not None and d >= worst:
+                    continue
+                heap = heaps[qi]
+                heap.push(
+                    Match(
+                        distance=d,
+                        root=pos,
+                        source=shape,
+                        source_root=len(shape),
+                    )
+                )
+                if heap.full:
+                    if worst is None:
+                        unfilled -= 1
+                    worsts[qi] = heap.max_distance
+            if until_filled and not unfilled:
+                break
+        return last_pos, got
+
+    def dynamic_band() -> Optional[Tuple[int, int]]:
+        # Union of the per-query dynamic size ranges, clamped to the
+        # static band.  ``spread`` mirrors the streaming core's
+        # ``ceil(worst / min_indel) - 1`` dynamic threshold; a query
+        # whose worst distance is 0 can accept nothing (offers are
+        # rejected on ``d >= worst``) and contributes no range.
+        band_lo: Optional[int] = None
+        band_hi = 0
+        for q_size, worst in zip(q_sizes, worsts, strict=True):
+            if worst is None:  # pragma: no cover - phase 2 implies full
+                continue
+            spread = ceil(worst / min_indel) - 1
+            if spread < 0:
+                continue
+            if band_lo is None or q_size - spread < band_lo:
+                band_lo = q_size - spread
+            if q_size + spread > band_hi:
+                band_hi = q_size + spread
+        if band_lo is None:
+            return None
+        return max(band_lo, lo), min(band_hi, hi)
+
+    def process_chunk(rows: List[Tuple[int, int, int, bytes, bytes]]) -> None:
+        """Phase-2 chunk processing: decide + batch-score, then replay.
+
+        Pass A walks the chunk once and, for each first-seen shape,
+        decides per query whether the size-only or histogram bound
+        already rejects it — judged against the *chunk-start* worst
+        distances, which is exact: worst distances never increase, so a
+        bound that reaches the chunk-start worst also reaches the worst
+        at the shape's own row.  Shapes some query still needs exactly
+        are materialised and scored in grafted batches: their postorder
+        pairs are spliced under a virtual root and one prefix-distance
+        run per query per batch scores them all (the streaming core's
+        own amortisation, see ``evaluate_groups``), at
+        ``_BATCH_NODES``-bounded batch sizes that stay on the scalar
+        kernel path.
+
+        Pass B then replays every row through the ordinary offer
+        sequence with the live worst distances.  All verdicts are
+        cached by then, so replay is pure dict lookups; any shape pass
+        A scored that a strictly sequential scan would have
+        bound-skipped at its row is rejected by the heap there instead
+        (its distance is at least the bound, hence at least that row's
+        worst), and rejected offers consume no tie-order stamp — heap
+        evolution is byte-identical to the sequential scan.  Only the
+        lb-skip vs dedup-hit counter *attribution* can differ.
+        """
+        nonlocal candidates, lb_skips, dedup_hits
+        nonlocal eval_seconds, kernel_seconds
+        pending: List[Tuple[bytes, int, int, Tuple[bool, ...]]] = []
+        pending_hashes: Set[bytes] = set()
+        pending_nodes = 0
+
+        def flush() -> None:
+            # Score every pending shape with one kernel run per query.
+            nonlocal pending_nodes, eval_seconds, kernel_seconds
+            if not pending:
+                return
+            t_eval = perf_counter() if timing else 0.0
+            pairs: List[Tuple[Any, int]] = []
+            roots: List[int] = []  # local root id per pending shape
+            for struct_hash, end_pos, size, _rejected in pending:
+                shape_pairs = store.subtree_pairs_of(
+                    doc_id, end_pos, end_pos - 2 * size + 1
+                )
+                if not shape_pairs:
+                    raise PostorderQueueError(
+                        f"candidate index row (doc {doc_id}, end_pos "
+                        f"{end_pos}) has no matching node rows"
+                    )
+                pairs.extend(shape_pairs)
+                roots.append(len(pairs))
+            total = len(pairs)
+            # Virtual root over the spliced subtrees: no real subtree
+            # contains it, so per-subtree distances are untouched; its
+            # label reuses one already in the batch (its own row and
+            # column are discarded anyway).
+            pairs.append((pairs[0][0], total + 1))
+            grafted = Tree.from_postorder(pairs)
+            for qi in query_range:
+                kernel = kernel_list[qi]
+                if timing:
+                    t_kernel = perf_counter()
+                    distances = kernel.distances(grafted)
+                    kernel_seconds += perf_counter() - t_kernel
+                else:
+                    distances = kernel.distances(grafted)
+                cache = caches[qi]
+                for (struct_hash, _end, _size, rejected), root_local in zip(
+                    pending, roots, strict=True
+                ):
+                    cache[struct_hash] = (
+                        None
+                        if rejected[qi]
+                        else (distances[root_local], grafted, root_local)
+                    )
+            if timing:
+                eval_seconds += perf_counter() - t_eval
+            pending.clear()
+            pending_hashes.clear()
+            pending_nodes = 0
+
+        # Pass A: decide and batch-score first-seen shapes.
+        for pos, end_pos, size, struct_hash, signature in rows:
+            if struct_hash in pending_hashes or struct_hash in caches[0]:
+                continue
+            decoded: Optional[Tuple[int, ...]] = None
+            rejected_by: List[bool] = []
+            needs_exact = False
+            for qi in query_range:
+                worst = worsts[qi]
+                if worst is None:  # pragma: no cover - phase 2 is full
+                    rejected_by.append(False)
+                    needs_exact = True
+                    continue
+                q_size = q_sizes[qi]
+                diff = size - q_size if size >= q_size else q_size - size
+                if min_indel * diff >= worst:
+                    rejected_by.append(True)
+                    continue
+                lb_cache = lb_caches[qi]
+                lb = lb_cache.get(signature)
+                if lb is None:
+                    if decoded is None:
+                        decoded = decode_signature(signature)
+                    lb = histogram_lower_bound(
+                        q_size, q_signatures[qi], size, decoded, cost
+                    )
+                    lb_cache[signature] = lb
+                if lb >= worst:
+                    rejected_by.append(True)
+                    continue
+                rejected_by.append(False)
+                needs_exact = True
+            if needs_exact:
+                if pending and pending_nodes + size > _BATCH_NODES:
+                    flush()
+                pending.append(
+                    (struct_hash, end_pos, size, tuple(rejected_by))
+                )
+                pending_hashes.add(struct_hash)
+                pending_nodes += size
+            else:
+                for qi in query_range:
+                    caches[qi][struct_hash] = None
+        flush()
+
+        # Pass B: replay the chunk's offers in position order.
+        for pos, end_pos, size, struct_hash, signature in rows:
+            candidates += 1
+            for qi in query_range:
+                cached = caches[qi][struct_hash]
+                if cached is None:
+                    lb_skips += 1
+                    continue
+                dedup_hits += 1
+                d, src, src_root = cached
+                worst = worsts[qi]
+                if worst is not None and d >= worst:
+                    continue
+                heap = heaps[qi]
+                heap.push(
+                    Match(
+                        distance=d,
+                        root=pos,
+                        source=src,
+                        source_root=src_root,
+                    )
+                )
+                if heap.full:
+                    worsts[qi] = heap.max_distance
+
+    # Phase 1: full static band in position order.  Every offer is
+    # accepted while a heap is below k entries, so with realistic k
+    # this phase ends within the first few rows.
+    last_pos, _ = process_rows(
+        store.candidate_rows(doc_id, lo, hi), until_filled=True
+    )
+
+    def rejectable_signatures() -> List[bytes]:
+        # Signatures whose cached lower bound reaches every query's
+        # worst distance.  Excluding them inside SQL is exact for the
+        # same reason the cached-verdict skip is: the bound was
+        # computed for this very signature, every exact distance of a
+        # row carrying it is at least that bound (hence at or above
+        # each heap's worst, which never increases), and rejected
+        # offers consume no tie-order stamp.
+        sigs: List[bytes] = []
+        worst0 = worsts[0]
+        if worst0 is None:  # pragma: no cover - phase 2 implies full
+            return sigs
+        for key, bound in lb_caches[0].items():
+            if bound < worst0:
+                continue
+            for qi in range(1, n_queries):
+                other = lb_caches[qi].get(key)
+                wq = worsts[qi]
+                if other is None or wq is None or other < wq:
+                    break
+            else:
+                sigs.append(key)
+                if len(sigs) >= _MAX_EXCLUDE:
+                    break
+        return sigs
+
+    def rejectable_hashes() -> List[bytes]:
+        # Structure hashes every query already holds a verdict for
+        # that cannot change a heap: a cached None (proven-rejectable
+        # shape) or an exact distance at or above that query's worst.
+        # Same exactness argument as the signature exclusion — the
+        # offers these rows would generate are all rejections, and
+        # rejections consume no tie-order stamp.
+        hashes: List[bytes] = []
+        worst0 = worsts[0]
+        if worst0 is None:  # pragma: no cover - phase 2 implies full
+            return hashes
+        for key, verdict in caches[0].items():
+            if verdict is not None and verdict[0] < worst0:
+                continue
+            for qi in range(1, n_queries):
+                other = caches[qi].get(key, _MISSING)
+                wq = worsts[qi]
+                if other is _MISSING or wq is None:
+                    break
+                if other is not None and other[0] < wq:
+                    break
+            else:
+                hashes.append(key)
+                if len(hashes) >= _MAX_EXCLUDE:
+                    break
+        return hashes
+
+    # Phase 2: banded chunks.  Every heap is full, so the size band is
+    # defined; it re-tightens between chunks as worst distances shrink,
+    # and proven-rejectable (size, signature) pairs are dropped inside
+    # SQLite instead of round-tripping through the cached-skip path.
+    while not unfilled:
+        band = dynamic_band()
+        if band is None or band[0] > band[1]:
+            break
+        rows = list(
+            store.candidate_rows(
+                doc_id,
+                band[0],
+                band[1],
+                after_pos=last_pos,
+                limit=_CHUNK_ROWS,
+                exclude=rejectable_signatures(),
+                exclude_hashes=rejectable_hashes(),
+            )
+        )
+        if rows:
+            process_chunk(rows)
+            last_pos = rows[-1][0]
+        if len(rows) < _CHUNK_ROWS:
+            break
+
+    if stats is not None:
+        stats.index_candidates += candidates
+        stats.index_lb_skips += lb_skips
+        stats.index_dedup_hits += dedup_hits
+        stats.candidate_eval_seconds += eval_seconds
+        stats.kernel_seconds += kernel_seconds
+        for kern, (c, cn, r, rn) in zip(
+            kernel_list, kernel_base, strict=True
+        ):
+            stats.kernel_invocations += kern.calls - c
+            stats.kernel_invocations_numpy += kern.calls_numpy - cn
+            stats.kernel_rows += kern.rows_computed - r
+            stats.kernel_rows_numpy += kern.rows_computed_numpy - rn
+        stats.total_seconds += perf_counter() - t_start
+    if scan_span is not None:
+        scan_span.attrs.update(
+            candidates=candidates,
+            lb_skips=lb_skips,
+            dedup_hits=dedup_hits,
+        )
+        scan_span.finish()
+    if span is not None:
+        span.attrs.update(queries=n_queries, k=k, engine="indexed")
+    return [heap.ranking() for heap in heaps]
+
+
+#: Sentinel distinguishing "shape not seen" from a cached skip (None).
+_MISSING: Any = object()

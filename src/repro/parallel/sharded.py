@@ -164,6 +164,18 @@ class ShardedStats:
     def kernel_rows_numpy(self) -> int:
         return sum(s.kernel_rows_numpy for s in self.shard_stats)
 
+    @property
+    def index_candidates(self) -> int:
+        return sum(s.index_candidates for s in self.shard_stats)
+
+    @property
+    def index_lb_skips(self) -> int:
+        return sum(s.index_lb_skips for s in self.shard_stats)
+
+    @property
+    def index_dedup_hits(self) -> int:
+        return sum(s.index_dedup_hits for s in self.shard_stats)
+
     #: Engine stage times are *summed* across shards — with parallel
     #: workers they exceed wall clock, but the scan/eval/kernel split
     #: they describe is the same work-attribution callers want from a
@@ -213,6 +225,9 @@ class ShardedStats:
             "kernel_invocations_numpy": self.kernel_invocations_numpy,
             "kernel_rows": self.kernel_rows,
             "kernel_rows_numpy": self.kernel_rows_numpy,
+            "index_candidates": self.index_candidates,
+            "index_lb_skips": self.index_lb_skips,
+            "index_dedup_hits": self.index_dedup_hits,
             "ring_occupancy": self.ring_occupancy,
             "stage_seconds": {
                 "total": round(self.total_seconds, 6),
@@ -310,6 +325,7 @@ def tasm_sharded_batch(
     pool=None,
     backend: str = "auto",
     span=None,
+    engine: str = "stream",
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query via sharded (parallel) passes.
 
@@ -335,12 +351,62 @@ def tasm_sharded_batch(
     worker records its own shard span, serialised through the picklable
     :class:`~repro.parallel.worker.ShardResult` and grafted back under
     ``shard_dispatch``.
+
+    ``engine`` defaults to ``"stream"`` — this function's contract *is*
+    the sharded scan, so unlike :func:`~repro.tasm.batch.tasm_batch`
+    (whose ``"auto"`` picks the index when present) nothing changes
+    unless asked.  ``"indexed"`` (or ``"auto"`` on an indexed
+    :class:`StoreDocument`) delegates to the candidate-index engine — a
+    single SQL-backed pass, so no worker pool is used; the pass runs
+    inline and ``stats`` records one "shard" with no plan.
     """
     query_list: Sequence[Tree] = list(queries)
     if not query_list:
         raise RankingError("tasm_sharded_batch needs at least one query")
     if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
         raise RankingError(f"workers must be a positive integer, got {workers!r}")
+    if engine not in ("auto", "stream", "indexed"):
+        raise RankingError(
+            f"unknown engine {engine!r}; expected one of "
+            "('auto', 'stream', 'indexed')"
+        )
+    if engine != "stream" and isinstance(source, StoreDocument):
+        from ..postorder.interval import IntervalStore
+
+        store = IntervalStore.open_readonly(source.path)
+        try:
+            if engine == "indexed" or store.has_index(source.doc_id):
+                from ..index.engine import tasm_indexed_batch
+
+                if cost is None:
+                    cost = UnitCostModel()
+                resolved = resolve_backend(backend)
+                pass_stats = PostorderStats() if stats is not None else None
+                t0 = perf_counter() if stats is not None else 0.0
+                rankings = tasm_indexed_batch(
+                    query_list,
+                    store,
+                    source.doc_id,
+                    k,
+                    cost,
+                    stats=pass_stats,
+                    backend=resolved,
+                    span=span,
+                )
+                if stats is not None and pass_stats is not None:
+                    stats.workers = 1
+                    stats.kernel_backend = pass_stats.kernel_backend
+                    stats.shard_stats = [pass_stats]
+                    stats.shard_cpu_seconds = [pass_stats.total_seconds]
+                    stats.execute_seconds = perf_counter() - t0
+                return rankings
+        finally:
+            store.close()
+    elif engine == "indexed":
+        raise RankingError(
+            "engine='indexed' needs a StoreDocument source (the candidate "
+            "index lives in the store file)"
+        )
     if shards is None:
         shards = workers
     if cost is None:

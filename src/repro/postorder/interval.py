@@ -24,18 +24,31 @@ Hence a postorder queue is one SQL scan::
 which is exactly what :meth:`IntervalStore.postorder_queue` runs — the
 store streams rows from the database cursor, so TASM-postorder works on
 documents that never fit in Python memory.
+
+Schema version 2 adds a per-document **candidate table** — one row per
+node carrying the subtree's postorder position, size, structure hash,
+and label-histogram signature (see :mod:`repro.index`) — so serving a
+query can enumerate candidates by SQL size range instead of streaming
+every node.  Version-1 files upgrade in place on read-write open (the
+new tables are created empty) and backfill lazily via
+:meth:`IntervalStore.ensure_index`; files recording a *newer* version
+than this code supports refuse to open with
+:class:`~repro.errors.StoreSchemaError`.
 """
 
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import PostorderQueueError
+from ..errors import PostorderQueueError, StoreSchemaError
 from ..trees.tree import Tree
 from .queue import PostorderQueue
 
-__all__ = ["IntervalStore"]
+__all__ = ["SCHEMA_VERSION", "IntervalStore"]
+
+#: Newest store-file schema this code reads and writes.
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS document (
@@ -51,6 +64,20 @@ CREATE TABLE IF NOT EXISTS node (
     PRIMARY KEY (doc_id, end_pos)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS node_start ON node(doc_id, start_pos);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT NOT NULL PRIMARY KEY,
+    value TEXT NOT NULL
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS candidate (
+    doc_id      INTEGER NOT NULL REFERENCES document(doc_id),
+    pos         INTEGER NOT NULL,
+    end_pos     INTEGER NOT NULL,
+    size        INTEGER NOT NULL,
+    struct_hash BLOB NOT NULL,
+    signature   BLOB NOT NULL,
+    PRIMARY KEY (doc_id, pos)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS candidate_size ON candidate(doc_id, size);
 """
 
 
@@ -59,7 +86,13 @@ class IntervalStore:
 
     def __init__(self, path: str = ":memory:"):
         self._conn = sqlite3.connect(path)
+        self._check_version(self._conn, path)
         self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta(key, value) "
+            "VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
         self._conn.commit()
 
     @classmethod
@@ -68,7 +101,9 @@ class IntervalStore:
 
         Skips schema creation, so any number of reader processes (the
         parallel TASM workers) can share one database file without
-        ever contending for the write lock.
+        ever contending for the write lock.  Version-1 files open fine
+        (they simply report :meth:`has_index` false); files written by
+        a newer library raise :class:`~repro.errors.StoreSchemaError`.
         """
         store = cls.__new__(cls)
         try:
@@ -77,7 +112,43 @@ class IntervalStore:
             raise PostorderQueueError(
                 f"cannot open store {path!r} read-only: {exc}"
             ) from None
+        cls._check_version(store._conn, path)
         return store
+
+    @staticmethod
+    def _stored_version(conn: sqlite3.Connection) -> int:
+        """The schema version recorded in ``conn``'s meta table.
+
+        Files predating the meta table (or empty files about to be
+        initialised) count as version 1 — they upgrade in place.
+        """
+        try:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            # No meta table (schema v1) — or not a database at all, in
+            # which case the first real query reports the clean error.
+            return 1
+        if row is None:
+            return 1
+        try:
+            return int(row[0])
+        except ValueError:
+            raise StoreSchemaError(
+                f"store records non-numeric schema_version {row[0]!r}"
+            ) from None
+
+    @classmethod
+    def _check_version(cls, conn: sqlite3.Connection, path: str) -> None:
+        version = cls._stored_version(conn)
+        if version > SCHEMA_VERSION:
+            conn.close()
+            raise StoreSchemaError(
+                f"store {path!r} uses schema version {version}, newer "
+                f"than the supported version {SCHEMA_VERSION}; upgrade "
+                "the library to read it"
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -106,6 +177,10 @@ class IntervalStore:
         would no longer compare equal to the originals under a cost
         model.  XML-derived trees (the intended payload) always carry
         string labels.
+
+        Ingest also materialises the document's candidate-index rows
+        (:mod:`repro.index`) in the same transaction, so freshly stored
+        documents always satisfy :meth:`has_index`.
         """
         rows = list(self._interval_rows(tree))
         cur = self._conn.cursor()
@@ -119,8 +194,46 @@ class IntervalStore:
             "VALUES (?, ?, ?, ?)",
             ((doc_id, s, e, str(l)) for s, e, l in rows),
         )
+        self._insert_candidates(
+            cur,
+            int(doc_id) if doc_id is not None else 0,
+            ((str(l), (e - s + 1) // 2, e) for s, e, l in rows),
+        )
         self._conn.commit()
-        return int(doc_id)
+        return int(doc_id) if doc_id is not None else 0
+
+    @staticmethod
+    def _insert_candidates(
+        cur: sqlite3.Cursor,
+        doc_id: int,
+        labelled: Iterable[Tuple[str, int, int]],
+    ) -> int:
+        """Insert candidate rows from ``(label, size, end_pos)`` triples.
+
+        Shared by ingest (:meth:`store_tree`) and backfill
+        (:meth:`ensure_index`); both hash labels in their stored TEXT
+        form, so the two paths produce identical rows.  Returns the
+        number of rows inserted.
+        """
+        from ..index.build import iter_candidate_entries
+
+        pairs: List[Tuple[str, int]] = []
+        ends: List[int] = []
+        for label, size, end_pos in labelled:
+            pairs.append((label, size))
+            ends.append(end_pos)
+        entries = iter_candidate_entries(pairs)
+        cur.executemany(
+            "INSERT INTO candidate"
+            "(doc_id, pos, end_pos, size, struct_hash, signature) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                (doc_id, entry.pos, end, entry.size, entry.struct_hash,
+                 entry.signature)
+                for entry, end in zip(entries, ends)
+            ),
+        )
+        return len(ends)
 
     @staticmethod
     def _interval_rows(tree: Tree) -> Iterator[Tuple[int, int, object]]:
@@ -221,17 +334,151 @@ class IntervalStore:
         Demonstrates interval containment: the subtree's nodes are the
         rows with ``start_pos`` between the root's start and end.
         """
-        row = self._conn.execute(
-            "SELECT start_pos FROM node WHERE doc_id = ? AND end_pos = ?",
-            (doc_id, end_pos),
-        ).fetchone()
-        if row is None:
+        pairs = self.subtree_pairs_of(doc_id, end_pos)
+        if pairs is None:
             return None
-        start = int(row[0])
+        return Tree.from_postorder(pairs)
+
+    def subtree_pairs_of(
+        self, doc_id: int, end_pos: int, start_pos: Optional[int] = None
+    ) -> Optional[List[Tuple[object, int]]]:
+        """The subtree closing at ``end_pos`` as postorder (label, size).
+
+        The raw-pairs form of :meth:`subtree_of`, for callers (the
+        indexed engine's grafted batch scorer) that splice many
+        subtrees into one tree and have no use for per-subtree
+        :class:`Tree` objects.  A caller that already knows the subtree
+        size can pass ``start_pos = end_pos - 2 * size + 1`` (the
+        interval encoding inverted) to skip the root-row lookup; a
+        wrong hint returns the empty list rather than None.
+        """
+        if start_pos is None:
+            row = self._conn.execute(
+                "SELECT start_pos FROM node "
+                "WHERE doc_id = ? AND end_pos = ?",
+                (doc_id, end_pos),
+            ).fetchone()
+            if row is None:
+                return None
+            start = int(row[0])
+        else:
+            start = start_pos
+        # Tag sequences are balanced, so every position strictly inside
+        # the root's interval belongs to a descendant: selecting on
+        # end_pos alone keeps this an O(|subtree|) walk of the
+        # (doc_id, end_pos) primary key instead of an O(|T|) scan.
         cur = self._conn.execute(
             "SELECT label, (end_pos - start_pos + 1) / 2 FROM node "
-            "WHERE doc_id = ? AND start_pos >= ? AND end_pos <= ? "
+            "WHERE doc_id = ? AND end_pos > ? AND end_pos <= ? "
             "ORDER BY end_pos",
             (doc_id, start, end_pos),
         )
-        return Tree.from_postorder((label, int(size)) for label, size in cur)
+        return [(label, int(size)) for label, size in cur]
+
+    # ------------------------------------------------------------------
+    # Candidate index (schema v2, see repro.index)
+    # ------------------------------------------------------------------
+    def schema_version(self) -> int:
+        """The schema version of the underlying file (1 for pre-index)."""
+        return self._stored_version(self._conn)
+
+    def has_index(self, doc_id: int) -> bool:
+        """Whether ``doc_id`` has candidate-index rows.
+
+        Version-1 files (no candidate table at all) simply report
+        false — they are valid stores, just not indexed yet.
+        """
+        try:
+            row = self._conn.execute(
+                "SELECT EXISTS(SELECT 1 FROM candidate WHERE doc_id = ?)",
+                (doc_id,),
+            ).fetchone()
+        except sqlite3.OperationalError:
+            return False
+        return bool(row[0])
+
+    def ensure_index(self, doc_id: int) -> int:
+        """Backfill the candidate index for ``doc_id`` if missing.
+
+        Returns the number of rows written (0 when the index already
+        exists).  Requires a read-write store; backfilling through
+        :meth:`open_readonly` raises
+        :class:`~repro.errors.PostorderQueueError`.
+        """
+        self.n_nodes(doc_id)  # validates the document exists
+        if self.has_index(doc_id):
+            return 0
+        cur = self._conn.execute(
+            "SELECT label, (end_pos - start_pos + 1) / 2, end_pos "
+            "FROM node WHERE doc_id = ? ORDER BY end_pos",
+            (doc_id,),
+        )
+        rows = [(str(label), int(size), int(end)) for label, size, end in cur]
+        try:
+            written = self._insert_candidates(self._conn.cursor(), doc_id, rows)
+            self._conn.commit()
+        except sqlite3.OperationalError as exc:
+            raise PostorderQueueError(
+                f"cannot backfill candidate index for doc {doc_id}: {exc} "
+                "(is the store open read-only?)"
+            ) from None
+        return written
+
+    def candidate_rows(
+        self,
+        doc_id: int,
+        size_lo: int,
+        size_hi: int,
+        after_pos: int = 0,
+        limit: Optional[int] = None,
+        exclude: Optional[Sequence[bytes]] = None,
+        exclude_hashes: Optional[Sequence[bytes]] = None,
+    ) -> Iterator[Tuple[int, int, int, bytes, bytes]]:
+        """Stream candidate rows with ``size_lo <= size <= size_hi``.
+
+        Yields ``(pos, end_pos, size, struct_hash, signature)`` ordered
+        by postorder position — the offer order the streaming engine
+        uses, which the indexed engine must replay for byte-identical
+        rankings.  ``after_pos``/``limit`` resume a banded scan:
+        out-of-band rows are filtered inside SQLite's primary-key walk
+        and never materialise as Python tuples.  ``exclude`` drops rows
+        carrying the given signature blobs the same way — the indexed
+        engine passes signatures it has already proven rejectable for
+        every query (a signature blob determines the subtree size, so
+        this is a single-column ``NOT IN``, which SQLite answers from
+        an ephemeral index instead of scanning the value list per row).
+        ``exclude_hashes`` does the same for structure hashes — shapes
+        whose exact distance is already known to tie or exceed every
+        query's worst distance.
+
+        Returns the raw cursor (INTEGER/BLOB columns already arrive as
+        ``int``/``bytes``): iteration stays at C speed instead of
+        paying a generator frame switch per row on a 100k-row scan.
+        """
+        sql = (
+            "SELECT pos, end_pos, size, struct_hash, signature "
+            "FROM candidate WHERE doc_id = ? AND pos > ? "
+            "AND size BETWEEN ? AND ?"
+        )
+        params: Tuple[Any, ...] = (doc_id, after_pos, size_lo, size_hi)
+        if exclude:
+            sql += " AND signature NOT IN ({})".format(
+                ", ".join(["?"] * len(exclude))
+            )
+            params = params + tuple(exclude)
+        if exclude_hashes:
+            sql += " AND struct_hash NOT IN ({})".format(
+                ", ".join(["?"] * len(exclude_hashes))
+            )
+            params = params + tuple(exclude_hashes)
+        sql += " ORDER BY pos"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params = params + (limit,)
+        try:
+            return self._conn.execute(sql, params)
+        except sqlite3.OperationalError as exc:
+            raise PostorderQueueError(
+                f"cannot read candidate index for doc {doc_id}: {exc} "
+                "(run `repro index` to backfill pre-index stores)"
+            ) from None

@@ -39,7 +39,15 @@ __all__ = ["CatalogDocument", "DocumentCatalog"]
 class CatalogDocument:
     """One servable document: where it lives and how big it is."""
 
-    __slots__ = ("name", "kind", "path", "doc_id", "n_nodes", "version")
+    __slots__ = (
+        "name",
+        "kind",
+        "path",
+        "doc_id",
+        "n_nodes",
+        "version",
+        "has_index",
+    )
 
     def __init__(
         self,
@@ -49,6 +57,7 @@ class CatalogDocument:
         n_nodes: int,
         doc_id: Optional[int] = None,
         version: int = 1,
+        has_index: bool = False,
     ):
         self.name = name
         self.kind = kind  # "store" | "xml"
@@ -56,6 +65,9 @@ class CatalogDocument:
         self.doc_id = doc_id
         self.n_nodes = n_nodes
         self.version = version
+        # Candidate-index presence, detected at attach time; XML
+        # documents never have one.
+        self.has_index = has_index
 
     def queue(self) -> PostorderQueue:
         """A fresh postorder queue over this document (one per request)."""
@@ -87,6 +99,7 @@ class CatalogDocument:
             "kind": self.kind,
             "nodes": self.n_nodes,
             "version": self.version,
+            "index": self.has_index,
         }
 
 
@@ -119,6 +132,7 @@ class DocumentCatalog:
         store = IntervalStore.open_readonly(path)
         try:
             rows = store.documents()
+            indexed = {doc_id: store.has_index(doc_id) for doc_id, _, _ in rows}
         except sqlite3.Error as exc:
             raise ServeError(
                 f"{path!r} is not an IntervalStore database: {exc}"
@@ -131,7 +145,14 @@ class DocumentCatalog:
         for doc_id, name, n_nodes in rows:
             registered.append(
                 self._register(
-                    CatalogDocument(name, "store", path, n_nodes, doc_id=doc_id)
+                    CatalogDocument(
+                        name,
+                        "store",
+                        path,
+                        n_nodes,
+                        doc_id=doc_id,
+                        has_index=indexed[doc_id],
+                    )
                 )
             )
         return registered

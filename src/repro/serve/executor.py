@@ -55,11 +55,22 @@ class TasmExecutor:
         max_k: int = 10_000,
         coalesce_window_ms: float = 5.0,
         max_batch_queries: int = 32,
+        engine: str = "auto",
     ):
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
+        if engine not in ("auto", "stream", "indexed"):
+            raise ServeError(
+                f"unknown engine {engine!r}; expected one of "
+                "('auto', 'stream', 'indexed')"
+            )
         self.registry = registry
         self.catalog = catalog
+        #: Engine policy for store-backed documents: ``"auto"`` serves
+        #: from the candidate index when the document has one,
+        #: ``"stream"``/``"indexed"`` force their path (``"indexed"``
+        #: rejects requests for unindexed documents).
+        self.engine = engine
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
         self.shard_threshold = shard_threshold
@@ -272,6 +283,31 @@ class TasmExecutor:
         span=None,
     ):
         """One engine pass over ``document`` for ``queries``."""
+        if self.engine == "indexed" and not (
+            document.kind == "store" and document.has_index
+        ):
+            raise ServeError(
+                f"document {document.name!r} has no candidate index "
+                "(this server runs with engine='indexed'; re-ingest or "
+                "run `repro index` on the store file)"
+            )
+        if self.engine != "stream" and document.kind == "store" and document.has_index:
+            stats = PostorderStats()
+            kernels = [query.kernel_instance(cost) for query in queries]
+            rankings = tasm_batch(
+                [q.tree for q in queries],
+                document.shard_source(),
+                k,
+                cost,
+                stats=stats,
+                kernels=kernels,
+                span=span,
+                engine="indexed",
+            )
+            for query, kernel in zip(queries, kernels, strict=True):
+                if query.version > 0:
+                    query.absorb_kernel(cost, kernel)
+            return rankings, "indexed", stats
         if self._pool is not None and document.n_nodes >= self.shard_threshold:
             from ..parallel.sharded import ShardedStats, tasm_sharded_batch
 
@@ -313,6 +349,7 @@ class TasmExecutor:
     def payload(self) -> Dict[str, object]:
         return {
             "workers": self.workers,
+            "engine": self.engine,
             "shard_threshold": self.shard_threshold,
             "kernel_backend": self.registry.backend,
             "pool_running": self._pool is not None,

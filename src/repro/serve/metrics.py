@@ -59,6 +59,9 @@ _ENGINE_COUNTER_KEYS = (
     "kernel_invocations_numpy",
     "kernel_rows",
     "kernel_rows_numpy",
+    "index_candidates",
+    "index_lb_skips",
+    "index_dedup_hits",
 )
 
 _STAGE_KEYS = ("total", "scan", "candidate_eval", "kernel")

@@ -76,6 +76,10 @@ class ServerConfig:
     request_threads: int = 8  # concurrent blocking rankings
     max_k: int = 10_000  # per-request k ceiling (ring is O(k)-allocated)
     backend: str = "auto"  # kernel row engine ("auto"/"python"/"numpy")
+    #: Ranking engine for store documents: "auto" uses the candidate
+    #: index when present, "stream" forces scans, "indexed" requires
+    #: the index (rejecting requests for unindexed documents).
+    engine: str = "auto"
     #: How long the first cache-missing request for a document waits
     #: for more queries to coalesce into its scan; 0 still single-
     #: flights and merges whatever is already pending.
@@ -121,6 +125,7 @@ class TasmServer:
             max_k=config.max_k,
             coalesce_window_ms=config.coalesce_window_ms,
             max_batch_queries=config.max_batch_queries,
+            engine=config.engine,
         )
         for name, path in config.xml_documents.items():
             self.catalog.register_xml(name, path)
@@ -404,6 +409,10 @@ class TasmServer:
             "workers": self.config.workers,
             "shard_threshold": self.config.shard_threshold,
             "kernel_backend": self.registry.backend,
+            "engine": self.executor.engine,
+            "index": {
+                doc["name"]: doc["index"] for doc in self.catalog.payload()
+            },
             "cache": self.cache.payload(),
             "coalesce": self.executor.coalescer.payload(),
         }

@@ -18,7 +18,7 @@ entries (unit costs).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
 from ..errors import RankingError
@@ -26,7 +26,21 @@ from ..trees.tree import Tree
 from .heap import Match
 from .postorder import PostorderStats, QueueLike, _stream_topk
 
-__all__ = ["tasm_batch"]
+__all__ = ["ENGINES", "tasm_batch"]
+
+#: Accepted values of ``tasm_batch``'s ``engine`` parameter.
+ENGINES = ("auto", "stream", "indexed")
+
+
+def _store_pairs(path: str, doc_id: int) -> Iterator[Tuple[str, int]]:
+    """Stream a stored document's postorder pairs, closing on exhaustion."""
+    from ..postorder.interval import IntervalStore
+
+    store = IntervalStore.open_readonly(path)
+    try:
+        yield from store.postorder_pairs(doc_id)
+    finally:
+        store.close()
 
 
 def tasm_batch(
@@ -39,6 +53,7 @@ def tasm_batch(
     kernels=None,
     backend: str = "auto",
     span=None,
+    engine: str = "auto",
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query in one document pass.
 
@@ -69,6 +84,17 @@ def tasm_batch(
     spans for the pass — candidate evaluation batches in the
     single-pass path, shard plan/dispatch/merge (with per-worker spans
     grafted back across the process boundary) in the sharded path.
+
+    ``engine`` selects the ranking strategy for store-backed documents
+    (``queue`` a :class:`~repro.parallel.sharded.StoreDocument`):
+    ``"indexed"`` ranks from the candidate index
+    (:func:`repro.index.engine.tasm_indexed_batch`, byte-identical
+    rankings, O(candidates) instead of O(|T|)), ``"stream"`` forces the
+    scanning pass, and ``"auto"`` (the default) uses the index exactly
+    when the document has one.  The indexed path is a single SQL-backed
+    pass, so ``workers`` is ignored there; requesting ``"indexed"`` for
+    a non-store source, or for a store document without an index,
+    raises.
     """
     query_list = list(queries)
     if not query_list:
@@ -76,6 +102,52 @@ def tasm_batch(
     if cost is None:
         cost = UnitCostModel()
     validate_cost_model(cost)
+    if engine not in ENGINES:
+        raise RankingError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    from ..parallel.sharded import StoreDocument
+
+    if isinstance(queue, StoreDocument):
+        from ..postorder.interval import IntervalStore
+
+        if engine != "stream":
+            store = IntervalStore.open_readonly(queue.path)
+            try:
+                if engine == "indexed" or store.has_index(queue.doc_id):
+                    from ..index.engine import tasm_indexed_batch
+
+                    return tasm_indexed_batch(
+                        query_list,
+                        store,
+                        queue.doc_id,
+                        k,
+                        cost,
+                        stats=stats,
+                        kernels=kernels,
+                        backend=backend,
+                        span=span,
+                    )
+            finally:
+                store.close()
+        if workers <= 1:
+            return _stream_topk(
+                query_list,
+                _store_pairs(queue.path, queue.doc_id),
+                k,
+                cost,
+                stats,
+                kernels=kernels,
+                backend=backend,
+                span=span,
+            )
+        # workers > 1 falls through to the sharded path below, which
+        # consumes StoreDocument sources natively.
+    elif engine == "indexed":
+        raise RankingError(
+            "engine='indexed' needs a StoreDocument source (the candidate "
+            "index lives in the store file)"
+        )
     if workers > 1:
         if kernels is not None:
             raise RankingError("kernels cannot be combined with workers > 1")
@@ -110,6 +182,9 @@ def tasm_batch(
                 "kernel_invocations_numpy",
                 "kernel_rows",
                 "kernel_rows_numpy",
+                "index_candidates",
+                "index_lb_skips",
+                "index_dedup_hits",
                 "total_seconds",
                 "candidate_eval_seconds",
                 "kernel_seconds",

@@ -115,6 +115,13 @@ class PostorderStats:
     kernel_invocations_numpy: int = 0
     kernel_rows: int = 0
     kernel_rows_numpy: int = 0
+    #: Candidate-index engine counters (zero for streaming passes):
+    #: rows enumerated from the size-range scan, offers suppressed by
+    #: the label-histogram lower bound (fresh or cached verdicts), and
+    #: offers answered from the structure-hash dedup cache.
+    index_candidates: int = 0
+    index_lb_skips: int = 0
+    index_dedup_hits: int = 0
     #: Stage timings.  ``total_seconds`` covers the whole pass;
     #: ``candidate_eval_seconds`` the batched candidate evaluations
     #: within it; ``kernel_seconds`` the distance computations within
@@ -152,6 +159,9 @@ class PostorderStats:
             "kernel_invocations_numpy": self.kernel_invocations_numpy,
             "kernel_rows": self.kernel_rows,
             "kernel_rows_numpy": self.kernel_rows_numpy,
+            "index_candidates": self.index_candidates,
+            "index_lb_skips": self.index_lb_skips,
+            "index_dedup_hits": self.index_dedup_hits,
             "ring_occupancy": list(self.ring_occupancy),
             "stage_seconds": {
                 "total": round(self.total_seconds, 6),
@@ -190,6 +200,9 @@ class StatsPayload(TypedDict):
     kernel_invocations_numpy: int
     kernel_rows: int
     kernel_rows_numpy: int
+    index_candidates: int
+    index_lb_skips: int
+    index_dedup_hits: int
     ring_occupancy: List[int]
     stage_seconds: StageSecondsPayload
 

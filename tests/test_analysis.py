@@ -676,6 +676,20 @@ class TestLintCli:
         for rule_id in ALL_RULES:
             assert rule_id in out
 
+    def test_cache_directories_are_skipped(self, tmp_path):
+        from repro.analysis.core import iter_python_files
+
+        good = tmp_path / "pkg" / "mod.py"
+        good.parent.mkdir()
+        good.write_text("x = 1\n", encoding="utf-8")
+        # Unparseable files inside tool caches must never be collected
+        # (a __pycache__'d .py or Hypothesis scratch would abort a run).
+        for cached in ("__pycache__", ".hypothesis", ".mypy_cache"):
+            junk = tmp_path / "pkg" / cached / "junk.py"
+            junk.parent.mkdir()
+            junk.write_text("syntax error(\n", encoding="utf-8")
+        assert list(iter_python_files([tmp_path])) == [good]
+
 
 # ----------------------------------------------------------------------
 # Meta: the shipped tree must be clean under its own linter

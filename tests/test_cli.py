@@ -272,6 +272,7 @@ def test_serve_config_construction():
         request_threads=5,
         max_k=99,
         backend="python",
+        engine="indexed",
         coalesce_window_ms=7.5,
         max_batch_queries=9,
         verbose=True,
@@ -283,6 +284,7 @@ def test_serve_config_construction():
     assert config.slow_request_seconds == 2.5 and config.trace is True
     assert config.max_k == 99
     assert config.backend == "python"
+    assert config.engine == "indexed"
     assert config.xml_documents == {"extra": "extra.xml"}
     assert config.queries["q1"] == "{a{b}}"
     for name, bracket in DEFAULT_QUERIES.items():
@@ -316,6 +318,7 @@ def test_serve_config_slow_request_and_trace_flags():
         request_threads=1,
         max_k=10,
         backend="auto",
+        engine="auto",
         coalesce_window_ms=5.0,
         max_batch_queries=32,
         verbose=False,

@@ -90,6 +90,7 @@ def test_stress_32_clients_share_scans_and_stay_byte_identical(corpus):
         port=0,
         queries={"q1": Q1, "q2": Q2},
         cache_size=0,  # every request is a miss: coalescing only
+        engine="stream",  # scan sharing is what this test observes
         request_threads=32,
         coalesce_window_ms=250.0,  # generous: all clients join windows
         slow_request_seconds=None,

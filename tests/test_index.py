@@ -1,0 +1,388 @@
+"""The ingest-time candidate index: build, lower bound, indexed engine.
+
+Three trust stories:
+
+* the **signature/hash layer** round-trips at every serialised width
+  and identifies label-identical subtrees (and nothing else);
+* the **lower bound** is provable: Hypothesis checks
+  ``histogram_lower_bound <= ted`` on generated tree pairs across
+  cost models, so skipping a candidate on the bound can never drop a
+  true match;
+* the **indexed engine** is byte-identical to the streaming pass —
+  distances, roots, subtrees, and tie order — including when shapes
+  are deduplicated and fanned back out to every position, and across
+  kernel backends.
+
+Plus the operational surface: schema-version gating, lazy backfill of
+pre-index stores, and the ``repro index`` / ``--engine`` CLI.
+"""
+
+import json
+import sqlite3
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import cost_models, ks, ranking_triples, small_trees, trees
+from repro import (
+    IntervalStore,
+    PostorderStats,
+    Tree,
+    tasm_batch,
+    tasm_postorder,
+    ted,
+)
+from repro.cli import main
+from repro.distance import numpy_backend_available
+from repro.errors import PostorderQueueError, RankingError, StoreSchemaError
+from repro.index import (
+    SIGNATURE_BUCKETS,
+    STRUCT_HASH_BYTES,
+    decode_signature,
+    histogram_lower_bound,
+    iter_candidate_entries,
+    label_bucket,
+    tasm_indexed_batch,
+    tree_signature,
+)
+from repro.index.build import _encode_signature
+from repro.parallel import ShardedStats, StoreDocument, tasm_sharded_batch
+from repro.postorder.interval import SCHEMA_VERSION
+from repro.trees import random_tree
+
+QUERY = "{a{b}{c}}"
+
+
+# ----------------------------------------------------------------------
+# Signatures and structure hashes
+# ----------------------------------------------------------------------
+def test_signature_encode_decode_roundtrip_all_widths():
+    base = [(i * 7 + 3) % 11 for i in range(SIGNATURE_BUCKETS)]
+    cases = [
+        (base, 100, SIGNATURE_BUCKETS),  # 1 byte per bucket
+        ([c * 40 for c in base], 3_000, SIGNATURE_BUCKETS * 2),
+        ([c * 9_000 for c in base], 70_000, SIGNATURE_BUCKETS * 4),
+    ]
+    for counts, size, nbytes in cases:
+        packed = sum(c << (32 * i) for i, c in enumerate(counts))
+        blob = _encode_signature(packed, size)
+        assert len(blob) == nbytes
+        assert decode_signature(blob) == tuple(counts)
+
+
+def test_decode_signature_rejects_malformed_blobs():
+    with pytest.raises(PostorderQueueError):
+        decode_signature(b"\x00" * 7)
+
+
+def test_tree_signature_counts_bucketed_labels():
+    tree = Tree.from_bracket("{a{b}{a}{c}}")
+    sig = tree_signature(tree)
+    assert sum(sig) == len(tree)
+    buckets = Counter(
+        label_bucket(str(tree.label(i))) for i in range(1, len(tree) + 1)
+    )
+    assert sig == tuple(buckets.get(b, 0) for b in range(SIGNATURE_BUCKETS))
+
+
+def test_struct_hash_identifies_label_identical_subtrees():
+    def root_hash(bracket):
+        entries = list(iter_candidate_entries(
+            Tree.from_bracket(bracket).postorder()
+        ))
+        root = entries[-1]
+        assert len(root.struct_hash) == STRUCT_HASH_BYTES
+        return root.struct_hash
+
+    assert root_hash("{a{b}{c}}") == root_hash("{a{b}{c}}")
+    assert root_hash("{a{b}{c}}") != root_hash("{a{c}{b}}")  # order matters
+    assert root_hash("{a{b}{c}}") != root_hash("{a{b{c}}}")  # shape matters
+    assert root_hash("{a{b}{c}}") != root_hash("{x{b}{c}}")  # label matters
+
+
+def test_iter_candidate_entries_rejects_bad_sizes():
+    with pytest.raises(PostorderQueueError):
+        list(iter_candidate_entries([("a", 2)]))  # size exceeds position
+
+
+# ----------------------------------------------------------------------
+# The lower bound is provable: LB <= TED on generated pairs
+# ----------------------------------------------------------------------
+@given(query=small_trees, doc=trees, cost=cost_models)
+def test_histogram_lower_bound_never_exceeds_ted(query, doc, cost):
+    lb = histogram_lower_bound(
+        len(query), tree_signature(query), len(doc), tree_signature(doc), cost
+    )
+    assert lb <= ted(query, doc, cost)
+
+
+# ----------------------------------------------------------------------
+# Store: ingest-time rows, schema gating, backfill
+# ----------------------------------------------------------------------
+def test_store_tree_builds_candidate_rows(tmp_path):
+    db = str(tmp_path / "docs.db")
+    doc = Tree.from_bracket("{r{a{b}{c}}{d}}")
+    with IntervalStore(db) as store:
+        doc_id = store.store_tree("doc", doc)
+        assert store.schema_version() == SCHEMA_VERSION == 2
+        assert store.has_index(doc_id)
+        rows = list(store.candidate_rows(doc_id, 1, len(doc)))
+        # The size filter is the SQL range, not post-hoc.
+        small = list(store.candidate_rows(doc_id, 1, 3))
+    assert [pos for pos, *_ in rows] == sorted(pos for pos, *_ in rows)
+    assert len(rows) == len(doc)
+    sizes = {pos: size for pos, _end, size, _h, _sig in rows}
+    assert sizes[len(doc)] == len(doc)  # the root row covers the tree
+    assert small and all(s <= 3 for _p, _e, s, _h, _s in small)
+
+
+def test_backfill_upgrades_a_pre_index_store(tmp_path):
+    db = str(tmp_path / "docs.db")
+    doc = random_tree(150, seed=9, labels="abcde", max_fanout=4)
+    with IntervalStore(db) as store:
+        doc_id = store.store_tree("doc", doc)
+    # Rewind the file to schema v1: no candidate table, no meta.
+    raw = sqlite3.connect(db)
+    raw.executescript("DROP TABLE candidate; DROP TABLE meta;")
+    raw.commit()
+    raw.close()
+
+    query = Tree.from_bracket(QUERY)
+    reference = ranking_triples(tasm_postorder(query, doc, 4))
+    with IntervalStore(db) as store:
+        assert store.schema_version() == SCHEMA_VERSION  # upgraded in place
+        assert not store.has_index(doc_id)
+        assert store.ensure_index(doc_id) == len(doc)
+        assert store.ensure_index(doc_id) == 0  # idempotent
+        assert store.has_index(doc_id)
+        indexed = tasm_indexed_batch([query], store, doc_id, 4)[0]
+    assert ranking_triples(indexed) == reference
+
+
+def test_readonly_store_cannot_backfill_but_says_why(tmp_path):
+    db = str(tmp_path / "docs.db")
+    with IntervalStore(db) as store:
+        doc_id = store.store_tree("doc", Tree.from_bracket("{a{b}}"))
+    raw = sqlite3.connect(db)
+    raw.execute("DELETE FROM candidate")
+    raw.commit()
+    raw.close()
+    store = IntervalStore.open_readonly(db)
+    try:
+        with pytest.raises(PostorderQueueError, match="read-only"):
+            store.ensure_index(doc_id)
+        with pytest.raises(PostorderQueueError, match="repro index"):
+            tasm_indexed_batch([Tree.from_bracket("{a}")], store, doc_id, 1)
+    finally:
+        store.close()
+
+
+def test_newer_schema_versions_are_refused(tmp_path):
+    db = str(tmp_path / "docs.db")
+    with IntervalStore(db) as store:
+        store.store_tree("doc", Tree.from_bracket("{a{b}}"))
+    raw = sqlite3.connect(db)
+    raw.execute("UPDATE meta SET value = '99' WHERE key = 'schema_version'")
+    raw.commit()
+    raw.close()
+    with pytest.raises(StoreSchemaError, match="99"):
+        IntervalStore(db)
+    with pytest.raises(StoreSchemaError, match="99"):
+        IntervalStore.open_readonly(db)
+
+
+# ----------------------------------------------------------------------
+# Indexed engine: byte identity, dedup fan-out, routing
+# ----------------------------------------------------------------------
+@given(
+    queries=st.lists(small_trees, min_size=1, max_size=3),
+    doc=trees,
+    k=ks,
+    cost=cost_models,
+)
+def test_indexed_engine_byte_identical_to_streaming(queries, doc, k, cost):
+    reference = [
+        ranking_triples(tasm_postorder(q, doc, k, cost)) for q in queries
+    ]
+    with IntervalStore() as store:
+        doc_id = store.store_tree("doc", doc)
+        indexed = tasm_indexed_batch(queries, store, doc_id, k, cost)
+        assert [ranking_triples(r) for r in indexed] == reference
+        if numpy_backend_available():
+            vec = tasm_indexed_batch(
+                queries, store, doc_id, k, cost, backend="numpy"
+            )
+            assert [ranking_triples(r) for r in vec] == reference
+
+
+def test_dedup_fans_shared_shapes_back_out_in_tie_order():
+    doc = Tree.from_bracket(
+        "{r{a{b}{c}}{x{a{b}{c}}}{a{b}{c}}{d{a{b}{c}}}}"
+    )
+    query = Tree.from_bracket(QUERY)
+    reference = ranking_triples(tasm_postorder(query, doc, 6))
+    stats = PostorderStats()
+    with IntervalStore() as store:
+        doc_id = store.store_tree("doc", doc)
+        indexed = tasm_indexed_batch([query], store, doc_id, 6, stats=stats)[0]
+    # Four identical {a{b}{c}} copies: one kernel run, three cache hits,
+    # and the exact matches still rank in document postorder position.
+    assert stats.index_dedup_hits >= 3
+    assert stats.index_candidates > 0
+    assert ranking_triples(indexed) == reference
+    exact_roots = [root for d, root, _ in ranking_triples(indexed) if d == 0.0]
+    assert exact_roots == sorted(exact_roots)
+
+
+def test_lower_bound_skips_candidates_once_the_heap_is_full():
+    # A document dominated by label-disjoint subtrees: once the heap
+    # holds k exact-ish matches, the histogram bound alone rejects the
+    # rest without running the kernel.
+    doc = Tree.from_bracket(
+        "{r{a{b}{c}}{a{b}{c}}" + "{z{w}{v{u}}{z{w}{v}}}" * 6 + "}"
+    )
+    query = Tree.from_bracket(QUERY)
+    stats = PostorderStats()
+    with IntervalStore() as store:
+        doc_id = store.store_tree("doc", doc)
+        indexed = tasm_indexed_batch([query], store, doc_id, 2, stats=stats)[0]
+    assert stats.index_lb_skips > 0
+    assert ranking_triples(indexed) == ranking_triples(
+        tasm_postorder(query, doc, 2)
+    )
+
+
+@given(doc=trees, k=ks, cost=cost_models)
+def test_banded_chunks_and_sql_exclusion_stay_byte_identical(
+    doc, k, cost
+):
+    # Shrink the chunk size so even small documents exercise the
+    # phase-2 machinery: dynamic band re-derivation between chunks, the
+    # SQL-side signature/struct-hash exclusion lists, and — with the
+    # batch node budget forced down to one shape per graft — the
+    # decide/batch-score/replay passes, including the per-query
+    # rejection masks of a multi-query batch.
+    import repro.index.engine as engine_mod
+
+    queries = [Tree.from_bracket(QUERY), Tree.from_bracket("{b{a{c}}}")]
+    references = [
+        ranking_triples(tasm_postorder(query, doc, k, cost))
+        for query in queries
+    ]
+    original = engine_mod._CHUNK_ROWS
+    original_batch = engine_mod._BATCH_NODES
+    engine_mod._CHUNK_ROWS = 2
+    engine_mod._BATCH_NODES = 1
+    try:
+        with IntervalStore() as store:
+            doc_id = store.store_tree("doc", doc)
+            indexed = tasm_indexed_batch(queries, store, doc_id, k, cost)
+    finally:
+        engine_mod._CHUNK_ROWS = original
+        engine_mod._BATCH_NODES = original_batch
+    assert [ranking_triples(ranking) for ranking in indexed] == references
+
+
+def test_tasm_batch_auto_routes_indexed_stores(tmp_path):
+    db = str(tmp_path / "docs.db")
+    doc = random_tree(200, seed=3, labels="abcde", max_fanout=4)
+    with IntervalStore(db) as store:
+        doc_id = store.store_tree("doc", doc)
+    query = Tree.from_bracket(QUERY)
+    source = StoreDocument(db, doc_id)
+    stats = PostorderStats()
+    auto = tasm_batch([query], source, 4, stats=stats)
+    assert stats.index_candidates > 0  # auto detected the index
+    stream = tasm_batch([query], source, 4, engine="stream")
+    assert ranking_triples(auto[0]) == ranking_triples(stream[0])
+
+
+def test_sharded_batch_delegates_only_when_asked(tmp_path):
+    db = str(tmp_path / "docs.db")
+    doc = random_tree(300, seed=4, labels="abcde", max_fanout=4)
+    with IntervalStore(db) as store:
+        doc_id = store.store_tree("doc", doc)
+    query = Tree.from_bracket(QUERY)
+    source = StoreDocument(db, doc_id)
+    default_stats = ShardedStats()
+    default = tasm_sharded_batch(
+        [query], source, 4, workers=2, stats=default_stats
+    )
+    assert default_stats.index_candidates == 0  # the contract: it scans
+    indexed_stats = ShardedStats()
+    indexed = tasm_sharded_batch(
+        [query], source, 4, workers=2, engine="indexed", stats=indexed_stats
+    )
+    assert indexed_stats.index_candidates > 0
+    assert indexed_stats.n_shards == 1  # a single indexed pass
+    assert ranking_triples(indexed[0]) == ranking_triples(default[0])
+
+
+def test_engine_validation_and_misrouting_errors():
+    query = Tree.from_bracket("{a}")
+    doc = Tree.from_bracket("{a{b}}")
+    with pytest.raises(RankingError, match="engine"):
+        tasm_batch([query], list(doc.postorder()), 1, engine="bogus")
+    with pytest.raises(RankingError, match="StoreDocument"):
+        tasm_batch([query], list(doc.postorder()), 1, engine="indexed")
+    with pytest.raises(RankingError, match="engine"):
+        tasm_sharded_batch([query], doc, 1, engine="bogus")
+    with pytest.raises(RankingError, match="StoreDocument"):
+        tasm_sharded_batch([query], doc, 1, engine="indexed")
+
+
+# ----------------------------------------------------------------------
+# CLI: `repro index` and `repro tasm --engine`
+# ----------------------------------------------------------------------
+def _stored_db(tmp_path, nodes=200):
+    db = str(tmp_path / "docs.db")
+    doc = random_tree(nodes, seed=7, labels="abcde", max_fanout=4)
+    with IntervalStore(db) as store:
+        store.store_tree("doc", doc)
+    return db, doc
+
+
+def test_cli_index_backfills_and_reports(tmp_path, capsys):
+    db, _doc = _stored_db(tmp_path)
+    raw = sqlite3.connect(db)
+    raw.execute("DELETE FROM candidate")
+    raw.commit()
+    raw.close()
+    assert main(["index", db]) == 0
+    out = capsys.readouterr().out
+    assert "doc: indexed" in out and "schema version 2" in out
+    assert main(["index", db]) == 0
+    assert "already indexed" in capsys.readouterr().out
+    assert main(["index", db, "--doc-name", "missing"]) == 1
+
+
+def test_cli_tasm_engine_indexed_matches_stream(tmp_path, capsys):
+    db, doc = _stored_db(tmp_path)
+    args = ["tasm", QUERY, db, "-k", "3", "--algorithm", "postorder", "--json"]
+    assert main(args + ["--engine", "stream"]) == 0
+    stream_out = capsys.readouterr().out
+    assert main(args + ["--engine", "indexed"]) == 0
+    indexed_out = capsys.readouterr().out
+    assert json.loads(indexed_out) == json.loads(stream_out)
+    assert indexed_out == stream_out  # byte identity, not just equality
+
+
+def test_cli_tasm_engine_indexed_rejects_bad_combinations(tmp_path, capsys):
+    db, _doc = _stored_db(tmp_path)
+    assert main(
+        ["tasm", QUERY, db, "-k", "2", "--engine", "indexed", "--workers", "4"]
+    ) != 0
+    assert "--workers" in capsys.readouterr().err
+    # A bracket-string document has no store file, hence no index.
+    assert main(
+        ["tasm", QUERY, "{a{b}}", "-k", "1", "--engine", "indexed"]
+    ) != 0
+    assert "IntervalStore" in capsys.readouterr().err
+    # The dynamic algorithm has no engine concept.
+    assert main(
+        ["tasm", QUERY, db, "-k", "1", "--algorithm", "dynamic",
+         "--engine", "indexed"]
+    ) != 0
+    capsys.readouterr()

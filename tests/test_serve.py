@@ -273,9 +273,12 @@ def executor(corpus):
 
 
 def test_executor_matches_streaming_reference(corpus, executor):
+    # The store is freshly ingested, so the default engine policy
+    # serves from the candidate index — and must still match the
+    # streaming reference byte for byte.
     payload, info = executor.run({"query": "q1", "document": "small", "k": 4})
     assert payload["matches"] == expected_matches(QUERY, corpus["small"], 4)
-    assert payload["engine"] == "stream" and payload["cached"] is False
+    assert payload["engine"] == "indexed" and payload["cached"] is False
     assert info["ring_peak"] <= info["ring_capacity"]
     # Inline ad-hoc queries work without registration.
     inline, _ = executor.run(
@@ -498,7 +501,11 @@ def test_malformed_http_gets_400(server):
 def test_metrics_endpoint_counts_served_requests(corpus):
     # A private server so other tests' traffic cannot skew the counts.
     config = ServerConfig(
-        store=corpus["db"], port=0, queries={"q1": QUERY}, cache_size=8
+        store=corpus["db"],
+        port=0,
+        queries={"q1": QUERY},
+        cache_size=8,
+        engine="stream",  # ring high-water metrics come from scans
     )
     with ServerThread(config) as thread:
         client = ServeClient(port=thread.port)
@@ -541,6 +548,7 @@ def test_sharded_routing_identical_to_stream(corpus):
         workers=2,
         shard_threshold=300,  # "large" (600 nodes) shards, "small" streams
         cache_size=0,
+        engine="stream",  # shard routing applies to the scanning path
     )
     with ServerThread(config) as thread:
         client = ServeClient(port=thread.port)
@@ -628,7 +636,11 @@ def test_metrics_split_4xx_errors(server):
 
 def test_metrics_json_carries_engine_telemetry(corpus):
     config = ServerConfig(
-        store=corpus["db"], port=0, queries={"q1": QUERY}, cache_size=0
+        store=corpus["db"],
+        port=0,
+        queries={"q1": QUERY},
+        cache_size=0,
+        engine="stream",  # dequeued/ring telemetry comes from scans
     )
     with ServerThread(config) as thread:
         client = ServeClient(port=thread.port)
@@ -652,6 +664,7 @@ def test_slow_request_log_carries_stage_breakdown(corpus, capfd):
         port=0,
         queries={"q1": QUERY},
         cache_size=0,
+        engine="stream",  # the asserted span tree is the scan's
         slow_request_seconds=0.0,  # every request is "slow"
     )
     with ServerThread(config) as thread:
@@ -696,6 +709,7 @@ def test_no_trace_disables_stage_breakdown_but_not_the_log(corpus, capfd):
         port=0,
         queries={"q1": QUERY},
         cache_size=0,
+        engine="stream",  # the asserted counters come from a scan
         slow_request_seconds=0.0,
         trace=False,
     )
@@ -716,3 +730,63 @@ def test_no_trace_disables_stage_breakdown_but_not_the_log(corpus, capfd):
     entry = next(e for e in entries if e["route"] == "POST /v1/tasm")
     assert entry["stages"] is None
     assert entry["stats"]["dequeued"] == 120
+
+
+# ----------------------------------------------------------------------
+# Indexed serving
+# ----------------------------------------------------------------------
+def test_healthz_reports_engine_and_per_document_index_flags(corpus):
+    config = ServerConfig(
+        store=corpus["db"],
+        port=0,
+        queries={"q1": QUERY},
+        xml_documents={"extra": corpus["xml_path"]},
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        health = client.health()
+    assert health["engine"] == "auto"
+    # Store documents carry a candidate index from ingest; XML
+    # documents never do.
+    assert health["index"] == {"small": True, "large": True, "extra": False}
+
+
+def test_indexed_requests_flow_into_metrics(corpus):
+    config = ServerConfig(
+        store=corpus["db"],
+        port=0,
+        queries={"q1": QUERY},
+        cache_size=0,
+        engine="indexed",
+    )
+    with ServerThread(config) as thread:
+        client = ServeClient(port=thread.port)
+        client.wait_healthy()
+        response = client.tasm("q1", "small", k=3)
+        metrics = client.metrics()
+        status, _, prom = client.raw("GET", "/metrics?format=prometheus")
+    assert response["engine"] == "indexed"
+    assert response["matches"] == expected_matches(QUERY, corpus["small"], 3)
+    assert metrics["engine_requests"] == {"indexed": 1}
+    totals = metrics["engine_totals"]
+    assert totals["index_candidates"] > 0
+    assert totals["dequeued"] == 0  # no streaming scan happened
+    assert status == 200
+    text = prom if isinstance(prom, str) else prom.decode("utf-8")
+    assert "index_candidates" in text
+
+
+def test_engine_indexed_rejects_unindexed_documents(corpus):
+    registry = QueryRegistry()
+    registry.register("q1", QUERY)
+    catalog = DocumentCatalog(corpus["db"])
+    catalog.register_xml("extra", corpus["xml_path"])
+    executor = TasmExecutor(registry, catalog, engine="indexed")
+    with pytest.raises(ServeError, match="index"):
+        executor.run({"query": "q1", "document": "extra", "k": 2})
+    # Indexed store documents still serve.
+    payload, _ = executor.run({"query": "q1", "document": "small", "k": 2})
+    assert payload["engine"] == "indexed"
+    with pytest.raises(ServeError):
+        TasmExecutor(registry, catalog, engine="bogus")
