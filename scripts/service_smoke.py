@@ -17,7 +17,12 @@ What the ``service-smoke`` CI job runs on every push.  The contract:
     bytes never change), and ``/healthz`` reports the coalescing
     config the server was booted with (``-v --coalesce-window-ms
     --max-batch-queries`` are exercised end to end).
-5.  **Observability** — ``/metrics`` counted the traffic;
+5.  **Workload documents** — a generated ``apilog`` JSON corpus
+    registers over ``PUT /v1/documents`` with the ``format`` field,
+    ``/healthz`` reports its workload, and its ranking is
+    byte-identical to ``repro tasm --format json --json`` against the
+    raw JSON file (the streaming frontend and the server agree).
+6.  **Observability** — ``/metrics`` counted the traffic;
     ``/metrics?format=prometheus`` is valid text exposition (parsed by
     the strict :func:`repro.obs.prom.parse_prometheus`) whose counters
     are monotone across two scrapes bracketing the ranking traffic;
@@ -49,7 +54,11 @@ from concurrent.futures import ThreadPoolExecutor
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO, "src"))
 
-from repro.datasets import DEFAULT_QUERIES, generate  # noqa: E402
+from repro.datasets import (  # noqa: E402
+    DEFAULT_QUERIES,
+    WORKLOAD_QUERIES,
+    generate,
+)
 from repro.obs.prom import parse_prometheus  # noqa: E402
 from repro.postorder.interval import IntervalStore  # noqa: E402
 from repro.serve.client import ServeClient  # noqa: E402
@@ -138,8 +147,10 @@ def start_server(
     return proc, int(match.group(1))
 
 
-def cli_ranking_bytes(db_path: str, bracket: str, k: int, backend: str) -> str:
-    """``repro tasm --json`` output for the same store/query/k/backend."""
+def cli_ranking_bytes(
+    doc_path: str, bracket: str, k: int, backend: str, fmt: str = "auto"
+) -> str:
+    """``repro tasm --json`` output for the same document/query/k/backend."""
     result = subprocess.run(
         [
             sys.executable,
@@ -147,12 +158,14 @@ def cli_ranking_bytes(db_path: str, bracket: str, k: int, backend: str) -> str:
             "repro",
             "tasm",
             bracket,
-            db_path,
+            doc_path,
             "-k",
             str(k),
             "--json",
             "--backend",
             backend,
+            "--format",
+            fmt,
         ],
         capture_output=True,
         text=True,
@@ -312,6 +325,52 @@ def main() -> int:
                     f"{[r['engine'] for r in raced]})"
                 )
 
+            # A non-XML workload document: generate a JSON API-log
+            # corpus, register it through the `format` field, and hold
+            # the same byte-identity contract against the CLI reading
+            # the raw JSON file with --format json (server and CLI
+            # both route through the jsonio frontend Document).
+            json_path = os.path.join(tmp, "apilog.json")
+            generate("apilog", json_path, target_nodes=2000, seed=11)
+            registered_doc = client.register_document(
+                "apilog", json_path, fmt="json"
+            )
+            print(f"registered JSON document: {registered_doc}")
+            if (
+                registered_doc.get("format") != "json"
+                or registered_doc.get("workload") != "json"
+            ):
+                failures.append(
+                    f"registered JSON document reports "
+                    f"format={registered_doc.get('format')!r} "
+                    f"workload={registered_doc.get('workload')!r}"
+                )
+            health_workloads = client.health().get("workloads", {})
+            if health_workloads.get("apilog") != "json":
+                failures.append(
+                    f"/healthz workloads {health_workloads!r} does not "
+                    "report the JSON document"
+                )
+            json_bracket = WORKLOAD_QUERIES["apilog"]
+            json_response = client.tasm(json_bracket, "apilog", k=args.k)
+            json_served = (
+                json.dumps(json_response["matches"], indent=2) + "\n"
+            )
+            json_cli = cli_ranking_bytes(
+                json_path, json_bracket, args.k, args.backend, fmt="json"
+            )
+            if json_served != json_cli:
+                failures.append(
+                    f"JSON workload ranking mismatch:\n"
+                    f"--- served ---\n{json_served}\n--- cli ---\n{json_cli}"
+                )
+            else:
+                print(
+                    f"JSON workload byte-identity OK "
+                    f"(engine={json_response['engine']}, "
+                    f"{len(json_response['matches'])} matches)"
+                )
+
             # Second scrape after the traffic: still parses, and every
             # counter sample present in the first scrape is monotone
             # non-decreasing (the Prometheus counter contract).
@@ -338,7 +397,8 @@ def main() -> int:
             tasm_count = prom_after.get("repro_requests_total", {}).get(
                 "samples", {}
             ).get(tasm_sample, 0)
-            expected_tasm = len(DEFAULT_QUERIES) + 2  # + the raced pair
+            # + the raced pair + the JSON workload ranking
+            expected_tasm = len(DEFAULT_QUERIES) + 3
             if tasm_count != expected_tasm:
                 failures.append(
                     f"prometheus counted {tasm_count} POST /v1/tasm "
@@ -365,7 +425,8 @@ def main() -> int:
                     f"{metrics.get('kernel_backend')!r}, expected "
                     f"{args.backend!r}"
                 )
-            expected = len(DEFAULT_QUERIES) + 2  # + the raced pair
+            # + the raced pair + the JSON workload ranking
+            expected = len(DEFAULT_QUERIES) + 3
             served_count = metrics["requests_by_route"].get("POST /v1/tasm", 0)
             if served_count != expected:
                 failures.append(

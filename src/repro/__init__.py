@@ -6,6 +6,10 @@ Layer map:
 * :mod:`repro.trees`     — ordered labeled trees (postorder arrays).
 * :mod:`repro.postorder` — postorder queues + interval-encoded store.
 * :mod:`repro.xmlio`     — XML <-> tree conversion, streaming parse.
+* :mod:`repro.documents` — the :class:`Document` contract every
+  workload satisfies, plus format autodetection.
+* :mod:`repro.frontends` — JSON / HTML / Python-AST workloads
+  (streaming parsers + per-workload cost models).
 * :mod:`repro.distance`  — cost models + the Zhang–Shasha tree edit
   distance kernel (:class:`PrefixDistanceKernel`, :func:`ted`,
   :func:`prefix_distance`).
@@ -39,10 +43,20 @@ from .distance import (
     prefix_distance,
     ted,
 )
+from .documents import (
+    AstDocument,
+    Document,
+    HtmlDocument,
+    JsonDocument,
+    StoreDocument,
+    XmlDocument,
+    document_for,
+)
 from .errors import (
     BracketSyntaxError,
     CostModelError,
     DatasetError,
+    DocumentFormatError,
     PostorderQueueError,
     RankingError,
     ReproError,
@@ -54,6 +68,7 @@ from .postorder import IntervalStore, PostorderQueue
 from .tasm import (
     Match,
     PostorderStats,
+    TasmOptions,
     TopKHeap,
     prune_threshold,
     tasm_batch,
@@ -62,7 +77,7 @@ from .tasm import (
 )
 from .trees import Node, Tree
 
-__version__ = "0.9.0"
+__version__ = "0.10.0"
 
 __all__ = [
     "__version__",
@@ -70,12 +85,20 @@ __all__ = [
     "Tree",
     "PostorderQueue",
     "IntervalStore",
+    "Document",
+    "StoreDocument",
+    "XmlDocument",
+    "JsonDocument",
+    "HtmlDocument",
+    "AstDocument",
+    "document_for",
     "UnitCostModel",
     "WeightedCostModel",
     "PrefixDistanceKernel",
     "ted",
     "prefix_distance",
     "Match",
+    "TasmOptions",
     "TopKHeap",
     "PostorderStats",
     "prune_threshold",
@@ -87,6 +110,7 @@ __all__ = [
     "BracketSyntaxError",
     "PostorderQueueError",
     "XmlFormatError",
+    "DocumentFormatError",
     "CostModelError",
     "RankingError",
     "DatasetError",

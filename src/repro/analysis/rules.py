@@ -561,7 +561,8 @@ class NoAssertRule(Rule):
 
 @register_rule
 class ForwardParamsRule(Rule):
-    """Accepted ``backend=``/``span=``/``engine=`` parameters must be used.
+    """Accepted ``backend=``/``span=``/``engine=``/``options=``
+    parameters must be used.
 
     The layered API threads three cross-cutting parameters everywhere:
     the kernel row engine (``backend``), the tracing span, and the
@@ -574,9 +575,14 @@ class ForwardParamsRule(Rule):
     """
 
     id = "forward-params"
-    title = "accepted backend=/span=/engine= parameter never used"
+    title = "accepted backend=/span=/engine=/options= parameter never used"
 
-    watched_params: ClassVar[Tuple[str, ...]] = ("backend", "span", "engine")
+    watched_params: ClassVar[Tuple[str, ...]] = (
+        "backend",
+        "span",
+        "engine",
+        "options",
+    )
 
     def _is_stub(self, node: ast.AST) -> bool:
         body = node.body  # type: ignore[attr-defined]

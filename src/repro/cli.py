@@ -10,57 +10,90 @@ Five subcommands mirror the library's entry points:
   document pass (:func:`repro.tasm.tasm_batch`),
 * ``repro dataset NAME OUT`` — generate an XMark/DBLP/PSD-lookalike
   document (:mod:`repro.datasets`) for benchmarks and experiments,
+* ``repro ingest SOURCE STORE`` — parse any workload source into an
+  IntervalStore document (candidate index built at ingest),
 * ``repro index STORE`` — backfill the candidate index
   (:mod:`repro.index`) for documents stored before schema v2,
 * ``repro serve`` — run the long-lived TASM HTTP service
-  (:mod:`repro.serve`) over a store file and/or XML documents,
+  (:mod:`repro.serve`) over a store file and/or file documents,
 * ``repro lint`` — run the project's invariant linter
   (:mod:`repro.analysis`) over source trees (the installed package by
   default).
 
 Tree arguments are bracket notation (``{a{b}{c}}``) given inline, or a
-path to a ``.xml`` / ``.bracket`` / ``.db`` file; ``--format``
-overrides the autodetection.
+path to a ``.xml`` / ``.json`` / ``.html`` / ``.py`` / ``.bracket`` /
+``.db`` file or a Python package directory (:mod:`repro.documents`
+workload frontends); ``--format`` overrides the autodetection, and
+unknown extensions are refused rather than guessed.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional
 
 from .distance import UnitCostModel, WeightedCostModel, ted
-from .errors import CostModelError, ReproError
+from .errors import CostModelError, DocumentFormatError, ReproError
 from .postorder.queue import PostorderQueue
-from .tasm import PostorderStats, tasm_batch, tasm_dynamic
+from .tasm import PostorderStats, TasmOptions, tasm_batch, tasm_dynamic
 from .trees.tree import Tree
 
 __all__ = ["main"]
 
 _STORE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+_BRACKET_SUFFIXES = (".bracket", ".txt")
+#: Extensions owned by the workload frontends (repro.documents).
+_FRONTEND_EXTENSIONS = {
+    ".xml": "xml",
+    ".json": "json",
+    ".html": "html",
+    ".htm": "html",
+    ".py": "ast",
+}
+_FRONTEND_FORMATS = ("xml", "json", "html", "ast")
 
 
 def _detect_format(arg: str, forced: str) -> str:
-    if forced != "auto":
-        return forced
+    # Unambiguous args win even over --format: an inline '{...}' string
+    # is never a file path and a .db/.sqlite file is never a frontend
+    # document, so a tasm invocation mixing an inline bracket query (or
+    # a store document) with a --format'ed file stays well-formed.
     if arg.lstrip().startswith("{"):
         return "bracket"
-    if arg.lower().endswith(".xml"):
-        return "xml"
-    if arg.lower().endswith(_STORE_SUFFIXES):
+    lower = arg.lower()
+    if lower.endswith(_STORE_SUFFIXES):
         return "store"
-    return "bracket-file"
+    if forced != "auto":
+        return forced
+    if os.path.isdir(arg):
+        return "ast"
+    ext = os.path.splitext(lower)[1]
+    if ext in _FRONTEND_EXTENSIONS:
+        return _FRONTEND_EXTENSIONS[ext]
+    if lower.endswith(_BRACKET_SUFFIXES):
+        return "bracket-file"
+    # Four workloads are in play now — guessing the wrong parser would
+    # die with that parser's confusing syntax error, so refuse with the
+    # full menu instead.
+    raise DocumentFormatError(
+        f"cannot detect a format for {arg!r}: expected an inline "
+        "'{...}' bracket tree, a .bracket/.txt bracket file, a .xml/"
+        ".json/.html/.htm/.py document, a Python package directory, or "
+        "a .db/.sqlite store; use --format to override"
+    )
 
 
 def _load_tree(arg: str, forced: str) -> Tree:
     fmt = _detect_format(arg, forced)
     if fmt == "bracket":
         return Tree.from_bracket(arg)
-    if fmt == "xml":
-        from .xmlio.parse import tree_from_xml_file
+    if fmt in _FRONTEND_FORMATS:
+        from .documents import document_for
 
-        return tree_from_xml_file(arg)
+        return Tree.from_postorder(document_for(arg, fmt).postorder())
     if fmt == "store":
         raise ReproError(
             f"{arg!r} is an IntervalStore file; store documents are "
@@ -103,24 +136,56 @@ def _load_store_tree(path: str, doc_name: Optional[str]) -> Tree:
         store.close()
 
 
-def _document_queue(arg: str, forced: str, doc_name: Optional[str] = None):
-    """Document as a postorder queue, streaming XML files and stores."""
+def _document_source(arg: str, forced: str, doc_name: Optional[str] = None):
+    """Document argument as a TASM source.
+
+    Frontend formats (xml/json/html/ast) become streaming
+    :class:`~repro.documents.Document` values, stores become
+    :class:`~repro.documents.StoreDocument` references (so the engine
+    router can find the candidate index), and bracket inputs become
+    in-memory postorder queues.
+    """
     fmt = _detect_format(arg, forced)
-    if fmt == "xml":
-        return PostorderQueue.from_xml_file(arg)
+    if fmt in _FRONTEND_FORMATS:
+        from .documents import document_for
+
+        return document_for(arg, fmt)
     if fmt == "store":
-        return _store_document(arg, doc_name).queue()
+        return _store_document(arg, doc_name).shard_source()
     return PostorderQueue.from_tree(_load_tree(arg, forced))
+
+
+def _weighted_spec(spec: str, prefix: str, factory):
+    """Parse ``NAME`` / ``NAME:WEIGHT`` cost specs (e.g. json-keys:3)."""
+    _, sep, weight = spec.partition(":")
+    try:
+        return factory(float(weight)) if sep else factory()
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cost {spec!r}: expected {prefix} or {prefix}:WEIGHT "
+            f"with a numeric WEIGHT"
+        ) from None
+    except CostModelError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _cost_model(spec: str):
     if spec == "unit":
         return UnitCostModel()
+    if spec == "json-keys" or spec.startswith("json-keys:"):
+        from .frontends.jsonio import KeyWeightedCostModel
+
+        return _weighted_spec(spec, "json-keys", KeyWeightedCostModel)
+    if spec == "html-tags" or spec.startswith("html-tags:"):
+        from .frontends.htmlio import TagClassWeightedCostModel
+
+        return _weighted_spec(spec, "html-tags", TagClassWeightedCostModel)
     try:
         rename, delete, insert = (float(part) for part in spec.split(","))
     except ValueError:
         raise argparse.ArgumentTypeError(
-            f"cost must be 'unit' or 'REN,DEL,INS', got {spec!r}"
+            f"cost must be 'unit', 'json-keys[:W]', 'html-tags[:W]', "
+            f"or 'REN,DEL,INS', got {spec!r}"
         ) from None
     try:
         return WeightedCostModel(rename, delete, insert)
@@ -211,17 +276,29 @@ def _build_parser() -> argparse.ArgumentParser:
     for p in (ted_p, tasm_p):
         p.add_argument(
             "--format",
-            choices=["auto", "bracket", "bracket-file", "xml", "store"],
+            choices=[
+                "auto",
+                "bracket",
+                "bracket-file",
+                "xml",
+                "json",
+                "html",
+                "ast",
+                "store",
+            ],
             default="auto",
-            help="input format (default: autodetect; .db/.sqlite documents "
-            "are IntervalStore files)",
+            help="input format (default: autodetect from the extension; "
+            "'ast' parses a .py file or package directory; inline "
+            "'{...}' trees and .db/.sqlite IntervalStore files are "
+            "recognised as such even under --format)",
         )
         p.add_argument(
             "--cost",
             type=_cost_model,
             default=UnitCostModel(),
-            metavar="unit|REN,DEL,INS",
-            help="cost model (default: unit)",
+            metavar="unit|json-keys[:W]|html-tags[:W]|REN,DEL,INS",
+            help="cost model (default: unit; json-keys weights JSON "
+            "object keys, html-tags weights structural HTML tags)",
         )
         p.add_argument(
             "--backend",
@@ -232,16 +309,47 @@ def _build_parser() -> argparse.ArgumentParser:
         )
 
     dataset_p = sub.add_parser(
-        "dataset", help="generate a synthetic XMark/DBLP/PSD-lookalike corpus"
+        "dataset",
+        help="generate a synthetic lookalike corpus (XML: xmark/dblp/psd; "
+        "JSON: apilog; HTML: htmlcat; Python package: pypkg)",
     )
     dataset_p.add_argument(
-        "name", choices=["xmark", "dblp", "psd"], help="corpus family"
+        "name",
+        choices=["xmark", "dblp", "psd", "apilog", "htmlcat", "pypkg"],
+        help="corpus family",
     )
-    dataset_p.add_argument("out", help="output XML path")
+    dataset_p.add_argument(
+        "out", help="output path (a directory for pypkg, a file otherwise)"
+    )
     dataset_p.add_argument(
         "--nodes", type=int, default=100_000, help="target node count (default 100000)"
     )
     dataset_p.add_argument("--seed", type=int, default=0, help="random seed")
+
+    ingest_p = sub.add_parser(
+        "ingest",
+        help="parse a document into an IntervalStore (indexed at ingest)",
+    )
+    ingest_p.add_argument(
+        "source",
+        help="document to ingest: .xml/.json/.html/.py file, Python "
+        "package directory, or bracket file",
+    )
+    ingest_p.add_argument(
+        "store", help="IntervalStore database path (created if missing)"
+    )
+    ingest_p.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="document name inside the store (default: source basename)",
+    )
+    ingest_p.add_argument(
+        "--format",
+        choices=["auto", "bracket", "bracket-file", "xml", "json", "html", "ast"],
+        default="auto",
+        help="source format (default: autodetect from the extension)",
+    )
 
     index_p = sub.add_parser(
         "index",
@@ -500,33 +608,27 @@ def _run_tasm(args: argparse.Namespace) -> int:
             source,
             args.k,
             args.cost,
-            stats=stats,
-            backend=backend,
-            span=span,
-            engine="indexed",
+            TasmOptions(stats=stats, backend=backend, span=span, engine="indexed"),
         )
     elif args.workers > 1:
-        # Shard XML and store files in place: planning and every worker
-        # stream their own scan, so no process materialises the
+        # Shard file-backed documents in place: planning and every
+        # worker stream their own scan, so no process materialises the
         # document (the same reason the single-pass run streams it).
-        from .parallel import ShardedStats, XmlDocument, tasm_sharded_batch
+        from .parallel import ShardedStats, tasm_sharded_batch
 
-        if doc_fmt == "xml":
-            source = XmlDocument(args.document)
-        elif doc_fmt == "store":
-            source = _store_document(args.document, args.doc_name).shard_source()
-        else:
-            source = _document_queue(args.document, args.format)
+        source = _document_source(args.document, args.format, args.doc_name)
         sharded_stats = ShardedStats()
         rankings = tasm_sharded_batch(
             queries,
             source,
             args.k,
             args.cost,
-            workers=args.workers,
-            stats=sharded_stats,
-            backend=backend,
-            span=span,
+            TasmOptions(
+                workers=args.workers,
+                stats=sharded_stats,
+                backend=backend,
+                span=span,
+            ),
         )
         stats = sharded_stats
         if sharded_stats.n_shards < args.workers:
@@ -546,22 +648,18 @@ def _run_tasm(args: argparse.Namespace) -> int:
                 )
     else:
         stats = PostorderStats()
-        if doc_fmt == "store":
-            # Hand tasm_batch the store reference, not a queue: the
-            # engine router needs the file to find the candidate index
-            # ("auto" streams when the document has none).
-            source = _store_document(args.document, args.doc_name).shard_source()
-        else:
-            source = _document_queue(args.document, args.format)
+        # Stores pass as references, not queues: the engine router
+        # needs the file to find the candidate index ("auto" streams
+        # when the document has none).
+        source = _document_source(args.document, args.format, args.doc_name)
         rankings = tasm_batch(
             queries,
             source,
             args.k,
             args.cost,
-            stats=stats,
-            backend=backend,
-            span=span,
-            engine=args.engine,
+            TasmOptions(
+                stats=stats, backend=backend, span=span, engine=args.engine
+            ),
         )
     if args.json:
         if batch:
@@ -687,6 +785,49 @@ def _run_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    """Parse any workload source into an IntervalStore document.
+
+    The store path in ``repro tasm``/``repro serve`` then serves the
+    document straight from SQL (range scans, candidate index) without
+    re-parsing the source.
+    """
+    from .postorder.interval import IntervalStore
+
+    fmt = _detect_format(args.source, args.format)
+    if fmt == "store":
+        raise ReproError(
+            f"{args.source!r} is already an IntervalStore file; "
+            "ingest takes a document source"
+        )
+    if fmt in _FRONTEND_FORMATS:
+        from .documents import document_for
+
+        document = document_for(args.source, fmt)
+        tree = Tree.from_postorder(document.postorder())
+        workload = document.workload
+    else:
+        tree = _load_tree(args.source, args.format)
+        workload = "bracket"
+    name = args.name
+    if name is None:
+        name = os.path.basename(os.path.normpath(args.source)) or "document"
+    with IntervalStore(args.store) as store:
+        if any(name == existing for _, existing, _ in store.documents()):
+            raise ReproError(
+                f"store {args.store!r} already holds a document named "
+                f"{name!r}; pick another with --name"
+            )
+        doc_id = store.store_tree(name, tree)
+        store.ensure_index(doc_id)
+        n_nodes = store.n_nodes(doc_id)
+    print(
+        f"ingested {args.source} into {args.store} as {name!r} "
+        f"({n_nodes} nodes, workload {workload}, candidate index built)"
+    )
+    return 0
+
+
 def _run_index(args: argparse.Namespace) -> int:
     """Backfill candidate-index rows for a store's documents.
 
@@ -798,6 +939,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_ted(args)
         if args.command == "dataset":
             return _run_dataset(args)
+        if args.command == "ingest":
+            return _run_ingest(args)
         if args.command == "index":
             return _run_index(args)
         if args.command == "serve":

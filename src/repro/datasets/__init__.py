@@ -12,6 +12,9 @@ holding a document in memory.
   parser-accurate node accounting.
 * :mod:`~repro.datasets.corpora` — the XMark/DBLP/PSD generators, the
   :data:`GENERATORS` registry, and per-corpus default queries.
+* :mod:`~repro.datasets.workloads` — lookalike corpora for the
+  :mod:`repro.frontends` workloads (JSON API logs, HTML catalogs,
+  Python packages) with their own :data:`WORKLOAD_QUERIES`.
 """
 
 from .corpora import (
@@ -22,6 +25,13 @@ from .corpora import (
     generate_psd,
     generate_xmark,
 )
+from .workloads import (
+    WORKLOAD_GENERATORS,
+    WORKLOAD_QUERIES,
+    generate_apilog,
+    generate_htmlcat,
+    generate_pypkg,
+)
 from .writer import XmlStreamWriter
 
 __all__ = [
@@ -30,6 +40,11 @@ __all__ = [
     "generate_xmark",
     "generate_dblp",
     "generate_psd",
+    "generate_apilog",
+    "generate_htmlcat",
+    "generate_pypkg",
     "GENERATORS",
     "DEFAULT_QUERIES",
+    "WORKLOAD_GENERATORS",
+    "WORKLOAD_QUERIES",
 ]

@@ -221,10 +221,16 @@ def _check_target(target_nodes: int) -> None:
 def generate(
     name: str, path: str, target_nodes: int = 100_000, seed: int = 0
 ) -> int:
-    """Generate the corpus ``name`` into ``path``; returns node count."""
-    try:
-        generator = GENERATORS[name]
-    except KeyError:
-        known = ", ".join(sorted(GENERATORS))
+    """Generate the corpus ``name`` into ``path``; returns node count.
+
+    Dispatches over the XML corpora here and the JSON/HTML/AST workload
+    corpora of :mod:`~repro.datasets.workloads` (lazy import: the
+    frontends only load when one of their corpora is asked for).
+    """
+    from .workloads import WORKLOAD_GENERATORS
+
+    generator = GENERATORS.get(name) or WORKLOAD_GENERATORS.get(name)
+    if generator is None:
+        known = ", ".join(sorted(GENERATORS) + sorted(WORKLOAD_GENERATORS))
         raise DatasetError(f"unknown dataset {name!r} (known: {known})") from None
     return generator(path, target_nodes=target_nodes, seed=seed)

@@ -1,0 +1,284 @@
+"""Lookalike corpora for the non-XML workload frontends.
+
+:mod:`~repro.datasets.corpora` reproduces the paper's XML document
+classes; this module does the same for the :mod:`repro.frontends`
+workloads, so benches and tests can exercise JSON/HTML/AST ranking at
+any scale without shipping fixtures:
+
+* ``apilog``  — a JSON API-gateway log: one top-level object whose
+  ``entries`` array holds request/response records (nested client
+  objects, optional parameter lists) — the repetitive-record shape
+  where key-weighted ranking shines;
+* ``htmlcat`` — an HTML product-catalog page: repeated ``div`` product
+  cards (attributes, feature lists, void ``img`` tags) under a shared
+  page skeleton;
+* ``pypkg``   — a synthetic Python package directory: modules of
+  generated functions and classes, plus one subpackage, for code-clone
+  queries over an ingested source tree.
+
+All generators are deterministic given a seed, stream straight to disk
+(``pypkg`` writes one module at a time), and return the exact node
+count the output parses into under the owning frontend's
+``iterparse_postorder`` conventions — asserted against the parsers in
+the tests, exactly like the XML corpora.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from html import escape
+from typing import Callable, Dict, List, Optional, TextIO
+
+from ..errors import DatasetError
+from .corpora import _check_target, _person_name, _words, _WORDS
+
+__all__ = [
+    "generate_apilog",
+    "generate_htmlcat",
+    "generate_pypkg",
+    "WORKLOAD_GENERATORS",
+    "WORKLOAD_QUERIES",
+]
+
+_METHODS = ("GET", "GET", "GET", "POST", "PUT", "DELETE")
+_STATUSES = (200, 200, 200, 201, 301, 404, 500)
+_AGENTS = ("curl/8.0", "python-requests", "Mozilla/5.0", "okhttp/4.9")
+
+
+def generate_apilog(path: str, target_nodes: int = 100_000, seed: int = 0) -> int:
+    """JSON API-log lookalike; returns the jsonio node count.
+
+    The file is one object — ``{"service": ..., "entries": [...]}`` —
+    written record by record, so the document never exists in memory.
+    Node accounting follows :func:`repro.frontends.jsonio.
+    json_value_nodes`: one node per object/array/key/scalar.
+    """
+    _check_target(target_nodes)
+    from ..frontends.jsonio import json_value_nodes
+
+    rng = random.Random(seed)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"service": "api-gateway", "entries": [\n')
+        # object + $service + value + $entries + array
+        nodes = 5
+        first = True
+        while nodes < target_nodes:
+            record: Dict[str, object] = {
+                "method": rng.choice(_METHODS),
+                "path": "/" + "/".join(
+                    rng.choice(_WORDS) for _ in range(rng.randint(1, 3))
+                ),
+                "status": rng.choice(_STATUSES),
+                "latency_ms": rng.randint(1, 900),
+                "client": {
+                    "ip": ".".join(str(rng.randint(1, 254)) for _ in range(4)),
+                    "agent": rng.choice(_AGENTS),
+                },
+            }
+            if rng.random() < 0.5:
+                record["params"] = [
+                    rng.choice(_WORDS) for _ in range(rng.randint(1, 3))
+                ]
+            if rng.random() < 0.3:
+                record["user"] = _person_name(rng)
+            if rng.random() < 0.2:
+                record["cached"] = rng.random() < 0.5
+            fh.write(("" if first else ",\n") + json.dumps(record))
+            nodes += json_value_nodes(record)
+            first = False
+        fh.write("\n]}\n")
+    return nodes
+
+
+class _HtmlCountingWriter:
+    """Incremental HTML writer with htmlio-accurate node accounting.
+
+    Mirrors :class:`~repro.datasets.writer.XmlStreamWriter`, counting
+    under :func:`repro.frontends.htmlio.iterparse_postorder`'s
+    conventions: the synthetic ``#document`` root, one node per
+    element, two per attribute (``@name`` plus its ``Text`` child,
+    empty values included), one per non-whitespace text run.
+    """
+
+    def __init__(self, fh: TextIO) -> None:
+        self.fh = fh
+        self.nodes = 1  # the synthetic #document root
+        self._stack: List[str] = []
+
+    def _write_tag(self, tag: str, attrs: Optional[Dict[str, str]]) -> None:
+        self.fh.write(f"<{tag}")
+        for name, value in (attrs or {}).items():
+            self.fh.write(f' {name}="{escape(value, quote=True)}"')
+            self.nodes += 2
+        self.fh.write(">")
+        self.nodes += 1
+
+    def start(self, tag: str, attrs: Optional[Dict[str, str]] = None) -> None:
+        self._write_tag(tag, attrs)
+        self._stack.append(tag)
+
+    def end(self) -> None:
+        self.fh.write(f"</{self._stack.pop()}>\n")
+
+    def void(self, tag: str, attrs: Optional[Dict[str, str]] = None) -> None:
+        """A void element (``img``, ``br``, ...): start tag only."""
+        self._write_tag(tag, attrs)
+        self.fh.write("\n")
+
+    def text(self, value: str) -> None:
+        self.fh.write(escape(value))
+        if value.strip():
+            self.nodes += 1
+
+    def leaf(
+        self, tag: str, value: str, attrs: Optional[Dict[str, str]] = None
+    ) -> None:
+        self.start(tag, attrs)
+        self.text(value)
+        self.end()
+
+    def close(self) -> None:
+        while self._stack:
+            self.end()
+
+
+def generate_htmlcat(path: str, target_nodes: int = 100_000, seed: int = 0) -> int:
+    """HTML product-catalog lookalike; returns the htmlio node count."""
+    _check_target(target_nodes)
+    rng = random.Random(seed)
+    with open(path, "w", encoding="utf-8") as fh:
+        w = _HtmlCountingWriter(fh)
+        w.start("html", {"lang": "en"})
+        w.start("head")
+        w.leaf("title", "Catalog")
+        w.void("meta", {"charset": "utf-8"})
+        w.end()  # head
+        w.start("body")
+        w.start("div", {"class": "catalog"})
+        while w.nodes < target_nodes:
+            pid = f"p{rng.randrange(10**6)}"
+            w.start("div", {"class": "product", "id": pid})
+            w.leaf("h2", _words(rng, 1, 3).title())
+            w.void("img", {"src": f"/img/{pid}.jpg", "alt": pid})
+            w.leaf(
+                "span",
+                f"${rng.randint(1, 500)}.{rng.randint(0, 99):02d}",
+                {"class": "price"},
+            )
+            if rng.random() < 0.7:
+                w.start("ul", {"class": "features"})
+                for _ in range(rng.randint(1, 4)):
+                    w.leaf("li", _words(rng, 2, 5))
+                w.end()
+            if rng.random() < 0.3:
+                w.start("p")
+                w.text(_words(rng, 5, 12))
+                w.leaf("em", rng.choice(_WORDS))
+                w.end()
+            w.end()  # div.product
+        w.close()
+    return w.nodes
+
+
+_PY_OPS = ("+", "-", "*")
+
+
+def _py_function(rng: random.Random, name: str) -> str:
+    a, b = rng.sample(_WORDS, 2)
+    op = rng.choice(_PY_OPS)
+    lines = [
+        f"def {name}({a}, {b}={rng.randint(0, 9)}):",
+        f'    """{_words(rng, 3, 6)}."""',
+        f"    total = {a} {op} {b}",
+    ]
+    if rng.random() < 0.5:
+        lines.append(f"    if total > {rng.randint(10, 99)}:")
+        lines.append(f"        total = total - {rng.randint(1, 9)}")
+    lines.append("    return total")
+    return "\n".join(lines)
+
+
+def _py_class(rng: random.Random, name: str) -> str:
+    attr = rng.choice(_WORDS)
+    lines = [
+        f"class {name.title()}:",
+        f"    def __init__(self, {attr}):",
+        f"        self.{attr} = {attr}",
+        "",
+        "    def describe(self):",
+        f"        return f\"{name}: {{self.{attr}}}\"",
+    ]
+    return "\n".join(lines)
+
+
+def _py_module(rng: random.Random) -> str:
+    parts = [f'"""{_words(rng, 3, 7).capitalize()}."""', "", ""]
+    for i in range(rng.randint(2, 5)):
+        name = f"{rng.choice(_WORDS)}_{i}"
+        if rng.random() < 0.3:
+            parts.append(_py_class(rng, name))
+        else:
+            parts.append(_py_function(rng, name))
+        parts.append("")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def generate_pypkg(path: str, target_nodes: int = 50_000, seed: int = 0) -> int:
+    """Synthetic Python package directory; returns the astio node count.
+
+    ``path`` becomes the package root (created if missing, must be
+    empty of ``.py`` files): generated modules plus one ``core``
+    subpackage, each written and counted one module at a time via
+    :func:`repro.frontends.astio.iterparse_postorder`.
+    """
+    _check_target(target_nodes)
+    from ..frontends import astio
+
+    if os.path.isfile(path):
+        raise DatasetError(f"pypkg target {path!r} is a file, need a directory")
+    os.makedirs(os.path.join(path, "core"), exist_ok=True)
+    if any(
+        name.endswith(".py")
+        for name in os.listdir(path)
+        if os.path.isfile(os.path.join(path, name))
+    ):
+        raise DatasetError(f"pypkg target {path!r} already holds modules")
+    rng = random.Random(seed)
+    # Root dir node + the `core` subpackage dir node.
+    nodes = 2
+    for directory, stem in ((path, "__init__"), (os.path.join(path, "core"), "__init__")):
+        module = os.path.join(directory, f"{stem}.py")
+        with open(module, "w", encoding="utf-8") as fh:
+            fh.write(f'"""{_words(rng, 2, 4).capitalize()}."""\n')
+        nodes += sum(1 for _ in astio.iterparse_postorder(module))
+    i = 0
+    while nodes < target_nodes:
+        directory = path if i % 3 else os.path.join(path, "core")
+        module = os.path.join(directory, f"{rng.choice(_WORDS)}_{i}.py")
+        with open(module, "w", encoding="utf-8") as fh:
+            fh.write(_py_module(rng))
+        nodes += sum(1 for _ in astio.iterparse_postorder(module))
+        i += 1
+    return nodes
+
+
+#: Registry: workload corpus name -> generator (separate from the XML
+#: :data:`~repro.datasets.corpora.GENERATORS`, whose bench baselines
+#: must not shift).
+WORKLOAD_GENERATORS: Dict[str, Callable[..., int]] = {
+    "apilog": generate_apilog,
+    "htmlcat": generate_htmlcat,
+    "pypkg": generate_pypkg,
+}
+
+#: A natural TASM query (bracket notation) per workload corpus.  Kept
+#: out of :data:`~repro.datasets.corpora.DEFAULT_QUERIES`: the nightly
+#: bench gates on those exact queries.
+WORKLOAD_QUERIES: Dict[str, str] = {
+    "apilog": "{object{$method}{$path}{$status}}",
+    "htmlcat": "{div{h2}{img{@alt}{@src}}{span{@class}}}",
+    "pypkg": "{FunctionDef{arguments{arg}{arg}}{Return}}",
+}

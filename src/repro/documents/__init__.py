@@ -1,0 +1,248 @@
+"""First-class documents: one contract for every workload frontend.
+
+TASM's engine consumes a postorder queue (Definition 2) and nothing
+else — XML, JSON, HTML, and program ASTs all reduce to it.  The
+:class:`Document` protocol is that reduction made explicit: a postorder
+stream, a node count, an optional store/index handle, and a workload
+tag, so ``tasm_batch`` / ``tasm_sharded_batch`` / the serve catalog /
+the CLI route *any* frontend identically.
+
+Concrete documents (all picklable, frozen path-holders, so the sharded
+planner ships them straight to worker processes):
+
+* :class:`StoreDocument` — a document inside an
+  :class:`~repro.postorder.interval.IntervalStore` file (any workload;
+  this is the only document kind with a :meth:`~Document.store_ref`,
+  and hence the only one the candidate-index engine serves);
+* :class:`XmlDocument`  — an XML file (:mod:`repro.xmlio`);
+* :class:`JsonDocument` — a JSON file (:mod:`repro.frontends.jsonio`);
+* :class:`HtmlDocument` — an HTML page (:mod:`repro.frontends.htmlio`);
+* :class:`AstDocument`  — a ``*.py`` module or package directory
+  (:mod:`repro.frontends.astio`).
+
+``StoreDocument`` and ``XmlDocument`` moved here from
+``repro.parallel.sharded``; the old import paths still work but warn
+(one release), since nothing about them was parallel-specific.
+
+:func:`document_for` maps a path (plus an optional explicit format) to
+the right document, with extension autodetection for ``.xml`` /
+``.json`` / ``.html`` / ``.htm`` / ``.py`` / package directories;
+unknown extensions raise the typed
+:class:`~repro.errors.DocumentFormatError` instead of whatever the
+wrong parser would have thrown.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..errors import DocumentFormatError
+
+__all__ = [
+    "AstDocument",
+    "Document",
+    "FORMATS",
+    "HtmlDocument",
+    "JsonDocument",
+    "StoreDocument",
+    "XmlDocument",
+    "detect_format",
+    "document_for",
+]
+
+
+@runtime_checkable
+class Document(Protocol):
+    """What every workload frontend hands the engine.
+
+    ``workload`` tags the frontend ("xml", "json", "html", "ast",
+    "store") for catalogs and health reporting; ``postorder()`` streams
+    the queue; ``n_nodes()`` is the planning count (one cheap extra
+    pass for file-backed documents); ``store_ref()`` returns
+    ``(path, doc_id)`` when the document lives in an
+    :class:`~repro.postorder.interval.IntervalStore` — the handle the
+    candidate-index engine needs — and ``None`` otherwise.
+    """
+
+    @property
+    def workload(self) -> str: ...
+
+    def postorder(self) -> Iterator[Tuple[object, int]]: ...
+
+    def n_nodes(self) -> int: ...
+
+    def store_ref(self) -> Optional[Tuple[str, int]]: ...
+
+
+@dataclass(frozen=True)
+class StoreDocument:
+    """A document held in an :class:`IntervalStore` database file."""
+
+    path: str
+    doc_id: int
+
+    workload = "store"
+
+    def postorder(self) -> Iterator[Tuple[object, int]]:
+        from ..postorder.interval import IntervalStore
+
+        store = IntervalStore.open_readonly(self.path)
+        try:
+            yield from store.postorder_pairs(self.doc_id)
+        finally:
+            store.close()
+
+    def n_nodes(self) -> int:
+        from ..postorder.interval import IntervalStore
+
+        store = IntervalStore.open_readonly(self.path)
+        try:
+            return store.n_nodes(self.doc_id)
+        finally:
+            store.close()
+
+    def store_ref(self) -> Optional[Tuple[str, int]]:
+        return (self.path, self.doc_id)
+
+
+class _FileDocument:
+    """Shared plumbing for path-backed frontend documents."""
+
+    path: str
+
+    def _pairs(self) -> Iterator[Tuple[object, int]]:
+        raise NotImplementedError
+
+    def postorder(self) -> Iterator[Tuple[object, int]]:
+        return self._pairs()
+
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self._pairs())
+
+    def store_ref(self) -> Optional[Tuple[str, int]]:
+        return None
+
+
+@dataclass(frozen=True)
+class XmlDocument(_FileDocument):
+    """An XML document on disk, streamed without materialisation.
+
+    Sharded runs make two streaming parses for planning (count + safe
+    cuts) and every worker re-parses the file up to its range — more
+    parse CPU than shipping pair slices, but memory stays
+    O(parse depth + tau) in every process, preserving the streaming
+    guarantee for documents that do not fit in memory.
+    """
+
+    path: str
+
+    workload = "xml"
+
+    def _pairs(self) -> Iterator[Tuple[object, int]]:
+        from ..xmlio.parse import iterparse_postorder
+
+        return iterparse_postorder(self.path)
+
+
+@dataclass(frozen=True)
+class JsonDocument(_FileDocument):
+    """A JSON document on disk (:mod:`repro.frontends.jsonio`)."""
+
+    path: str
+
+    workload = "json"
+
+    def _pairs(self) -> Iterator[Tuple[object, int]]:
+        from ..frontends.jsonio import iterparse_postorder
+
+        return iterparse_postorder(self.path)
+
+
+@dataclass(frozen=True)
+class HtmlDocument(_FileDocument):
+    """An HTML page on disk (:mod:`repro.frontends.htmlio`)."""
+
+    path: str
+
+    workload = "html"
+
+    def _pairs(self) -> Iterator[Tuple[object, int]]:
+        from ..frontends.htmlio import iterparse_postorder
+
+        return iterparse_postorder(self.path)
+
+
+@dataclass(frozen=True)
+class AstDocument(_FileDocument):
+    """A Python module or package directory
+    (:mod:`repro.frontends.astio`)."""
+
+    path: str
+
+    workload = "ast"
+
+    def _pairs(self) -> Iterator[Tuple[object, int]]:
+        from ..frontends.astio import iterparse_postorder
+
+        return iterparse_postorder(self.path)
+
+
+#: Format name -> document constructor, for every file-backed frontend.
+FORMATS: Dict[str, Callable[[str], _FileDocument]] = {
+    "xml": XmlDocument,
+    "json": JsonDocument,
+    "html": HtmlDocument,
+    "ast": AstDocument,
+}
+
+_EXTENSIONS = {
+    ".xml": "xml",
+    ".json": "json",
+    ".html": "html",
+    ".htm": "html",
+    ".py": "ast",
+}
+
+
+def detect_format(path: str) -> str:
+    """Workload format of ``path`` by extension (directories are
+    Python packages); raises :class:`DocumentFormatError` on unknowns."""
+    if os.path.isdir(path):
+        return "ast"
+    ext = os.path.splitext(path)[1].lower()
+    fmt = _EXTENSIONS.get(ext)
+    if fmt is None:
+        known = ", ".join(sorted(_EXTENSIONS))
+        raise DocumentFormatError(
+            f"cannot detect a document format for {path!r} "
+            f"(known extensions: {known}; or pass an explicit format)"
+        )
+    return fmt
+
+
+def document_for(path: str, fmt: str = "auto") -> _FileDocument:
+    """The :class:`Document` for ``path`` in format ``fmt``.
+
+    ``fmt="auto"`` autodetects from the extension via
+    :func:`detect_format`; unknown formats and undetectable extensions
+    raise :class:`DocumentFormatError`.
+    """
+    if fmt == "auto":
+        fmt = detect_format(path)
+    cls = FORMATS.get(fmt)
+    if cls is None:
+        raise DocumentFormatError(
+            f"unknown document format {fmt!r}; expected one of "
+            f"{tuple(sorted(FORMATS))}"
+        )
+    return cls(path)

@@ -46,6 +46,29 @@ class XmlFormatError(ReproError, ValueError):
     """XML input could not be converted to an ordered labeled tree."""
 
 
+class DocumentFormatError(ReproError, ValueError):
+    """A document's format was unknown or its content unparseable.
+
+    The base class of every frontend parse failure
+    (:class:`JsonFormatError`, :class:`HtmlFormatError`,
+    :class:`PythonSourceError`) and of format autodetection failures —
+    ``repro tasm somefile.unknown`` dies with this instead of a
+    traceback from whichever parser happened to choke first.
+    """
+
+
+class JsonFormatError(DocumentFormatError):
+    """JSON input could not be converted to an ordered labeled tree."""
+
+
+class HtmlFormatError(DocumentFormatError):
+    """HTML input could not be converted to an ordered labeled tree."""
+
+
+class PythonSourceError(DocumentFormatError):
+    """Python source/package input could not be converted to a tree."""
+
+
 class CostModelError(ReproError, ValueError):
     """A cost model violates the paper's requirements (``cst(x) >= 1``)."""
 

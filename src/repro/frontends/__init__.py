@@ -1,0 +1,26 @@
+"""Workload frontends: tree-shaped formats beyond XML.
+
+TASM's engine only ever consumes a postorder queue (Definition 2) —
+nothing in the streaming core, the sharded planner, or the candidate
+index is XML-specific.  Each frontend here turns one more tree-shaped
+format into that queue, mirroring :mod:`repro.xmlio`'s contract:
+
+* :mod:`repro.frontends.jsonio` — JSON documents (API payload / config
+  similarity search; key-weighted cost model);
+* :mod:`repro.frontends.htmlio` — HTML DOMs via the stdlib
+  ``html.parser`` (near-duplicate page / template detection;
+  tag-class-weighted cost model);
+* :mod:`repro.frontends.astio` — Python program ASTs via the stdlib
+  ``ast`` module (code-clone search over a package tree).
+
+Every frontend ships a streaming ``iterparse_postorder`` preserving the
+O(tau) memory guarantee the way :func:`repro.xmlio.parse.
+iterparse_postorder` does, and is differential-tested byte-identical to
+ranking the bracket-notation encoding of the same tree.  The
+:class:`~repro.documents.Document` wrappers in :mod:`repro.documents`
+are the uniform entry point.
+"""
+
+from __future__ import annotations
+
+__all__ = ["astio", "htmlio", "jsonio"]

@@ -1,0 +1,186 @@
+"""Python-AST frontend: code-clone search over source trees.
+
+Turns Python source into postorder queues via the stdlib ``ast``
+module, at three granularities sharing one label alphabet:
+
+* a **package directory** — root labeled the directory's basename;
+  children, sorted by entry name, are sub-directories that contain
+  Python code (recursively encoded the same way) and ``*.py`` modules;
+* a **module file** — node labeled the file name (``"parse.py"``) with
+  a single child, the module's AST;
+* an **AST node** — label is the node type name (``"FunctionDef"``,
+  ``"BinOp"``, ...); children follow ``ast.iter_fields`` order, nested
+  nodes and list elements flattened in sequence, and atomic field
+  values (identifiers, constants, operators' operands) becoming
+  ``Text`` leaves via ``str(...)``.  ``ctx`` fields (Load/Store/Del),
+  ``type_comment``, and ``type_ignores`` carry no clone-relevant
+  information and are skipped.
+
+A query is typically a snippet lifted through :func:`tree_from_source`
+(root ``"Module"``) and ranked against an ingested package tree.
+
+Memory: directory walks stream one module at a time, but each module's
+AST is materialised by ``ast.parse`` — the guarantee is O(largest
+module), not O(corpus).  That is the streaming contract every other
+frontend keeps, weakened only at module granularity (CPython offers no
+incremental parser), and it is what makes whole-package ingestion into
+an :class:`~repro.postorder.interval.IntervalStore` practical.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from ..errors import PythonSourceError
+from ..trees.tree import Tree
+from ..xmlio.types import Text
+
+__all__ = [
+    "iterparse_postorder",
+    "tree_from_source",
+]
+
+Source = Union[str, "os.PathLike[str]"]
+
+#: AST fields that never matter for clone detection.
+_SKIPPED_FIELDS = frozenset({"ctx", "type_comment", "type_ignores"})
+
+# Lazy tree items: expansion is deferred so a directory walk holds one
+# module AST at a time, never the corpus.
+_Item = Tuple[str, object]
+
+
+def _ast_children(node: ast.AST) -> List[_Item]:
+    out: List[_Item] = []
+    for name, value in ast.iter_fields(node):
+        if name in _SKIPPED_FIELDS:
+            continue
+        if isinstance(value, ast.AST):
+            out.append(("ast", value))
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.AST):
+                    out.append(("ast", item))
+                else:
+                    # e.g. Global.names; None keeps dict-unpacking
+                    # key slots aligned with their values.
+                    out.append(("leaf", Text(str(item))))
+        elif value is not None:
+            out.append(("leaf", Text(str(value))))
+    return out
+
+
+def _has_python(path: str) -> bool:
+    for _, dirnames, filenames in os.walk(path):
+        dirnames[:] = [
+            d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+        ]
+        if any(f.endswith(".py") for f in filenames):
+            return True
+    return False
+
+
+def _dir_children(path: str) -> List[_Item]:
+    out: List[_Item] = []
+    try:
+        entries = sorted(os.listdir(path))
+    except OSError as exc:
+        raise PythonSourceError(f"cannot list {path!r}: {exc}") from exc
+    for name in entries:
+        if name.startswith(".") or name == "__pycache__":
+            continue
+        full = os.path.join(path, name)
+        if os.path.isdir(full):
+            if _has_python(full):
+                out.append(("dir", full))
+        elif name.endswith(".py"):
+            out.append(("module", full))
+    return out
+
+
+def _parse_module(path: str) -> ast.Module:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+        return ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        raise PythonSourceError(f"cannot parse {path!r}: {exc}") from exc
+    except OSError as exc:
+        raise PythonSourceError(f"cannot read {path!r}: {exc}") from exc
+
+
+def _expand(item: _Item) -> Tuple[object, Sequence[_Item]]:
+    kind, value = item
+    if kind == "leaf":
+        return value, ()
+    if kind == "ast":
+        if not isinstance(value, ast.AST):
+            raise PythonSourceError(f"malformed walk item: {item!r}")
+        return type(value).__name__, _ast_children(value)
+    path = str(value)
+    if kind == "module":
+        return os.path.basename(path), [("ast", _parse_module(path))]
+    # kind == "dir"
+    return os.path.basename(os.path.normpath(path)), _dir_children(path)
+
+
+class _WalkFrame:
+    """One open node of the lazy walk: label, remaining children,
+    descendant count so far."""
+
+    __slots__ = ("label", "children", "next_child", "descendants")
+
+    def __init__(self, label: object, children: Sequence[_Item]):
+        self.label = label
+        self.children = children
+        self.next_child = 0
+        self.descendants = 0
+
+
+def _walk(root: _Item) -> Iterator[Tuple[object, int]]:
+    # Iterative postorder with explicit descendant counters, so deeply
+    # nested code cannot hit the interpreter recursion limit.
+    stack = [_WalkFrame(*_expand(root))]
+    while stack:
+        top = stack[-1]
+        if top.next_child < len(top.children):
+            child = top.children[top.next_child]
+            top.next_child += 1
+            stack.append(_WalkFrame(*_expand(child)))
+            continue
+        stack.pop()
+        size = top.descendants + 1
+        yield top.label, size
+        if stack:
+            stack[-1].descendants += size
+
+
+def iterparse_postorder(source: Source) -> Iterator[Tuple[object, int]]:
+    """Stream a postorder queue (Definition 2) from Python source.
+
+    ``source`` is a ``*.py`` file or a package directory; directories
+    are walked module by module (memory O(largest module)).
+    """
+    path = os.fspath(source)
+    if os.path.isdir(path):
+        if not _has_python(path):
+            raise PythonSourceError(f"no Python modules under {path!r}")
+        yield from _walk(("dir", path))
+    elif path.endswith(".py"):
+        yield from _walk(("module", path))
+    else:
+        raise PythonSourceError(
+            f"expected a .py file or a package directory, got {path!r}"
+        )
+
+
+def tree_from_source(text: str, filename: str = "<query>") -> Tree:
+    """Parse a source snippet into a query :class:`Tree` (root
+    ``"Module"``), encoded exactly like an ingested module's AST."""
+    try:
+        module = ast.parse(text, filename=filename)
+    except SyntaxError as exc:
+        raise PythonSourceError(f"cannot parse {filename}: {exc}") from exc
+    return Tree.from_postorder(_walk(("ast", module)))

@@ -1,0 +1,369 @@
+"""JSON frontend: stream a JSON document as a postorder queue.
+
+Encoding conventions (fixed — the differential tests and the
+key-weighted cost model depend on them):
+
+* object  — node labeled ``"object"`` with one child per key **in
+  document order**, labeled ``"$" + key``, whose single child is the
+  value's subtree;
+* array   — node labeled ``"array"`` with one child per element, in
+  order;
+* string  — leaf labeled ``Text(value)``;
+* number  — leaf labeled ``Text(canonical)`` (integers via ``int``,
+  everything else via ``repr(float(...))``, so ``1e2`` and ``100.0``
+  compare equal);
+* ``true`` / ``false`` / ``null`` — leaves labeled by the literal.
+
+Object keys keep document order: sorting them (the way XML attributes
+are sorted) would force buffering a whole object before emitting its
+first pair, and the point of this parser is the streaming guarantee —
+memory stays O(nesting depth + one token), never the document.  That is
+also why the tokenizer is hand-rolled over chunked reads: the stdlib
+``json`` module materialises the entire value before returning.
+
+Keys are prefixed with ``"$"`` the same way XML attributes are prefixed
+with ``"@"``: the prefix is part of the label, so the cost model (and
+the bracket round-trip) classify by *content* alone.  A string scalar
+whose text happens to start with ``"$"`` is therefore weighted like a
+key — the flat label alphabet of the paper accepts this ambiguity, as
+it does for ``"@"`` in XML.
+"""
+
+from __future__ import annotations
+
+import os
+from json.decoder import scanstring
+from typing import IO, Iterator, List, Tuple, Union
+
+from ..distance.cost import CostModel
+from ..errors import CostModelError, JsonFormatError
+from ..xmlio.types import Text
+
+__all__ = [
+    "ARRAY_LABEL",
+    "KEY_PREFIX",
+    "OBJECT_LABEL",
+    "KeyWeightedCostModel",
+    "is_key_label",
+    "iterparse_postorder",
+    "json_value_nodes",
+]
+
+Source = Union[str, "os.PathLike[str]", IO[str]]
+
+KEY_PREFIX = "$"
+OBJECT_LABEL = "object"
+ARRAY_LABEL = "array"
+
+_WS = " \t\n\r"
+_NUMBER_CHARS = frozenset("+-0123456789.eE")
+_CHUNK = 1 << 16
+
+
+def is_key_label(label: object) -> bool:
+    """True iff ``label`` denotes a JSON object key node (``$name``)."""
+    return isinstance(label, str) and label.startswith(KEY_PREFIX)
+
+
+class _Scanner:
+    """Chunked pull tokenizer over a text stream.
+
+    Holds at most one read chunk plus the token spanning a chunk
+    boundary; consumed text is dropped on every refill, so memory is
+    O(chunk + longest token), independent of the document.
+    """
+
+    __slots__ = ("_fh", "_buf", "_pos", "_eof", "_base")
+
+    def __init__(self, fh: IO[str]):
+        self._fh = fh
+        self._buf = ""
+        self._pos = 0
+        self._eof = False
+        self._base = 0  # absolute offset of _buf[0], for error messages
+
+    def offset(self) -> int:
+        return self._base + self._pos
+
+    def _refill(self) -> bool:
+        if self._eof:
+            return False
+        if self._pos:
+            self._base += self._pos
+            self._buf = self._buf[self._pos :]
+            self._pos = 0
+        chunk = self._fh.read(_CHUNK)
+        if not chunk:
+            self._eof = True
+            return False
+        self._buf += chunk
+        return True
+
+    def peek(self) -> str:
+        """Next non-whitespace character, not consumed; ``""`` at EOF."""
+        while True:
+            buf = self._buf
+            n = len(buf)
+            pos = self._pos
+            while pos < n and buf[pos] in _WS:
+                pos += 1
+            self._pos = pos
+            if pos < n:
+                return buf[pos]
+            if not self._refill():
+                return ""
+
+    def take(self) -> None:
+        self._pos += 1
+
+    def read_string(self) -> str:
+        """Decode the string whose opening quote is at the cursor."""
+        while True:
+            try:
+                value, end = scanstring(self._buf, self._pos + 1)
+            except ValueError as exc:
+                # Either truncated by the chunk boundary (refill and
+                # retry) or genuinely malformed (refill exhausted).
+                if self._refill():
+                    continue
+                raise JsonFormatError(
+                    f"bad JSON string at offset {self.offset()}: {exc}"
+                ) from None
+            self._pos = end
+            return value
+
+    def read_number(self) -> str:
+        parts: List[str] = []
+        while True:
+            buf = self._buf
+            n = len(buf)
+            pos = self._pos
+            while pos < n and buf[pos] in _NUMBER_CHARS:
+                pos += 1
+            parts.append(buf[self._pos : pos])
+            self._pos = pos
+            if pos < n or not self._refill():
+                return "".join(parts)
+
+    def expect_literal(self, word: str) -> None:
+        while len(self._buf) - self._pos < len(word) and self._refill():
+            pass
+        if self._buf[self._pos : self._pos + len(word)] != word:
+            raise JsonFormatError(
+                f"invalid JSON literal at offset {self.offset()}"
+            )
+        self._pos += len(word)
+
+
+def _canonical_number(text: str, sc: _Scanner) -> str:
+    try:
+        return str(int(text))
+    except ValueError:
+        pass
+    try:
+        return repr(float(text))
+    except ValueError:
+        raise JsonFormatError(
+            f"invalid JSON number {text!r} before offset {sc.offset()}"
+        ) from None
+
+
+def _expect_colon(sc: _Scanner) -> None:
+    if sc.peek() != ":":
+        raise JsonFormatError(
+            f"expected ':' after object key at offset {sc.offset()}"
+        )
+    sc.take()
+
+
+def iterparse_postorder(source: Source) -> Iterator[Tuple[object, int]]:
+    """Stream a postorder queue (Definition 2) from a JSON document.
+
+    ``source`` is a path or a text-mode file object.  Yields
+    ``(label, size)`` pairs in postorder while keeping only the open
+    container path in memory — the JSON analogue of
+    :func:`repro.xmlio.parse.iterparse_postorder`.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", encoding="utf-8") as fh:
+            yield from _parse(_Scanner(fh))
+    else:
+        yield from _parse(_Scanner(source))
+
+
+class _Frame:
+    """Per-open-container state: descendant count + the pending key."""
+
+    __slots__ = ("is_object", "descendants", "key")
+
+    def __init__(self, is_object: bool, key: str = ""):
+        self.is_object = is_object
+        self.descendants = 0
+        self.key = key
+
+
+def _parse(sc: _Scanner) -> Iterator[Tuple[object, int]]:
+    # Iterative (no recursion) so arbitrarily deep arrays/objects stream
+    # at O(depth) memory without hitting the interpreter recursion limit.
+    stack: List[_Frame] = []
+    completed = -1  # size of the value just finished; -1 = parse one next
+    while True:
+        if completed < 0:
+            ch = sc.peek()
+            if ch == "":
+                raise JsonFormatError(
+                    f"unexpected end of JSON input at offset {sc.offset()}"
+                )
+            if ch == "{":
+                sc.take()
+                nxt = sc.peek()
+                if nxt == "}":
+                    sc.take()
+                    yield OBJECT_LABEL, 1
+                    completed = 1
+                elif nxt == '"':
+                    key = sc.read_string()
+                    _expect_colon(sc)
+                    stack.append(_Frame(True, key))
+                else:
+                    raise JsonFormatError(
+                        f"expected a key or '}}' in object at offset "
+                        f"{sc.offset()}"
+                    )
+            elif ch == "[":
+                sc.take()
+                if sc.peek() == "]":
+                    sc.take()
+                    yield ARRAY_LABEL, 1
+                    completed = 1
+                else:
+                    stack.append(_Frame(False))
+            elif ch == '"':
+                yield Text(sc.read_string()), 1
+                completed = 1
+            elif ch in "-0123456789":
+                yield Text(_canonical_number(sc.read_number(), sc)), 1
+                completed = 1
+            elif ch == "t":
+                sc.expect_literal("true")
+                yield "true", 1
+                completed = 1
+            elif ch == "f":
+                sc.expect_literal("false")
+                yield "false", 1
+                completed = 1
+            elif ch == "n":
+                sc.expect_literal("null")
+                yield "null", 1
+                completed = 1
+            else:
+                raise JsonFormatError(
+                    f"unexpected character {ch!r} at offset {sc.offset()}"
+                )
+            continue
+        if not stack:
+            break
+        frame = stack[-1]
+        if frame.is_object:
+            key_size = completed + 1
+            yield KEY_PREFIX + frame.key, key_size
+            frame.descendants += key_size
+            nxt = sc.peek()
+            if nxt == ",":
+                sc.take()
+                if sc.peek() != '"':
+                    raise JsonFormatError(
+                        f"expected a key after ',' at offset {sc.offset()}"
+                    )
+                frame.key = sc.read_string()
+                _expect_colon(sc)
+                completed = -1
+            elif nxt == "}":
+                sc.take()
+                stack.pop()
+                size = frame.descendants + 1
+                yield OBJECT_LABEL, size
+                completed = size
+            else:
+                raise JsonFormatError(
+                    f"expected ',' or '}}' in object at offset {sc.offset()}"
+                )
+        else:
+            frame.descendants += completed
+            nxt = sc.peek()
+            if nxt == ",":
+                sc.take()
+                completed = -1
+            elif nxt == "]":
+                sc.take()
+                stack.pop()
+                size = frame.descendants + 1
+                yield ARRAY_LABEL, size
+                completed = size
+            else:
+                raise JsonFormatError(
+                    f"expected ',' or ']' in array at offset {sc.offset()}"
+                )
+    if sc.peek() != "":
+        raise JsonFormatError(
+            f"trailing data after JSON value at offset {sc.offset()}"
+        )
+
+
+def json_value_nodes(value: object) -> int:
+    """Node count of ``value``'s tree under this module's conventions.
+
+    The dataset generator uses this for parser-exact accounting: an
+    object contributes itself plus one key node per entry; an array
+    contributes itself; every scalar is one leaf.
+    """
+    if isinstance(value, dict):
+        return 1 + sum(1 + json_value_nodes(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return 1 + sum(json_value_nodes(v) for v in value)
+    return 1
+
+
+class KeyWeightedCostModel:
+    """JSON-aware costs: structural key nodes outweigh value nodes.
+
+    Editing a key (``$name``) restructures the record schema, while
+    editing a value is ordinary content drift — so key nodes cost
+    ``key_weight`` (default 2, dyadic to keep the numpy and python
+    kernels bit-identical) and everything else costs 1.  Renames charge
+    the heavier of the two labels involved.  Satisfies the paper's
+    ``cst(x) >= 1`` constraint for any ``key_weight >= 1``.
+    """
+
+    __slots__ = ("key_weight", "min_indel", "max_cost", "min_rename")
+
+    def __init__(self, key_weight: float = 2.0):
+        if key_weight < 1:
+            raise CostModelError(
+                f"key_weight must be >= 1 (paper: cst(x) >= 1), "
+                f"got {key_weight}"
+            )
+        self.key_weight = float(key_weight)
+        self.min_indel = 1.0
+        self.max_cost = self.key_weight
+        self.min_rename = 1.0
+
+    def _weight(self, label: object) -> float:
+        return self.key_weight if is_key_label(label) else 1.0
+
+    def rename(self, a: object, b: object) -> float:
+        return 0.0 if a == b else max(self._weight(a), self._weight(b))
+
+    def delete(self, label: object) -> float:
+        return self._weight(label)
+
+    def insert(self, label: object) -> float:
+        return self._weight(label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyWeightedCostModel(key_weight={self.key_weight})"
+
+
+def _protocol_check(model: KeyWeightedCostModel) -> CostModel:
+    # Static guarantee that the model satisfies the CostModel protocol.
+    return model

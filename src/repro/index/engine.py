@@ -72,6 +72,7 @@ from ..distance.ted import PrefixDistanceKernel
 from ..errors import PostorderQueueError, RankingError
 from ..postorder.interval import IntervalStore
 from ..tasm.heap import Match, TopKHeap
+from ..tasm.options import TasmOptions, merge_options
 from ..tasm.postorder import PostorderStats, prune_threshold
 from ..trees.tree import Tree
 from .build import decode_signature
@@ -108,9 +109,11 @@ def tasm_indexed_batch(
     doc_id: int,
     k: int,
     cost: Optional[CostModel] = None,
+    options: Optional[TasmOptions] = None,
+    *,
     stats: Optional[PostorderStats] = None,
     kernels: Optional[Sequence[PrefixDistanceKernel]] = None,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     span: Optional[Any] = None,
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query from the candidate index.
@@ -121,11 +124,26 @@ def tasm_indexed_batch(
     raises :class:`~repro.errors.PostorderQueueError` rather than
     silently falling back to a scan.
 
-    ``stats``, ``kernels``, ``backend``, and ``span`` mean exactly what
-    they mean on :func:`~repro.tasm.batch.tasm_batch`; the index-
-    specific counters land in ``stats.index_candidates`` /
-    ``index_lb_skips`` / ``index_dedup_hits``.
+    ``options`` (a :class:`~repro.tasm.options.TasmOptions`) carries
+    the execution surface; the trailing keywords are deprecated
+    aliases kept for one release.  ``stats``, ``kernels``, ``backend``,
+    and ``span`` mean exactly what they mean on
+    :func:`~repro.tasm.batch.tasm_batch`; the index-specific counters
+    land in ``stats.index_candidates`` / ``index_lb_skips`` /
+    ``index_dedup_hits``.
     """
+    opts = merge_options(
+        options,
+        "tasm_indexed_batch",
+        stats=stats,
+        kernels=kernels,
+        backend=backend,
+        span=span,
+    )
+    stats = opts.stats
+    kernels = opts.kernels
+    backend = opts.get("backend", "auto")
+    span = opts.span
     query_list: List[Tree] = list(queries)
     if not query_list:
         raise RankingError("tasm_indexed_batch needs at least one query")

@@ -19,16 +19,28 @@ merged into the exact single-pass ranking.
   the :class:`ShardedStats` instrumentation.
 """
 
+import warnings
+
 from .merge import merge_rankings
 from .plan import Shard, ShardPlan, iter_safe_cuts, plan_shards
-from .sharded import (
-    ShardedStats,
-    StoreDocument,
-    XmlDocument,
-    tasm_sharded,
-    tasm_sharded_batch,
-)
+from .sharded import ShardedStats, tasm_sharded, tasm_sharded_batch
 from .worker import ShardResult, ShardTask, run_shard
+
+
+def __getattr__(name: str):
+    # StoreDocument/XmlDocument moved to repro.documents; these aliases
+    # warn once per import site and disappear next release.
+    if name in ("StoreDocument", "XmlDocument"):
+        from .. import documents
+
+        warnings.warn(
+            f"repro.parallel.{name} moved to repro.documents.{name}; "
+            f"this alias will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(documents, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Shard",

@@ -15,12 +15,16 @@ Document sources:
   PostorderQueue`, or any iterable of ``(label, size)`` pairs — the
   coordinator materialises the pair list once (the planning pass needs
   one scan, the shards another) and ships each worker its slice;
-* :class:`StoreDocument` — a document inside an
+* :class:`~repro.documents.StoreDocument` — a document inside an
   :class:`~repro.postorder.interval.IntervalStore` database *file*.
   Planning streams one cheap size-only scan, and each worker opens its
   own read-only connection and range-scans exactly its shard
   (:meth:`~repro.postorder.interval.IntervalStore.postorder_range`),
-  so no process ever holds the document in memory.
+  so no process ever holds the document in memory;
+* any other :class:`~repro.documents.Document` (XML/JSON/HTML/AST
+  frontends) — planning makes two streaming passes and every worker
+  replays the frontend's own postorder stream up to its range, keeping
+  every process at the frontend's streaming memory bound.
 
 Worker processes re-run the unmodified streaming core per shard, so
 every per-worker guarantee of the paper still holds — in particular
@@ -29,15 +33,20 @@ each worker's ring peak stays within its ``k + 2|Q| - 1`` bound.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
 from ..distance.ted import resolve_backend
+from ..documents import Document as _Document
+from ..documents import StoreDocument as _StoreDocument
+from ..documents import XmlDocument as _XmlDocument
 from ..errors import RankingError
 from ..postorder.queue import PostorderQueue
 from ..tasm.heap import Match
+from ..tasm.options import TasmOptions, merge_options
 from ..tasm.postorder import (
     RING_OCCUPANCY_BUCKETS,
     PostorderStats,
@@ -56,27 +65,27 @@ __all__ = [
     "tasm_sharded_batch",
 ]
 
+#: Former homes of the document classes, kept as deprecated aliases —
+#: ``StoreDocument``/``XmlDocument`` were never parallel-specific and
+#: now live in :mod:`repro.documents` with the other frontends.
+_MOVED_TO_DOCUMENTS = {
+    "StoreDocument": _StoreDocument,
+    "XmlDocument": _XmlDocument,
+}
 
-@dataclass(frozen=True)
-class StoreDocument:
-    """A document held in an :class:`IntervalStore` database file."""
 
-    path: str
-    doc_id: int
-
-
-@dataclass(frozen=True)
-class XmlDocument:
-    """An XML document on disk, sharded without materialisation.
-
-    Planning makes two streaming parses (one to count nodes, one to
-    pick safe cuts) and every worker re-parses the file up to its
-    range — more parse CPU than shipping pair slices, but memory stays
-    O(parse depth + tau) in every process, preserving the streaming
-    guarantee for documents that do not fit in memory.
-    """
-
-    path: str
+def __getattr__(name: str):
+    if name in _MOVED_TO_DOCUMENTS:
+        warnings.warn(
+            f"repro.parallel.sharded.{name} moved to repro.documents."
+            f"{name}; this alias will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _MOVED_TO_DOCUMENTS[name]
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 @dataclass
@@ -259,7 +268,7 @@ class ShardedStats:
 
 def _normalise_source(source) -> tuple:
     """Reduce ``source`` to (total_nodes, planning_pairs, payload_maker)."""
-    if isinstance(source, StoreDocument):
+    if isinstance(source, _StoreDocument):
         from ..postorder.interval import IntervalStore
 
         store = IntervalStore.open_readonly(source.path)
@@ -275,17 +284,21 @@ def _normalise_source(source) -> tuple:
         # consumes it streaming, so the coordinator never materialises
         # the document either.
         return total, _store_planning_scan(source.path, source.doc_id), payload
-    if isinstance(source, XmlDocument):
-        from ..xmlio.parse import iterparse_postorder
-
-        total = sum(1 for _ in iterparse_postorder(source.path))
+    if isinstance(source, _Document) and not isinstance(source, Tree):
+        # Any frontend document (XML/JSON/HTML/AST or third-party
+        # picklable path-holder): planning makes two streaming passes
+        # (count + safe cuts) and every worker replays the document's
+        # own postorder stream up to its range — more parse CPU than
+        # shipping pair slices, but memory stays at the frontend's
+        # streaming bound in every process.
+        total = source.n_nodes()
         if total == 0:
-            raise RankingError(f"no nodes parsed from {source.path!r}")
+            raise RankingError(f"no nodes parsed from {source!r}")
 
         def payload(start: int, end: int) -> tuple:
-            return ("xml", source.path)
+            return ("doc", source)
 
-        planning = ((None, size) for _, size in iterparse_postorder(source.path))
+        planning = ((None, size) for _, size in source.postorder())
         return total, planning, payload
     if isinstance(source, Tree):
         pairs = list(source.postorder())
@@ -319,15 +332,21 @@ def tasm_sharded_batch(
     source,
     k: int,
     cost: Optional[CostModel] = None,
-    workers: int = 2,
+    options: Optional[TasmOptions] = None,
+    *,
+    workers: Optional[int] = None,
     shards: Optional[int] = None,
     stats: Optional[ShardedStats] = None,
     pool=None,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     span=None,
-    engine: str = "stream",
+    engine: Optional[str] = None,
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query via sharded (parallel) passes.
+
+    ``options`` (a :class:`~repro.tasm.options.TasmOptions`) carries
+    the execution surface; the trailing keywords are deprecated
+    aliases kept for one release.
 
     ``workers`` is the process count (1 = run every shard inline in
     this process, which is how tests exercise the plan/merge machinery
@@ -360,6 +379,29 @@ def tasm_sharded_batch(
     single SQL-backed pass, so no worker pool is used; the pass runs
     inline and ``stats`` records one "shard" with no plan.
     """
+    opts = merge_options(
+        options,
+        "tasm_sharded_batch",
+        workers=workers,
+        shards=shards,
+        stats=stats,
+        pool=pool,
+        backend=backend,
+        span=span,
+        engine=engine,
+    )
+    workers = opts.get("workers", 2)
+    shards = opts.shards
+    stats = opts.stats
+    pool = opts.pool
+    backend = opts.get("backend", "auto")
+    span = opts.span
+    engine = opts.get("engine", "stream")
+    if opts.kernels is not None:
+        raise RankingError(
+            "kernels cannot be combined with the sharded path (worker "
+            "processes build their own)"
+        )
     query_list: Sequence[Tree] = list(queries)
     if not query_list:
         raise RankingError("tasm_sharded_batch needs at least one query")
@@ -370,7 +412,7 @@ def tasm_sharded_batch(
             f"unknown engine {engine!r}; expected one of "
             "('auto', 'stream', 'indexed')"
         )
-    if engine != "stream" and isinstance(source, StoreDocument):
+    if engine != "stream" and isinstance(source, _StoreDocument):
         from ..postorder.interval import IntervalStore
 
         store = IntervalStore.open_readonly(source.path)
@@ -389,9 +431,11 @@ def tasm_sharded_batch(
                     source.doc_id,
                     k,
                     cost,
-                    stats=pass_stats,
-                    backend=resolved,
-                    span=span,
+                    TasmOptions(
+                        stats=pass_stats,
+                        backend=resolved,
+                        span=span,
+                    ),
                 )
                 if stats is not None and pass_stats is not None:
                     stats.workers = 1
@@ -491,23 +535,24 @@ def tasm_sharded(
     source,
     k: int,
     cost: Optional[CostModel] = None,
-    workers: int = 2,
+    options: Optional[TasmOptions] = None,
+    *,
+    workers: Optional[int] = None,
     shards: Optional[int] = None,
     stats: Optional[ShardedStats] = None,
     pool=None,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     span=None,
 ) -> List[Match]:
     """Single-query convenience wrapper around :func:`tasm_sharded_batch`."""
-    return tasm_sharded_batch(
-        [query],
-        source,
-        k,
-        cost,
+    opts = merge_options(
+        options,
+        "tasm_sharded",
         workers=workers,
         shards=shards,
         stats=stats,
         pool=pool,
         backend=backend,
         span=span,
-    )[0]
+    )
+    return tasm_sharded_batch([query], source, k, cost, opts)[0]

@@ -15,7 +15,7 @@ range.  Safe-cut planning guarantees every such node has size >
 defines ``tau`` — no special casing is needed, and every subtree the
 core does evaluate lies entirely inside the shard.
 
-Two payload kinds are supported:
+Payload kinds:
 
 * ``("pairs", (...))`` — the shard's ``(label, size)`` pairs shipped
   inline (in-memory documents);
@@ -24,10 +24,14 @@ Two payload kinds are supported:
   connection and scans exactly its range with
   :meth:`~repro.postorder.interval.IntervalStore.postorder_range`, so
   the document is never materialised in any process;
-* ``("xml", path)`` — an XML file.  The worker streams its own parse
-  and slices out its postorder range on the fly (memory stays at the
-  parse depth), trading repeated parse CPU for the streaming-memory
-  guarantee on documents that do not fit in memory.
+* ``("doc", document)`` — any picklable
+  :class:`~repro.documents.Document` (the XML/JSON/HTML/AST frontends
+  are frozen path-holders).  The worker replays the document's own
+  postorder stream and slices out its range on the fly (memory stays
+  at the frontend's parse state), trading repeated parse CPU for the
+  streaming-memory guarantee on documents that do not fit in memory;
+* ``("xml", path)`` — legacy spelling of ``("doc", XmlDocument(path))``,
+  kept so pickled tasks from older coordinators still run.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..errors import RankingError
 from ..tasm.batch import tasm_batch
+from ..tasm.options import TasmOptions
 from ..tasm.postorder import PostorderStats
 from ..trees.tree import Tree
 
@@ -56,7 +61,8 @@ class ShardTask:
     index: int
     start: int  # first postorder position of the shard (1-based)
     end: int  # last postorder position, inclusive
-    payload: tuple  # ("pairs", pairs) | ("store", path, doc_id) | ("xml", path)
+    payload: tuple  # ("pairs", pairs) | ("store", path, doc_id)
+    #                | ("doc", document) | ("xml", path)
     queries: Tuple[Tree, ...]
     k: int
     cost: object
@@ -99,8 +105,14 @@ def _shard_pairs(task: ShardTask) -> Iterable[Tuple[object, int]]:
         _, path, doc_id = task.payload
         store = IntervalStore.open_readonly(path)
         return _closing_scan(store, doc_id, task.start, task.end)
+    if kind == "doc":
+        return _document_range_scan(task.payload[1], task.start, task.end)
     if kind == "xml":
-        return _xml_range_scan(task.payload[1], task.start, task.end)
+        from ..documents import XmlDocument
+
+        return _document_range_scan(
+            XmlDocument(task.payload[1]), task.start, task.end
+        )
     raise RankingError(f"unknown shard payload kind {kind!r}")
 
 
@@ -111,11 +123,9 @@ def _closing_scan(store, doc_id: int, start: int, end: int):
         store.close()
 
 
-def _xml_range_scan(path: str, start: int, end: int):
-    from ..xmlio.parse import iterparse_postorder
-
+def _document_range_scan(document, start: int, end: int):
     position = 0
-    for pair in iterparse_postorder(path):
+    for pair in document.postorder():
         position += 1
         if position < start:
             continue
@@ -146,9 +156,7 @@ def run_shard(task: ShardTask) -> ShardResult:
         _shard_pairs(task),
         task.k,
         task.cost,
-        stats=stats,
-        backend=task.backend,
-        span=span,
+        TasmOptions(stats=stats, backend=task.backend, span=span),
     )
     if span is not None:
         span.finish()

@@ -9,12 +9,12 @@ library:
   request later opens its own read-only connection (SQLite connections
   are not shareable across threads), scans ``postorder_pairs``, and the
   sharded path hands workers a
-  :class:`~repro.parallel.sharded.StoreDocument` so each ranges over
-  the same file.
-* ``xml`` — an XML file on disk, parsed on demand
-  (:meth:`~repro.postorder.queue.PostorderQueue.from_xml_file`); the
-  sharded path re-parses per worker via
-  :class:`~repro.parallel.sharded.XmlDocument`.
+  :class:`~repro.documents.StoreDocument` so each ranges over the same
+  file.
+* file documents — any :mod:`repro.documents` workload on disk (XML,
+  JSON, HTML, a Python source tree), re-parsed streamingly on demand;
+  the sharded path re-parses per worker via the same
+  :class:`~repro.documents.Document` value.
 
 Every document carries a **version**, starting at 1.  Re-registering a
 name (the file changed on disk) bumps it; since the result cache keys
@@ -29,7 +29,8 @@ import sqlite3
 import threading
 from typing import Dict, List, Optional
 
-from ..errors import ServeError
+from ..documents import FORMATS, StoreDocument, detect_format, document_for
+from ..errors import DocumentFormatError, ServeError
 from ..postorder.interval import IntervalStore
 from ..postorder.queue import PostorderQueue
 
@@ -60,14 +61,28 @@ class CatalogDocument:
         has_index: bool = False,
     ):
         self.name = name
-        self.kind = kind  # "store" | "xml"
+        # "store", or a repro.documents format name (xml/json/html/ast)
+        self.kind = kind
         self.path = path
         self.doc_id = doc_id
         self.n_nodes = n_nodes
         self.version = version
-        # Candidate-index presence, detected at attach time; XML
+        # Candidate-index presence, detected at attach time; file
         # documents never have one.
         self.has_index = has_index
+
+    @property
+    def workload(self) -> str:
+        """The workload tag /healthz reports for this document."""
+        if self.kind == "store":
+            return "store"
+        return self.document().workload
+
+    def document(self):
+        """The :class:`~repro.documents.Document` value for this entry."""
+        if self.kind == "store":
+            return StoreDocument(self.path, self.doc_id)
+        return document_for(self.path, self.kind)
 
     def queue(self) -> PostorderQueue:
         """A fresh postorder queue over this document (one per request)."""
@@ -76,7 +91,7 @@ class CatalogDocument:
             return PostorderQueue(
                 self._closing_pairs(store, self.doc_id)
             )
-        return PostorderQueue.from_xml_file(self.path)
+        return PostorderQueue(self.document().postorder())
 
     @staticmethod
     def _closing_pairs(store: IntervalStore, doc_id: int):
@@ -86,17 +101,19 @@ class CatalogDocument:
             store.close()
 
     def shard_source(self):
-        """The document as a :mod:`repro.parallel` shardable source."""
-        from ..parallel.sharded import StoreDocument, XmlDocument
+        """The document as a :mod:`repro.parallel` shardable source.
 
-        if self.kind == "store":
-            return StoreDocument(self.path, self.doc_id)
-        return XmlDocument(self.path)
+        Document values are frozen path-holders, so they pickle to
+        workers and each worker re-parses its own streaming scan.
+        """
+        return self.document()
 
     def payload(self) -> Dict[str, object]:
         return {
             "name": self.name,
             "kind": self.kind,
+            "format": self.kind,
+            "workload": self.workload,
             "nodes": self.n_nodes,
             "version": self.version,
             "index": self.has_index,
@@ -157,21 +174,39 @@ class DocumentCatalog:
             )
         return registered
 
-    def register_xml(self, name: str, path: str) -> CatalogDocument:
-        """Register (or re-register, bumping the version) an XML file.
+    def register_file(
+        self, name: str, path: str, fmt: str = "auto"
+    ) -> CatalogDocument:
+        """Register (or re-register, bumping the version) a file document.
 
+        Any :mod:`repro.documents` workload is accepted; ``fmt`` is a
+        format name or ``"auto"`` (extension / directory detection).
         The node count — needed for stream-vs-sharded routing — is
         taken with one streaming parse at registration, so a broken
         file is rejected here rather than at request time.
         """
         if not os.path.exists(path):
-            raise ServeError(f"no such XML file: {path!r}", status=404)
-        from ..xmlio.parse import iterparse_postorder
-
-        n_nodes = sum(1 for _ in iterparse_postorder(path))
+            raise ServeError(f"no such document file: {path!r}", status=404)
+        try:
+            if fmt == "auto":
+                fmt = detect_format(path)
+            elif fmt not in FORMATS:
+                raise ServeError(
+                    f"unknown document format {fmt!r}; expected one of "
+                    f"{', '.join(sorted(FORMATS))} or 'auto'"
+                )
+            document = document_for(path, fmt)
+            n_nodes = document.n_nodes()
+        except DocumentFormatError as exc:
+            # Catalog callers speak HTTP; keep the 400 contract.
+            raise ServeError(str(exc)) from exc
         if n_nodes == 0:
             raise ServeError(f"no nodes parsed from {path!r}")
-        return self._register(CatalogDocument(name, "xml", path, n_nodes))
+        return self._register(CatalogDocument(name, fmt, path, n_nodes))
+
+    def register_xml(self, name: str, path: str) -> CatalogDocument:
+        """Back-compat wrapper: :meth:`register_file` with ``fmt="xml"``."""
+        return self.register_file(name, path, "xml")
 
     def _register(self, doc: CatalogDocument) -> CatalogDocument:
         with self._lock:

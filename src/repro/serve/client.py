@@ -139,9 +139,12 @@ class ServeClient:
         body = {"bracket": bracket} if bracket is not None else {"xml": xml}
         return self.request("PUT", f"/v1/queries/{name}", body)["query"]
 
-    def register_document(self, name: str, xml_path: str) -> Dict[str, Any]:
+    def register_document(
+        self, name: str, path: str, fmt: str = "auto"
+    ) -> Dict[str, Any]:
+        """Register a file document (any workload; ``fmt`` or autodetect)."""
         return self.request(
-            "PUT", f"/v1/documents/{name}", {"xml_path": xml_path}
+            "PUT", f"/v1/documents/{name}", {"path": path, "format": fmt}
         )["document"]
 
     def tasm(

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..distance.cost import CostModel
 from ..errors import ServeError
 from ..tasm.batch import tasm_batch
+from ..tasm.options import TasmOptions
 from ..tasm.postorder import PostorderStats
 from .cache import ResultCache, result_key
 from .catalog import CatalogDocument, DocumentCatalog
@@ -299,10 +300,9 @@ class TasmExecutor:
                 document.shard_source(),
                 k,
                 cost,
-                stats=stats,
-                kernels=kernels,
-                span=span,
-                engine="indexed",
+                TasmOptions(
+                    stats=stats, kernels=kernels, span=span, engine="indexed"
+                ),
             )
             for query, kernel in zip(queries, kernels, strict=True):
                 if query.version > 0:
@@ -317,11 +317,13 @@ class TasmExecutor:
                 document.shard_source(),
                 k,
                 cost,
-                workers=self.workers,
-                stats=stats,
-                pool=self._pool,
-                backend=self.registry.backend,
-                span=span,
+                TasmOptions(
+                    workers=self.workers,
+                    stats=stats,
+                    pool=self._pool,
+                    backend=self.registry.backend,
+                    span=span,
+                ),
             )
             return rankings, "sharded", stats
         stats = PostorderStats()
@@ -333,9 +335,7 @@ class TasmExecutor:
             document.queue(),
             k,
             cost,
-            stats=stats,
-            kernels=kernels,
-            span=span,
+            TasmOptions(stats=stats, kernels=kernels, span=span),
         )
         for query, kernel in zip(queries, kernels, strict=True):
             if query.version > 0:

@@ -382,10 +382,21 @@ class TasmServer:
         name = path[len("/v1/documents/"):]
         if method == "PUT":
             body = request.json()
-            if not isinstance(body, dict) or "xml_path" not in body:
-                raise ServeError("body needs an 'xml_path' field")
+            if not isinstance(body, dict):
+                raise ServeError("body must be a JSON object")
+            if "path" in body:
+                path, fmt = body["path"], body.get("format", "auto")
+            elif "xml_path" in body:
+                # Pre-0.10 registration shape; format is implied.
+                path, fmt = body["xml_path"], "xml"
+            else:
+                raise ServeError(
+                    "body needs a 'path' field (optionally with "
+                    "'format': xml|json|html|ast) or the legacy "
+                    "'xml_path' field"
+                )
             doc = await self._blocking(
-                self.catalog.register_xml, name, body["xml_path"]
+                self.catalog.register_file, name, path, fmt
             )
             return 200, {"document": doc.payload()}, {}
         if method == "GET":
@@ -399,6 +410,7 @@ class TasmServer:
         return await loop.run_in_executor(self._threads, lambda: fn(*args))
 
     def _health_payload(self) -> Dict[str, object]:
+        documents = self.catalog.payload()
         return {
             "status": "ok",
             "version": __version__,
@@ -410,9 +422,8 @@ class TasmServer:
             "shard_threshold": self.config.shard_threshold,
             "kernel_backend": self.registry.backend,
             "engine": self.executor.engine,
-            "index": {
-                doc["name"]: doc["index"] for doc in self.catalog.payload()
-            },
+            "index": {doc["name"]: doc["index"] for doc in documents},
+            "workloads": {doc["name"]: doc["workload"] for doc in documents},
             "cache": self.cache.payload(),
             "coalesce": self.executor.coalescer.payload(),
         }

@@ -9,16 +9,20 @@
   document size.
 * :mod:`~repro.tasm.batch` — :func:`tasm_batch`, many queries ranked in
   a single shared document pass.
+* :mod:`~repro.tasm.options` — :class:`TasmOptions`, the execution
+  surface threaded through every entry point.
 """
 
 from .batch import tasm_batch
 from .dynamic import tasm_dynamic
 from .heap import Match, TopKHeap
+from .options import TasmOptions
 from .postorder import PostorderStats, prune_threshold, tasm_postorder
 from .ring import PrefixRingBuffer
 
 __all__ = [
     "Match",
+    "TasmOptions",
     "TopKHeap",
     "PrefixRingBuffer",
     "PostorderStats",

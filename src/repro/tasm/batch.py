@@ -21,9 +21,11 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..distance.cost import CostModel, UnitCostModel, validate_cost_model
+from ..documents import Document, StoreDocument
 from ..errors import RankingError
 from ..trees.tree import Tree
 from .heap import Match
+from .options import TasmOptions, merge_options
 from .postorder import PostorderStats, QueueLike, _stream_topk
 
 __all__ = ["ENGINES", "tasm_batch"]
@@ -48,54 +50,79 @@ def tasm_batch(
     queue: QueueLike,
     k: int,
     cost: Optional[CostModel] = None,
+    options: Optional[TasmOptions] = None,
+    *,
     stats: Optional[PostorderStats] = None,
-    workers: int = 1,
+    workers: Optional[int] = None,
     kernels=None,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     span=None,
-    engine: str = "auto",
+    engine: Optional[str] = None,
 ) -> List[List[Match]]:
     """Top-``k`` rankings of every query in one document pass.
 
     Returns one best-first ranking per query, in query order — each
     identical to what :func:`~repro.tasm.postorder.tasm_postorder`
     (and :func:`~repro.tasm.dynamic.tasm_dynamic`) would return for
-    that query alone.  ``stats``, if given, instruments the single
-    shared pass (ring capacity is the largest per-query threshold).
+    that query alone.
 
-    With ``workers > 1`` the document is split at safe postorder cuts
-    and ranked on a process pool (:mod:`repro.parallel`); the result —
-    including tie order — is identical to the single-pass run, and a
-    supplied ``stats`` receives the aggregate over all shards.
+    ``queue`` is anything postorder-queue-shaped: a
+    :class:`~repro.trees.tree.Tree`, a pair iterable, or any
+    :class:`~repro.documents.Document` — the store/XML/JSON/HTML/AST
+    frontends all route through here identically.
 
-    ``kernels`` — one pre-built
-    :class:`~repro.distance.ted.PrefixDistanceKernel` per query, built
-    for the same query/cost pair — skips per-call kernel construction
-    in the single-pass path (long-lived callers such as
-    :class:`repro.serve.registry.QueryRegistry` hold them for the
-    process lifetime).  Worker processes build their own kernels, so
-    ``kernels`` cannot be combined with ``workers > 1``.
+    ``options`` (a :class:`~repro.tasm.options.TasmOptions`) carries
+    the execution surface; the trailing keywords are deprecated
+    aliases kept for one release:
 
-    ``backend`` selects the kernel row engine for kernels built here
-    (including by shard workers); pre-built ``kernels`` carry their
-    own.
-
-    ``span``, if given (a :class:`repro.obs.Span`), collects child
-    spans for the pass — candidate evaluation batches in the
-    single-pass path, shard plan/dispatch/merge (with per-worker spans
-    grafted back across the process boundary) in the sharded path.
-
-    ``engine`` selects the ranking strategy for store-backed documents
-    (``queue`` a :class:`~repro.parallel.sharded.StoreDocument`):
-    ``"indexed"`` ranks from the candidate index
-    (:func:`repro.index.engine.tasm_indexed_batch`, byte-identical
-    rankings, O(candidates) instead of O(|T|)), ``"stream"`` forces the
-    scanning pass, and ``"auto"`` (the default) uses the index exactly
-    when the document has one.  The indexed path is a single SQL-backed
-    pass, so ``workers`` is ignored there; requesting ``"indexed"`` for
-    a non-store source, or for a store document without an index,
-    raises.
+    * ``stats`` instruments the single shared pass (ring capacity is
+      the largest per-query threshold); with ``workers > 1`` it
+      receives the aggregate over all shards.
+    * ``workers > 1`` splits the document at safe postorder cuts and
+      ranks on a process pool (:mod:`repro.parallel`); the result —
+      including tie order — is identical to the single-pass run.
+    * ``kernels`` — one pre-built
+      :class:`~repro.distance.ted.PrefixDistanceKernel` per query,
+      built for the same query/cost pair — skips per-call kernel
+      construction in the single-pass path (long-lived callers such as
+      :class:`repro.serve.registry.QueryRegistry` hold them for the
+      process lifetime).  Worker processes build their own kernels, so
+      ``kernels`` cannot be combined with ``workers > 1``.
+    * ``backend`` selects the kernel row engine for kernels built here
+      (including by shard workers); pre-built ``kernels`` carry their
+      own.
+    * ``span``, if given (a :class:`repro.obs.Span`), collects child
+      spans for the pass — candidate evaluation batches in the
+      single-pass path, shard plan/dispatch/merge (with per-worker
+      spans grafted back across the process boundary) in the sharded
+      path.
+    * ``engine`` selects the ranking strategy for store-backed
+      documents (``queue`` a :class:`~repro.documents.StoreDocument`):
+      ``"indexed"`` ranks from the candidate index
+      (:func:`repro.index.engine.tasm_indexed_batch`, byte-identical
+      rankings, O(candidates) instead of O(|T|)), ``"stream"`` forces
+      the scanning pass, and ``"auto"`` (the default) uses the index
+      exactly when the document has one.  The indexed path is a single
+      SQL-backed pass, so ``workers`` is ignored there; requesting
+      ``"indexed"`` for a non-store source, or for a store document
+      without an index, raises.
     """
+    opts = merge_options(
+        options,
+        "tasm_batch",
+        stats=stats,
+        workers=workers,
+        kernels=kernels,
+        backend=backend,
+        span=span,
+        engine=engine,
+    )
+    stats = opts.stats
+    workers = opts.get("workers", 1)
+    kernels = opts.kernels
+    backend = opts.get("backend", "auto")
+    span = opts.span
+    engine = opts.get("engine", "auto")
     query_list = list(queries)
     if not query_list:
         raise RankingError("tasm_batch needs at least one query")
@@ -106,8 +133,6 @@ def tasm_batch(
         raise RankingError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
-    from ..parallel.sharded import StoreDocument
-
     if isinstance(queue, StoreDocument):
         from ..postorder.interval import IntervalStore
 
@@ -123,10 +148,12 @@ def tasm_batch(
                         queue.doc_id,
                         k,
                         cost,
-                        stats=stats,
-                        kernels=kernels,
-                        backend=backend,
-                        span=span,
+                        TasmOptions(
+                            stats=stats,
+                            kernels=kernels,
+                            backend=backend,
+                            span=span,
+                        ),
                     )
             finally:
                 store.close()
@@ -143,6 +170,27 @@ def tasm_batch(
             )
         # workers > 1 falls through to the sharded path below, which
         # consumes StoreDocument sources natively.
+    elif isinstance(queue, Document) and not isinstance(queue, Tree):
+        # Any frontend document (XML/JSON/HTML/AST or third-party): the
+        # engine just streams its postorder queue.
+        if engine == "indexed":
+            raise RankingError(
+                "engine='indexed' needs a StoreDocument source (the "
+                "candidate index lives in the store file)"
+            )
+        if workers <= 1:
+            return _stream_topk(
+                query_list,
+                queue.postorder(),
+                k,
+                cost,
+                stats,
+                kernels=kernels,
+                backend=backend,
+                span=span,
+            )
+        # workers > 1 falls through to the sharded path below, which
+        # consumes Document sources natively.
     elif engine == "indexed":
         raise RankingError(
             "engine='indexed' needs a StoreDocument source (the candidate "
@@ -159,10 +207,12 @@ def tasm_batch(
             queue,
             k,
             cost,
-            workers=workers,
-            stats=sharded_stats,
-            backend=backend,
-            span=span,
+            TasmOptions(
+                workers=workers,
+                stats=sharded_stats,
+                backend=backend,
+                span=span,
+            ),
         )
         if stats is not None:
             for name in (

@@ -1,0 +1,106 @@
+"""Execution options for the TASM entry points.
+
+:func:`~repro.tasm.batch.tasm_batch` grew one keyword per PR —
+``workers``, ``kernels``, ``backend``, ``engine``, ``span``, ``stats``
+— and the sharded/indexed/serve layers each re-declared the sprawl.
+:class:`TasmOptions` collapses the execution surface into one value
+that threads through every layer unchanged; the ranking *semantics*
+(queries, document, ``k``, cost model) stay positional parameters,
+because changing them changes the answer while options only change how
+it is computed.
+
+Every field defaults to ``None`` = "unset", so one options object works
+across entry points whose defaults differ (``tasm_batch`` defaults
+``engine="auto"``, ``tasm_sharded_batch`` defaults ``"stream"``);
+:meth:`TasmOptions.get` applies the callee's default.
+
+The old per-function keywords still work for one release:
+:func:`merge_options` folds them in with a :class:`DeprecationWarning`,
+and raises if the same field is set both ways.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Optional, Sequence
+
+from ..errors import RankingError
+
+__all__ = ["TasmOptions", "merge_options"]
+
+
+@dataclass
+class TasmOptions:
+    """How to execute a TASM ranking (not *what* to rank).
+
+    ``None`` means "use the entry point's default".  Fields:
+
+    * ``stats``   — a :class:`~repro.tasm.postorder.PostorderStats` /
+      :class:`~repro.parallel.sharded.ShardedStats` to fill in;
+    * ``workers`` — process count for the sharded path (1 = inline);
+    * ``shards``  — shard count (defaults to ``workers``);
+    * ``kernels`` — pre-built per-query
+      :class:`~repro.distance.ted.PrefixDistanceKernel` instances;
+    * ``pool``    — a running ``multiprocessing.Pool`` to reuse;
+    * ``backend`` — kernel row engine (``"auto"|"python"|"numpy"``);
+    * ``span``    — a :class:`repro.obs.Span` to hang child spans off;
+    * ``engine``  — ranking strategy (``"auto"|"stream"|"indexed"``).
+    """
+
+    stats: Optional[Any] = None
+    workers: Optional[int] = None
+    shards: Optional[int] = None
+    kernels: Optional[Sequence[Any]] = None
+    pool: Optional[Any] = None
+    backend: Optional[str] = None
+    span: Optional[Any] = None
+    engine: Optional[str] = None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """The field's value, or ``default`` where unset."""
+        value = getattr(self, name)
+        return default if value is None else value
+
+
+def merge_options(
+    options: Optional[TasmOptions], where: str, **legacy: Any
+) -> TasmOptions:
+    """Combine ``options`` with an entry point's legacy keyword aliases.
+
+    Any legacy keyword passed as non-``None`` triggers one
+    :class:`DeprecationWarning` naming the replacements; a field set
+    both ways raises :class:`~repro.errors.RankingError` instead of
+    silently picking one.  Returns a fresh :class:`TasmOptions` — the
+    caller's object is never mutated.
+    """
+    if options is not None and not isinstance(options, TasmOptions):
+        raise RankingError(
+            f"{where}: options must be a TasmOptions, got {options!r}"
+        )
+    known = {f.name for f in fields(TasmOptions)}
+    unknown = set(legacy) - known
+    if unknown:
+        raise RankingError(
+            f"{where}: unknown option field(s) {sorted(unknown)}"
+        )
+    used = {name: value for name, value in legacy.items() if value is not None}
+    merged = replace(options) if options is not None else TasmOptions()
+    if not used:
+        return merged
+    names = ", ".join(sorted(used))
+    warnings.warn(
+        f"{where}: the {names} keyword(s) are deprecated and will be "
+        f"removed in the next release; pass options=TasmOptions(...) "
+        f"instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in used.items():
+        if getattr(merged, name) is not None:
+            raise RankingError(
+                f"{where}: {name} was passed both via options= and as a "
+                f"deprecated keyword; set it once"
+            )
+        setattr(merged, name, value)
+    return merged

@@ -1,0 +1,282 @@
+"""The repro.documents contract, TasmOptions, and their CLI/serve faces.
+
+Covers the API-redesign surface of ISSUE 10: the :class:`Document`
+protocol and its five implementations, format autodetection, the
+deprecation shims left at the old ``repro.parallel`` paths, the
+``TasmOptions`` kwargs collapse (legacy aliases warn once, conflicts
+fail), and the end-to-end acceptance flow — an ingested Python package
+ranked through CLI → IntervalStore → candidate index.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.documents import (
+    FORMATS,
+    AstDocument,
+    Document,
+    HtmlDocument,
+    JsonDocument,
+    StoreDocument,
+    XmlDocument,
+    detect_format,
+    document_for,
+)
+from repro.errors import (
+    DocumentFormatError,
+    RankingError,
+    ReproError,
+    ServeError,
+)
+from repro.postorder import IntervalStore, PostorderQueue
+from repro.serve.catalog import DocumentCatalog
+from repro.tasm import TasmOptions, tasm_batch
+from repro.trees import Tree
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    """One document per workload, all encoding distinct small trees."""
+    xml = tmp_path / "doc.xml"
+    xml.write_text("<r><a><b>hi</b></a><a/></r>")
+    js = tmp_path / "doc.json"
+    js.write_text('{"a": [1, 2], "b": {"c": "x"}}')
+    html = tmp_path / "doc.html"
+    html.write_text("<div id='top'><p>one</p><p>two</p></div>")
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""pkg."""\n')
+    (pkg / "util.py").write_text("def f(x):\n    return x + 1\n")
+    return {
+        "xml": str(xml),
+        "json": str(js),
+        "html": str(html),
+        "ast": str(pkg),
+        "tmp": tmp_path,
+    }
+
+
+def test_document_protocol_and_counts(corpus):
+    for fmt, cls in FORMATS.items():
+        if cls is StoreDocument:
+            continue
+        doc = document_for(corpus[fmt], fmt)
+        assert isinstance(doc, cls)
+        assert isinstance(doc, Document)
+        assert doc.workload == fmt
+        assert doc.store_ref() is None
+        pairs = list(doc.postorder())
+        assert doc.n_nodes() == len(pairs)
+        # The final pair is the root covering every node.
+        assert pairs[-1][1] == len(pairs)
+    # Trees are not Documents: the tasm_batch router must keep telling
+    # in-memory trees apart from streaming document handles.
+    assert not isinstance(Tree.from_bracket("{a}"), Document)
+
+
+def test_store_document_matches_source(corpus, tmp_path):
+    tree = Tree.from_postorder(document_for(corpus["json"], "json").postorder())
+    db = str(tmp_path / "docs.db")
+    with IntervalStore(db) as store:
+        doc_id = store.store_tree("doc", tree)
+    doc = StoreDocument(db, doc_id)
+    assert isinstance(doc, Document)
+    assert doc.workload == "store"
+    assert doc.store_ref() == (db, doc_id)
+    assert doc.n_nodes() == len(tree)
+    assert Tree.from_postorder(doc.postorder()).to_bracket() == tree.to_bracket()
+
+
+def test_detect_format(corpus):
+    assert detect_format(corpus["xml"]) == "xml"
+    assert detect_format(corpus["json"]) == "json"
+    assert detect_format(corpus["html"]) == "html"
+    assert detect_format("page.htm") == "html"
+    assert detect_format("mod.py") == "ast"
+    assert detect_format(corpus["ast"]) == "ast"  # a directory
+    with pytest.raises(DocumentFormatError, match="nope.xyz"):
+        detect_format("nope.xyz")
+    with pytest.raises(DocumentFormatError, match="unknown"):
+        document_for(corpus["json"], "yaml")
+
+
+def test_documents_rank_identically_across_entry_points(corpus):
+    query = Tree.from_bracket("{a{b}}")
+    doc = document_for(corpus["xml"], "xml")
+
+    def triples(rankings):
+        return [
+            (m.distance, m.root, m.subtree.to_bracket()) for m in rankings[0]
+        ]
+
+    direct = triples(
+        tasm_batch([query], PostorderQueue(doc.postorder()), 3)
+    )
+    routed = triples(tasm_batch([query], doc, 3))
+    sharded = triples(
+        tasm_batch([query], doc, 3, options=TasmOptions(workers=2))
+    )
+    assert routed == direct
+    assert sharded == direct
+
+
+def test_plain_documents_reject_indexed_engine(corpus):
+    query = Tree.from_bracket("{a}")
+    doc = document_for(corpus["json"], "json")
+    with pytest.raises(RankingError):
+        tasm_batch([query], doc, 2, options=TasmOptions(engine="indexed"))
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims and TasmOptions
+# ---------------------------------------------------------------------------
+
+
+def test_old_import_paths_warn_and_alias():
+    import repro.parallel as parallel
+    import repro.parallel.sharded as sharded
+
+    for module in (parallel, sharded):
+        for name, target in (
+            ("StoreDocument", StoreDocument),
+            ("XmlDocument", XmlDocument),
+        ):
+            with pytest.warns(DeprecationWarning, match="repro.documents"):
+                assert getattr(module, name) is target
+    # The new home and the top-level package export them quietly.
+    assert repro.StoreDocument is StoreDocument
+    assert repro.Document is Document
+    assert repro.JsonDocument is JsonDocument
+    assert repro.HtmlDocument is HtmlDocument
+    assert repro.AstDocument is AstDocument
+
+
+def test_legacy_kwargs_warn_but_work(corpus):
+    query = Tree.from_bracket("{a{b}}")
+    doc = document_for(corpus["xml"], "xml")
+    with pytest.warns(DeprecationWarning, match="workers"):
+        legacy = tasm_batch([query], doc, 2, workers=2)
+    quiet = tasm_batch([query], doc, 2, options=TasmOptions(workers=2))
+    assert [
+        (m.distance, m.root) for m in legacy[0]
+    ] == [(m.distance, m.root) for m in quiet[0]]
+
+
+def test_options_conflicts_and_unknown_fields(corpus):
+    query = Tree.from_bracket("{a}")
+    doc = document_for(corpus["xml"], "xml")
+    with pytest.raises(RankingError, match="workers"):
+        tasm_batch(
+            [query], doc, 2, options=TasmOptions(workers=2), workers=3
+        )
+    with pytest.raises(TypeError):
+        TasmOptions(turbo=True)
+    with pytest.raises(RankingError, match="TasmOptions"):
+        tasm_batch([query], doc, 2, options={"workers": 2})
+
+
+# ---------------------------------------------------------------------------
+# CLI: formats, ingest, and the end-to-end acceptance flow
+# ---------------------------------------------------------------------------
+
+
+def test_cli_json_format_and_cost(corpus, capsys):
+    assert main(["tasm", "{object{$a}}", corpus["json"], "-k", "2"]) == 0
+    plain = capsys.readouterr().out
+    assert "@" in plain
+    assert (
+        main(
+            [
+                "tasm",
+                "{object{$a}}",
+                corpus["json"],
+                "-k",
+                "2",
+                "--cost",
+                "json-keys:2",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 2
+    assert all({"rank", "distance", "root", "subtree"} <= set(m) for m in payload)
+
+
+def test_cli_rejects_unknown_extensions(corpus, capsys):
+    unknown = os.path.join(str(corpus["tmp"]), "doc.yaml")
+    assert main(["tasm", "{a}", unknown, "-k", "1"]) == 1
+    err = capsys.readouterr().err
+    assert "cannot detect a format" in err
+    assert "--format" in err
+
+
+def test_cli_ast_acceptance_flow(corpus, capsys):
+    """ISSUE 10 acceptance: CLI -> IntervalStore -> candidate index."""
+    db = os.path.join(str(corpus["tmp"]), "code.db")
+    assert main(["ingest", corpus["ast"], db, "--name", "pkg"]) == 0
+    out = capsys.readouterr().out
+    assert "workload ast" in out and "candidate index built" in out
+    # The ingested tree serves through the candidate index...  (the
+    # query is util.py's exact function encoding, so it matches at 0)
+    query = (
+        "{FunctionDef{f}{arguments{arg{x}}}"
+        "{Return{BinOp{Name{x}}{Add}{Constant{1}}}}}"
+    )
+    assert main(["tasm", query, db, "-k", "5", "--engine", "indexed", "--json"]) == 0
+    indexed = json.loads(capsys.readouterr().out)
+    # ...byte-identically to re-streaming the package itself.
+    assert main(["tasm", query, corpus["ast"], "-k", "5", "--json"]) == 0
+    streamed = json.loads(capsys.readouterr().out)
+    assert indexed == streamed
+    assert len(indexed) == 5
+    # The best match really is util.py's FunctionDef subtree.
+    assert indexed[0]["subtree"].startswith("{FunctionDef{f}")
+
+
+def test_cli_ingest_rejects_collisions_and_stores(corpus, capsys):
+    db = os.path.join(str(corpus["tmp"]), "dup.db")
+    assert main(["ingest", corpus["json"], db, "--name", "d"]) == 0
+    capsys.readouterr()
+    assert main(["ingest", corpus["json"], db, "--name", "d"]) == 1
+    assert "already holds" in capsys.readouterr().err
+    assert main(["ingest", db, db]) == 1
+    assert "already an IntervalStore" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Serve catalog: generic file documents
+# ---------------------------------------------------------------------------
+
+
+def test_catalog_registers_any_workload(corpus):
+    catalog = DocumentCatalog()
+    for fmt in ("xml", "json", "html", "ast"):
+        doc = catalog.register_file(fmt, corpus[fmt])
+        assert doc.kind == fmt
+        payload = doc.payload()
+        assert payload["format"] == fmt
+        assert payload["workload"] == fmt
+        assert payload["nodes"] == document_for(corpus[fmt], fmt).n_nodes()
+        queue_pairs = list(catalog.get(fmt).queue())
+        assert len(queue_pairs) == payload["nodes"]
+    with pytest.raises(ServeError, match="format"):
+        catalog.register_file("bad", corpus["json"], "yaml")
+    unknown = os.path.join(str(corpus["tmp"]), "doc.cfg")
+    with open(unknown, "w", encoding="utf-8") as fh:
+        fh.write("key = value\n")
+    with pytest.raises(ServeError, match="cannot detect"):
+        catalog.register_file("bad", unknown)
+
+
+def test_catalog_register_xml_back_compat(corpus):
+    catalog = DocumentCatalog()
+    doc = catalog.register_xml("legacy", corpus["xml"])
+    assert doc.kind == "xml"
+    assert doc.workload == "xml"

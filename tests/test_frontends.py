@@ -1,0 +1,275 @@
+"""Workload frontends: differential byte-identity with bracket trees.
+
+The contract every frontend must keep (ISSUE 10): ranking a document
+through its streaming ``iterparse_postorder`` — or through the indexed
+engine over an ingested copy — is **byte-identical**, tie order
+included, to ranking the bracket-notation encoding of the same tree.
+That single property is what lets the engine stay workload-agnostic.
+"""
+
+import io
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import ks, ranking_triples
+from repro.distance import UnitCostModel, WeightedCostModel
+from repro.documents import StoreDocument
+from repro.errors import (
+    HtmlFormatError,
+    JsonFormatError,
+    PythonSourceError,
+)
+from repro.frontends import astio, htmlio, jsonio
+from repro.frontends.htmlio import TagClassWeightedCostModel
+from repro.frontends.jsonio import KeyWeightedCostModel
+from repro.postorder import IntervalStore, PostorderQueue
+from repro.tasm import TasmOptions, tasm_batch
+from repro.trees import Tree
+from repro.trees.node import Node
+
+
+def trees_over(alphabet, max_leaves=5):
+    """Query trees over a workload-flavoured label alphabet."""
+    label = st.sampled_from(alphabet)
+    return st.recursive(
+        st.builds(Node, label),
+        lambda kids: st.builds(
+            Node, label, st.lists(kids, min_size=1, max_size=3)
+        ),
+        max_leaves=max_leaves,
+    ).map(Tree.from_node)
+
+
+base_costs = st.one_of(
+    st.just(UnitCostModel()),
+    st.builds(
+        WeightedCostModel,
+        rename_cost=st.sampled_from([0.5, 1.0, 2.0]),
+        delete_cost=st.sampled_from([1.0, 2.0]),
+        insert_cost=st.sampled_from([1.0, 1.5]),
+    ),
+)
+json_costs = st.one_of(
+    base_costs,
+    st.builds(KeyWeightedCostModel, st.sampled_from([1.5, 2.0, 3.0])),
+)
+html_costs = st.one_of(
+    base_costs,
+    st.builds(TagClassWeightedCostModel, st.sampled_from([1.5, 2.0])),
+)
+
+json_scalars = st.one_of(
+    st.integers(-999, 999),
+    st.sampled_from([True, False, None, 0.5, -2.25]),
+    st.text(alphabet="abxy$", min_size=1, max_size=4),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda kids: st.one_of(
+        st.lists(kids, max_size=4),
+        st.dictionaries(
+            st.text(alphabet="kmn", min_size=1, max_size=3), kids, max_size=4
+        ),
+    ),
+    max_leaves=12,
+)
+json_queries = trees_over(["object", "array", "$k", "$m", "x", "3"])
+
+_HTML_TEXT = st.sampled_from(["hello", "world", "price: 3", "x + y"])
+html_fragments = st.recursive(
+    _HTML_TEXT.map(lambda t: ("text", t)),
+    lambda kids: st.tuples(
+        st.sampled_from(["div", "span", "p", "ul", "li", "em", "table"]),
+        st.lists(
+            st.tuples(st.sampled_from(["id", "class"]), st.sampled_from(["a", "b"])),
+            max_size=2,
+            unique_by=lambda kv: kv[0],
+        ),
+        st.lists(kids, max_size=3),
+    ).map(lambda t: ("elem", t[0], t[1], t[2])),
+    max_leaves=8,
+)
+html_queries = trees_over(
+    ["#document", "div", "span", "li", "@class", "a", "hello"]
+)
+
+ast_queries = trees_over(
+    ["Module", "FunctionDef", "Return", "arguments", "arg", "x", "y"]
+)
+
+
+def render_html(fragment):
+    kind = fragment[0]
+    if kind == "text":
+        return fragment[1]
+    _, tag, attrs, children = fragment
+    attr_text = "".join(f' {name}="{value}"' for name, value in attrs)
+    inner = "".join(render_html(child) for child in children)
+    return f"<{tag}{attr_text}>{inner}</{tag}>"
+
+
+@st.composite
+def py_modules(draw):
+    lines = [f'"""{draw(st.sampled_from(["mod", "pkg helper"]))}."""', ""]
+    for i in range(draw(st.integers(1, 3))):
+        name = draw(st.sampled_from("fgh"))
+        const = draw(st.integers(0, 9))
+        lines += [
+            f"def {name}{i}(x, y={const}):",
+            f"    total = x + y * {const}",
+            "    return total",
+            "",
+        ]
+    if draw(st.booleans()):
+        lines += ["class Widget:", "    def __init__(self, size):", "        self.size = size", ""]
+    return "\n".join(lines)
+
+
+def assert_differential(pairs, queries, k, cost):
+    """Stream + indexed rankings == the bracket-encoded tree's ranking."""
+    pairs = list(pairs)
+    tree = Tree.from_postorder(iter(pairs))
+    bracket_tree = Tree.from_bracket(tree.to_bracket())
+    want = [
+        ranking_triples(r)
+        for r in tasm_batch(queries, PostorderQueue.from_tree(bracket_tree), k, cost)
+    ]
+    got_stream = [
+        ranking_triples(r)
+        for r in tasm_batch(queries, PostorderQueue(iter(pairs)), k, cost)
+    ]
+    assert got_stream == want
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "doc.db")
+        with IntervalStore(db) as store:
+            doc_id = store.store_tree("doc", tree)
+            store.ensure_index(doc_id)
+        got_indexed = [
+            ranking_triples(r)
+            for r in tasm_batch(
+                queries,
+                StoreDocument(db, doc_id),
+                k,
+                cost,
+                TasmOptions(engine="indexed"),
+            )
+        ]
+    assert got_indexed == want
+
+
+@given(value=json_values, query=json_queries, k=ks, cost=json_costs)
+def test_json_ranking_matches_bracket_encoding(value, query, k, cost):
+    pairs = jsonio.iterparse_postorder(io.StringIO(json.dumps(value)))
+    assert_differential(pairs, [query], k, cost)
+
+
+@given(fragment=html_fragments, query=html_queries, k=ks, cost=html_costs)
+def test_html_ranking_matches_bracket_encoding(fragment, query, k, cost):
+    pairs = htmlio.iterparse_postorder(io.StringIO(render_html(fragment)))
+    assert_differential(pairs, [query], k, cost)
+
+
+@given(source=py_modules(), query=ast_queries, k=ks, cost=base_costs)
+def test_ast_ranking_matches_bracket_encoding(source, query, k, cost):
+    with tempfile.TemporaryDirectory() as tmp:
+        module = os.path.join(tmp, "mod.py")
+        with open(module, "w", encoding="utf-8") as fh:
+            fh.write(source)
+        pairs = list(astio.iterparse_postorder(module))
+    assert_differential(pairs, [query], k, cost)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic frontend conventions
+# ---------------------------------------------------------------------------
+
+
+def test_json_conventions():
+    doc = '{"b": [1, 2.5, true, null], "a": "x"}'
+    pairs = list(jsonio.iterparse_postorder(io.StringIO(doc)))
+    tree = Tree.from_postorder(iter(pairs))
+    # Keys stay in document order (sorting would force buffering).
+    assert tree.to_bracket() == (
+        "{object{$b{array{1}{2.5}{true}{null}}}{$a{x}}}"
+    )
+    assert pairs[-1] == ("object", len(pairs))
+
+
+def test_json_key_cost_model_classifies_by_content():
+    cost = KeyWeightedCostModel(3.0)
+    assert cost.delete("$key") == 3.0
+    assert cost.delete("value") == 1.0
+    assert cost.rename("$a", "$b") == 3.0
+    assert cost.rename("$a", "$a") == 0.0
+    assert cost.max_cost == 3.0 and cost.min_indel == 1.0
+
+
+def test_html_conventions():
+    doc = "<ul><li class='a'>one<li>two</ul><p>tail"
+    tree = Tree.from_postorder(htmlio.iterparse_postorder(io.StringIO(doc)))
+    # Unclosed elements nest until an ancestor's end tag closes them
+    # (</ul> closes both li's), attrs become @name/Text pairs, and the
+    # synthetic #document root makes the fragment one tree.
+    assert tree.to_bracket() == (
+        "{#document{ul{li{@class{a}}{one}{li{two}}}}{p{tail}}}"
+    )
+
+
+def test_html_tag_cost_model_classifies_by_content():
+    cost = TagClassWeightedCostModel(2.0)
+    assert cost.delete("div") == 2.0
+    assert cost.delete("em") == 1.0
+    assert cost.delete("#document") == 2.0
+    assert cost.rename("div", "table") == 2.0
+    assert cost.rename("em", "b") == 1.0
+
+
+def test_ast_conventions(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text("def f(x):\n    return x\n")
+    tree = Tree.from_postorder(astio.iterparse_postorder(str(module)))
+    bracket = tree.to_bracket()
+    assert bracket.startswith("{m.py{Module{FunctionDef{f}")
+    assert "{Return{Name{x}}}" in bracket
+    # A snippet query uses the same alphabet, rooted at Module.
+    query = astio.tree_from_source("def f(x):\n    return x\n")
+    assert query.to_bracket() in bracket
+
+
+def test_frontend_errors_are_typed(tmp_path):
+    with pytest.raises(JsonFormatError):
+        list(jsonio.iterparse_postorder(io.StringIO('{"a": }')))
+    with pytest.raises(HtmlFormatError):
+        list(htmlio.iterparse_postorder(io.StringIO("   ")))
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    with pytest.raises(PythonSourceError):
+        list(astio.iterparse_postorder(str(bad)))
+    with pytest.raises(PythonSourceError):
+        list(astio.iterparse_postorder(str(tmp_path / "nope.txt")))
+
+
+# ---------------------------------------------------------------------------
+# Workload lookalike corpora (repro.datasets.workloads)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["apilog", "htmlcat", "pypkg"])
+def test_workload_corpora_count_matches_frontend(name, tmp_path):
+    from repro.datasets import WORKLOAD_QUERIES, generate
+
+    frontend = {"apilog": jsonio, "htmlcat": htmlio, "pypkg": astio}[name]
+    out = str(tmp_path / ("pkg" if name == "pypkg" else f"doc.{name}"))
+    reported = generate(name, out, target_nodes=2_000, seed=11)
+    parsed = list(frontend.iterparse_postorder(out))
+    assert reported == len(parsed)
+    # The shipped default query actually matches something.
+    query = Tree.from_bracket(WORKLOAD_QUERIES[name])
+    matches = tasm_batch([query], PostorderQueue(iter(parsed)), 3)[0]
+    assert len(matches) == 3
+    assert [m.distance for m in matches] == sorted(m.distance for m in matches)
